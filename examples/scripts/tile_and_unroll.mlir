@@ -1,0 +1,11 @@
+"builtin.module"() ({
+  "transform.named_sequence"() ({
+  ^bb0(%root: !transform.any_op):
+    %loop = "transform.match_op"(%root) {op_name = "scf.for", select = "first"} : (!transform.any_op) -> !transform.any_op
+    %size = "transform.param_constant"() {value = 8 : index} : () -> !transform.param
+    %part:2 = "transform.loop_split"(%loop, %size) : (!transform.any_op, !transform.param) -> (!transform.any_op, !transform.any_op)
+    %tiled:2 = "transform.loop_tile"(%part#0, %size) : (!transform.any_op, !transform.param) -> (!transform.any_op, !transform.any_op)
+    "transform.loop_unroll"(%part#1) {full} : (!transform.any_op) -> ()
+    "transform.yield"() : () -> ()
+  }) {sym_name = "__transform_main"} : () -> ()
+}) : () -> ()
