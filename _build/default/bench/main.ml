@@ -1,0 +1,197 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (Section 4) on this repository's substrates, then runs a
+   Bechamel micro-benchmark per experiment kernel.
+
+   Usage:  dune exec bench/main.exe            (all sections)
+           dune exec bench/main.exe -- table1  (one section)
+           dune exec bench/main.exe -- --no-micro  (skip Bechamel) *)
+
+let ctx = Transform.Register.full_context ()
+
+let banner title paper =
+  Fmt.pr "@.============================================================@.";
+  Fmt.pr "%s@." title;
+  Fmt.pr "  (paper: %s)@." paper;
+  Fmt.pr "============================================================@."
+
+(* ------------------------------------------------------------------ *)
+(* sections                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let table1 () =
+  banner "E1 - Table 1: compile-time overhead of the Transform dialect"
+    "five ML models, pass manager vs transform interpreter, <= 2.6% overhead";
+  let rows = Experiments.Table1.run ~reps:7 ctx in
+  Experiments.Table1.pp_table Fmt.stdout rows;
+  let max_overhead =
+    List.fold_left
+      (fun acc r -> Float.max acc r.Experiments.Table1.overhead_pct)
+      0.0 rows
+  in
+  Fmt.pr "max overhead measured: %.1f%%@." max_overhead;
+  rows
+
+let fig6 rows =
+  banner "E2 - Figure 6: compile time per model, MLIR vs Transform"
+    "bar chart of the Table 1 data";
+  Experiments.Table1.pp_figure Fmt.stdout rows
+
+let table2 () =
+  banner "E3 - Table 2 / Case Study 2: pre/post-conditions + static checking"
+    "naive pipeline statically flagged (leftover affine.apply); robust passes";
+  Experiments.Table2.pp_conditions Fmt.stdout ();
+  Fmt.pr "@.";
+  let o = Experiments.Table2.run ctx in
+  Experiments.Table2.pp_outcome Fmt.stdout o
+
+let cs3 () =
+  banner "E4 - Case Study 3: hunting the counterproductive pattern"
+    "binary search over ~20 patterns; 4s/probe vs ~195s/rebuild; ~9% regression";
+  let o = Experiments.Cs3.run ctx in
+  Experiments.Cs3.pp_outcome Fmt.stdout o
+
+let cs4 () =
+  banner "E5 - Case Study 4 / Figures 7-8: fine-grained loop control"
+    "OpenMP ~ Transform (0.48s vs 0.49s); microkernel 0.017s (~28x)";
+  let o = Experiments.Cs4.run ctx in
+  Experiments.Cs4.pp_outcome Fmt.stdout o
+
+let cs5 () =
+  banner "E6 - Case Study 5 / Figures 9-11: autotuning the Transform script"
+    "BaCO-style Bayesian search over tile sizes; monotone evolution, 1.68x";
+  let o = Experiments.Cs5.run ctx in
+  Experiments.Cs5.pp_outcome Fmt.stdout o
+
+let cs5s () =
+  banner "Extension - structured-level autotuning"
+    "tile sizes interact with microkernel eligibility through alternatives";
+  let o = Experiments.Cs5_structured.run ctx in
+  Experiments.Cs5_structured.pp_outcome Fmt.stdout o
+
+let s34 () =
+  banner "E8 - Section 3.4 / Figure 5: transform-IR introspection for AD"
+    "the AD transform emits adds of the dialect current at its position";
+  let rows = Experiments.S34.run ctx in
+  Experiments.S34.pp_rows Fmt.stdout rows
+
+let ablations () =
+  banner "Ablations: transform-IR simplification and checking overheads"
+    "design choices called out in DESIGN.md";
+  let rows = Experiments.Ablations.run ctx in
+  Experiments.Ablations.pp_rows Fmt.stdout rows;
+  Fmt.pr "@.";
+  Experiments.Ablations.pp_check_row Fmt.stdout
+    (Experiments.Ablations.dynamic_check_overhead ctx);
+  Fmt.pr "@.";
+  Experiments.Ablations.pp_ilist_rows Fmt.stdout
+    (Experiments.Ablations.ilist_ablation ())
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks: one Test.make per experiment kernel       *)
+(* ------------------------------------------------------------------ *)
+
+let micro () =
+  banner "Micro-benchmarks (Bechamel)" "one staged kernel per experiment";
+  let open Bechamel in
+  let squeezenet =
+    List.find
+      (fun s -> s.Workloads.Models.sp_name = "squeezenet")
+      Workloads.Models.paper_models
+  in
+  let passes =
+    match Passes.Pass.parse_pipeline Workloads.Models.tosa_pipeline_str with
+    | Ok ps -> ps
+    | Error e -> failwith e
+  in
+  let tests =
+    [
+      Test.make ~name:"table1/pass-manager(squeezenet)"
+        (Staged.stage (fun () ->
+             let md = Workloads.Models.build squeezenet in
+             ignore (Passes.Pass.run_pipeline ctx passes md)));
+      (let script = Transform.From_pipeline.script_of_pipeline passes in
+       Test.make ~name:"table1/transform(squeezenet)"
+         (Staged.stage (fun () ->
+              let md = Workloads.Models.build squeezenet in
+              ignore (Transform.Interp.apply ctx ~script ~payload:md))));
+      Test.make ~name:"table2/static-checker"
+        (Staged.stage (fun () ->
+             ignore
+               (Transform.Conditions.check_passes
+                  ~initial:Experiments.Table2.initial_opset
+                  ~final:Experiments.Table2.final_opset
+                  (List.map Passes.Pass.lookup_exn
+                     Workloads.Subview_kernel.naive_pipeline))));
+      Test.make ~name:"cs3/pattern-probe(llm)"
+        (Staged.stage (fun () ->
+             ignore
+               (Experiments.Cs3.probe ctx (Dialects.Shlo_patterns.names ()))));
+      Test.make ~name:"cs4/split+tile+to_library"
+        (Staged.stage (fun () ->
+             let md =
+               Workloads.Matmul.build_module ~m:Experiments.Cs4.m
+                 ~n:Experiments.Cs4.n ~k:Experiments.Cs4.k ()
+             in
+             ignore
+               (Transform.Interp.apply ctx
+                  ~script:(Experiments.Cs4.microkernel_script ())
+                  ~payload:md)));
+      Test.make ~name:"cs5/one-evaluation(32^3)"
+        (Staged.stage (fun () ->
+             let md =
+               Workloads.Matmul.build_module ~order:Workloads.Matmul.Ikj ~m:32
+                 ~n:32 ~k:32 ()
+             in
+             ignore (Workloads.Matmul.run_matmul ~ir_ctx:ctx ~m:32 ~n:32 ~k:32 md)));
+      Test.make ~name:"s34/introspect+ad"
+        (Staged.stage (fun () -> ignore (Experiments.S34.run ctx)));
+    ]
+  in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) () in
+  let ols =
+    Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  List.iter
+    (fun test ->
+      let results =
+        Benchmark.all cfg [ Toolkit.Instance.monotonic_clock ] test
+      in
+      Hashtbl.iter
+        (fun name raw ->
+          let est = Analyze.one ols Toolkit.Instance.monotonic_clock raw in
+          match Analyze.OLS.estimates est with
+          | Some [ e ] -> Fmt.pr "  %-40s %14.1f ns/run@." name e
+          | _ -> Fmt.pr "  %-40s (no estimate)@." name)
+        results)
+    tests
+
+(* ------------------------------------------------------------------ *)
+(* driver                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let no_micro = List.mem "--no-micro" args in
+  let args = List.filter (fun a -> a <> "--no-micro") args in
+  let want s = args = [] || List.mem s args in
+  Fmt.pr "OCaml Transform-dialect reproduction - benchmark harness@.";
+  Fmt.pr "(simulated machine: %.1f GHz, L1 %dK, L2 %dK; see DESIGN.md)@."
+    Interp.Machine.default_config.Interp.Machine.freq_ghz
+    (Interp.Machine.default_config.Interp.Machine.l1_size / 1024)
+    (Interp.Machine.default_config.Interp.Machine.l2_size / 1024);
+  let t1_rows = ref None in
+  if want "table1" then t1_rows := Some (table1 ());
+  if want "fig6" then
+    fig6
+      (match !t1_rows with
+      | Some rows -> rows
+      | None -> Experiments.Table1.run ~reps:3 ctx);
+  if want "table2" then table2 ();
+  if want "cs3" then cs3 ();
+  if want "cs4" then cs4 ();
+  if want "cs5" then cs5 ();
+  if want "cs5-structured" then cs5s ();
+  if want "s34" then s34 ();
+  if want "ablations" then ablations ();
+  if (not no_micro) && (args = [] || List.mem "micro" args) then micro ();
+  Fmt.pr "@.done.@."

@@ -1,0 +1,71 @@
+(** otd-check: the static pre-/post-condition pipeline checker of Case
+    Study 2. Checks a comma-separated pass pipeline (or a transform script)
+    against an initial and final op-kind set, printing the abstract trace
+    and any phase-ordering / incomplete-lowering problems. *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let run pipeline script_file initial final =
+  let _ctx = Transform.Register.full_context () in
+  let initial = Ir.Opset.parse initial in
+  let final = Ir.Opset.parse final in
+  let report =
+    match (pipeline, script_file) with
+    | Some str, _ -> (
+      match Passes.Pass.parse_pipeline str with
+      | Error e -> Error e
+      | Ok passes ->
+        Ok (Transform.Conditions.check_passes ~initial ~final passes))
+    | None, Some f -> (
+      match Ir.Parser.parse_module (read_file f) with
+      | Error e -> Error (Fmt.str "parse error: %s" e)
+      | Ok script ->
+        Ok (Transform.Conditions.check_script ~initial ~final script))
+    | None, None -> Error "provide --pass-pipeline or a transform script"
+  in
+  match report with
+  | Error e -> `Error (false, e)
+  | Ok report ->
+    Fmt.pr "%a" Transform.Conditions.pp_report report;
+    if Transform.Conditions.ok report then `Ok ()
+    else `Error (false, "pipeline violates its conditions")
+
+let pipeline =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "pass-pipeline"; "p" ] ~docv:"PASSES"
+        ~doc:"Comma-separated pass pipeline to check.")
+
+let script_file =
+  Arg.(
+    value
+    & pos 0 (some string) None
+    & info [] ~docv:"SCRIPT" ~doc:"Transform script to check instead.")
+
+let initial =
+  Arg.(
+    value
+    & opt string
+        "{func.*, scf.*, arith.*, memref.subview, memref.load, memref.store}"
+    & info [ "initial" ] ~docv:"OPSET" ~doc:"Op kinds possibly present in the input.")
+
+let final =
+  Arg.(
+    value
+    & opt string "{llvm.*}"
+    & info [ "final" ] ~docv:"OPSET" ~doc:"Op kinds allowed after the pipeline.")
+
+let cmd =
+  let doc = "static pre-/post-condition checker for lowering pipelines" in
+  Cmd.v
+    (Cmd.info "otd-check" ~doc)
+    Term.(ret (const run $ pipeline $ script_file $ initial $ final))
+
+let () = exit (Cmd.eval cmd)

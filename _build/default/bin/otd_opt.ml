@@ -1,0 +1,130 @@
+(** otd-opt: the mlir-opt analogue of this repository.
+
+    Reads a module in generic textual form, optionally verifies it, runs a
+    comma-separated pass pipeline and/or a Transform script (from a separate
+    file or embedded in the same module as a [@__transform_main] named
+    sequence), and prints the result. *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let run input pipeline transform_file no_verify list_passes print_steps pretty =
+  let ctx = Transform.Register.full_context () in
+  if list_passes then begin
+    List.iter
+      (fun p ->
+        Fmt.pr "%-32s %s@." p.Passes.Pass.name p.Passes.Pass.summary)
+      (Passes.Pass.all_registered ());
+    `Ok ()
+  end
+  else
+    match input with
+    | None -> `Error (false, "missing input file")
+    | Some path -> (
+      let src = if path = "-" then In_channel.input_all stdin else read_file path in
+      match Ir.Parser.parse_module src with
+      | Error e -> `Error (false, Fmt.str "parse error: %s" e)
+      | Ok m -> (
+        let verify () =
+          if no_verify then Ok ()
+          else
+            match Ir.Verifier.verify ctx m with
+            | Ok () -> Ok ()
+            | Error diags ->
+              Error
+                (Fmt.str "%a"
+                   (Fmt.list ~sep:Fmt.cut Ir.Verifier.pp_diagnostic)
+                   diags)
+        in
+        let apply_pipeline () =
+          match pipeline with
+          | None -> Ok ()
+          | Some str -> (
+            match Passes.Pass.parse_pipeline str with
+            | Error e -> Error e
+            | Ok passes -> (
+              try
+                let result = Passes.Pass.run_pipeline ctx passes m in
+                if print_steps then
+                  List.iter
+                    (fun t ->
+                      Fmt.epr "// pass %s: %.2f ms@." t.Passes.Pass.t_pass
+                        (t.Passes.Pass.t_seconds *. 1000.))
+                    result.Passes.Pass.timings;
+                Ok ()
+              with Passes.Pass.Pass_error (p, msg) ->
+                Error (Fmt.str "pass %s failed: %s" p msg)))
+        in
+        let apply_transform () =
+          match transform_file with
+          | None -> Ok ()
+          | Some tf -> (
+            match Ir.Parser.parse_module (read_file tf) with
+            | Error e -> Error (Fmt.str "transform script parse error: %s" e)
+            | Ok script -> (
+              match Transform.Interp.apply ctx ~script ~payload:m with
+              | Ok steps ->
+                if print_steps then
+                  Fmt.epr "// transform interpreter: %d steps@." steps;
+                Ok ()
+              | Error e -> Error (Transform.Terror.to_string e)))
+        in
+        match
+          Result.bind (verify ()) (fun () ->
+              Result.bind (apply_pipeline ()) (fun () ->
+                  Result.bind (apply_transform ()) verify))
+        with
+        | Error e -> `Error (false, e)
+        | Ok () ->
+          if pretty then Fmt.pr "%a@." Ir.Pretty.pp m
+          else Fmt.pr "%a@." Ir.Printer.pp_op m;
+          `Ok ()))
+
+let input =
+  Arg.(value & pos 0 (some string) None & info [] ~docv:"FILE" ~doc:"Input module ('-' for stdin).")
+
+let pipeline =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "pass-pipeline"; "p" ] ~docv:"PASSES"
+        ~doc:"Comma-separated pass pipeline to run.")
+
+let transform_file =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "transform" ] ~docv:"FILE"
+        ~doc:"Transform script to interpret against the payload.")
+
+let no_verify =
+  Arg.(value & flag & info [ "no-verify" ] ~doc:"Skip IR verification.")
+
+let list_passes =
+  Arg.(value & flag & info [ "list-passes" ] ~doc:"List registered passes.")
+
+let print_steps =
+  Arg.(value & flag & info [ "timing" ] ~doc:"Print per-pass timing / interpreter steps.")
+
+let pretty =
+  Arg.(
+    value & flag
+    & info [ "pretty" ]
+        ~doc:"Print custom assembly for common dialects (output only; the \
+              parser consumes the generic form).")
+
+let cmd =
+  let doc = "optimizer driver for the OCaml Transform-dialect reproduction" in
+  Cmd.v
+    (Cmd.info "otd-opt" ~doc)
+    Term.(
+      ret
+        (const run $ input $ pipeline $ transform_file $ no_verify $ list_passes
+       $ print_steps $ pretty))
+
+let () = exit (Cmd.eval cmd)

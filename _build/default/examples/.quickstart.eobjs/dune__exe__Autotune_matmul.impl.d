@@ -1,0 +1,1 @@
+examples/autotune_matmul.ml: Autotune Experiments Fmt List Transform

@@ -1,0 +1,1 @@
+examples/lowering_pipeline.mli:

@@ -1,0 +1,1 @@
+examples/microkernel.ml: Experiments Fmt Ir Ircore List Option Printer Symbol Transform Workloads

@@ -1,0 +1,1 @@
+examples/pattern_debugging.ml: Dialects Experiments Fmt List Transform

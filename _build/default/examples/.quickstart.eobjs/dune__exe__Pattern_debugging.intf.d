@@ -1,0 +1,1 @@
+examples/pattern_debugging.mli:

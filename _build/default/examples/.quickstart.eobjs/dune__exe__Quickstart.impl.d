@@ -1,0 +1,1 @@
+examples/quickstart.ml: Arith Builtin Dialects Dutil Fmt Func Ir Ircore List Memref Pretty Scf Transform Typ Verifier

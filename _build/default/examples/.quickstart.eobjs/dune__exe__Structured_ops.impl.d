@@ -1,0 +1,1 @@
+examples/structured_ops.ml: Fmt Interp Ir Pretty Symbol Transform Verifier Workloads

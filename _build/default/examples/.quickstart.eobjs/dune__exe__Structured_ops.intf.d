@@ -1,0 +1,1 @@
+examples/structured_ops.mli:

@@ -1,0 +1,16 @@
+(** Case Study 5: autotuning the tile sizes of a parametric Transform
+    script with the BaCO-like Bayesian optimizer.
+
+    Run with: dune exec examples/autotune_matmul.exe *)
+
+let () =
+  let ctx = Transform.Register.full_context () in
+  Fmt.pr "search space: tile_i | tile_k | tile_j dividing their dims,@.";
+  Fmt.pr "              vectorize only if tile_j %% %d == 0@.@."
+    Experiments.Cs5.vector_width;
+  let space = Experiments.Cs5.space () in
+  Fmt.pr "feasible configurations: %d of %d raw@.@."
+    (List.length (Autotune.Space.enumerate space))
+    (Autotune.Space.raw_size space);
+  let o = Experiments.Cs5.run ctx in
+  Experiments.Cs5.pp_outcome Fmt.stdout o

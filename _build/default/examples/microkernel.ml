@@ -1,0 +1,32 @@
+(** Case Study 4: fine-grained control of a matmul loop nest — OpenMP-style
+    tiling vs the Transform dialect's split+tile+unroll, plus the
+    alternatives-wrapped microkernel replacement.
+
+    Run with: dune exec examples/microkernel.exe *)
+
+open Ir
+
+let () =
+  let ctx = Transform.Register.full_context () in
+  let o = Experiments.Cs4.run ctx in
+  Experiments.Cs4.pp_outcome Fmt.stdout o;
+  (* show the transformed IR of the microkernel variant *)
+  let md =
+    Workloads.Matmul.build_module ~m:Experiments.Cs4.m ~n:Experiments.Cs4.n
+      ~k:Experiments.Cs4.k ()
+  in
+  (match
+     Transform.Interp.apply ctx
+       ~script:(Experiments.Cs4.microkernel_script ())
+       ~payload:md
+   with
+  | Ok _ -> ()
+  | Error e -> failwith (Transform.Terror.to_string e));
+  Fmt.pr "@.=== IR after split + tile + to_library (excerpt) ===@.";
+  let calls = Symbol.collect_ops ~op_name:"func.call" md in
+  List.iteri
+    (fun i call ->
+      if i < 1 then
+        Fmt.pr "%a@." Printer.pp_op
+          (Option.get (Ircore.parent_op call)))
+    calls

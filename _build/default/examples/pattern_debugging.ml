@@ -1,0 +1,19 @@
+(** Case Study 3: debugging a counterproductive optimization pattern by
+    binary search over the pattern set, driven by Transform scripts.
+
+    Run with: dune exec examples/pattern_debugging.exe *)
+
+let () =
+  let ctx = Transform.Register.full_context () in
+  Fmt.pr "Registered StableHLO-style peephole patterns:@.";
+  List.iter (Fmt.pr "  %s@.") (Dialects.Shlo_patterns.names ());
+  Fmt.pr "@.";
+  let o = Experiments.Cs3.run ctx in
+  Experiments.Cs3.pp_outcome Fmt.stdout o;
+  Fmt.pr "@.Probe trail:@.";
+  List.iteri
+    (fun i p ->
+      Fmt.pr "  probe %2d: %2d patterns enabled -> %.3f ms@." (i + 1)
+        (List.length p.Experiments.Cs3.pr_patterns)
+        (p.Experiments.Cs3.pr_estimate *. 1e3))
+    o.Experiments.Cs3.probes

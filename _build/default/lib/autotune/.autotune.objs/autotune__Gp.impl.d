@@ -1,0 +1,1 @@
+lib/autotune/gp.ml: Array Float La

@@ -1,0 +1,1 @@
+lib/autotune/search.ml: Array Float Gp Hashtbl List Random Space

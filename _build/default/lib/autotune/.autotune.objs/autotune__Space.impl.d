@@ -1,0 +1,1 @@
+lib/autotune/space.ml: Array Fmt Int List Random

@@ -1,0 +1,82 @@
+(** Gaussian-process regression with an RBF kernel — the surrogate model of
+    our BaCO-like Bayesian optimizer. Observations are normalized to zero
+    mean / unit variance internally. *)
+
+type t = {
+  xs : float array array;
+  l : La.mat;  (** Cholesky factor of K + sigma^2 I *)
+  alpha : float array;  (** (K + sigma^2 I)^-1 y *)
+  length_scale : float;
+  signal_var : float;
+  mean : float;
+  std : float;
+}
+
+let kernel ~length_scale ~signal_var a b =
+  signal_var *. exp (-.La.sq_dist a b /. (2.0 *. length_scale *. length_scale))
+
+(** Fit a GP to observations [(x, y)]. Returns [None] when the kernel matrix
+    is numerically singular. *)
+let fit ?(length_scale = 0.3) ?(signal_var = 1.0) ?(noise = 1e-4) xs ys =
+  let n = Array.length xs in
+  if n = 0 then None
+  else begin
+    let mean = Array.fold_left ( +. ) 0.0 ys /. float_of_int n in
+    let var =
+      Array.fold_left (fun acc y -> acc +. ((y -. mean) ** 2.0)) 0.0 ys
+      /. float_of_int n
+    in
+    let std = if var < 1e-12 then 1.0 else sqrt var in
+    let ys_n = Array.map (fun y -> (y -. mean) /. std) ys in
+    let k = La.make n n 0.0 in
+    for i = 0 to n - 1 do
+      for j = 0 to n - 1 do
+        k.(i).(j) <-
+          kernel ~length_scale ~signal_var xs.(i) xs.(j)
+          +. (if i = j then noise else 0.0)
+      done
+    done;
+    match La.cholesky k with
+    | None -> None
+    | Some l ->
+      let alpha = La.cholesky_solve l ys_n in
+      Some { xs; l; alpha; length_scale; signal_var; mean; std }
+  end
+
+(** Predictive mean and variance at [x]. *)
+let predict t x =
+  let n = Array.length t.xs in
+  let kstar =
+    Array.init n (fun i ->
+        kernel ~length_scale:t.length_scale ~signal_var:t.signal_var t.xs.(i) x)
+  in
+  let mu_n = La.dot kstar t.alpha in
+  let v = La.solve_lower t.l kstar in
+  let var_n = t.signal_var -. La.dot v v in
+  let var_n = Float.max var_n 1e-12 in
+  (t.mean +. (mu_n *. t.std), var_n *. t.std *. t.std)
+
+(* standard normal pdf/cdf *)
+let pdf z = exp (-0.5 *. z *. z) /. sqrt (2.0 *. Float.pi)
+
+let cdf z =
+  (* Abramowitz–Stegun approximation *)
+  let t = 1.0 /. (1.0 +. (0.2316419 *. Float.abs z)) in
+  let poly =
+    t
+    *. (0.319381530
+       +. (t
+          *. (-0.356563782
+             +. (t *. (1.781477937 +. (t *. (-1.821255978 +. (t *. 1.330274429))))))))
+  in
+  let approx = 1.0 -. (pdf z *. poly) in
+  if z >= 0.0 then approx else 1.0 -. approx
+
+(** Expected improvement (for minimization) over the incumbent [best]. *)
+let expected_improvement t ~best x =
+  let mu, var = predict t x in
+  let sigma = sqrt var in
+  if sigma < 1e-12 then Float.max 0.0 (best -. mu)
+  else
+    let z = (best -. mu) /. sigma in
+    ((best -. mu) *. cdf z) +. (sigma *. pdf z)

@@ -1,0 +1,112 @@
+(** Search drivers: random search and BaCO-like Bayesian optimization
+    (GP surrogate + expected improvement, constraint-aware candidate
+    sampling). The objective is minimized (e.g. simulated runtime). *)
+
+type evaluation = {
+  e_iteration : int;
+  e_point : Space.point;
+  e_objective : float;
+  e_best_so_far : float;
+}
+
+type result = {
+  best_point : Space.point;
+  best_objective : float;
+  history : evaluation list;  (** in evaluation order *)
+}
+
+let record history it point obj =
+  let best =
+    match history with
+    | [] -> obj
+    | last :: _ -> Float.min obj last.e_best_so_far
+  in
+  { e_iteration = it; e_point = point; e_objective = obj; e_best_so_far = best }
+  :: history
+
+let finish history =
+  match history with
+  | [] -> invalid_arg "no evaluations"
+  | _ ->
+    let best =
+      List.fold_left
+        (fun acc e -> if e.e_objective < acc.e_objective then e else acc)
+        (List.hd history) history
+    in
+    {
+      best_point = best.e_point;
+      best_objective = best.e_objective;
+      history = List.rev history;
+    }
+
+(** Pure random search. *)
+let random_search ?(seed = 1) ~budget space objective =
+  let rng = Random.State.make [| seed |] in
+  let history = ref [] in
+  for it = 1 to budget do
+    match Space.sample space rng with
+    | Some point ->
+      let obj = objective point in
+      history := record !history it point obj
+    | None -> ()
+  done;
+  finish !history
+
+(** Bayesian optimization: [init] random evaluations, then EI-maximizing
+    candidates from [candidates_per_iter] feasible samples per step. *)
+let bayesian ?(seed = 1) ?(init = 8) ?(candidates_per_iter = 256) ~budget space
+    objective =
+  let rng = Random.State.make [| seed |] in
+  let history = ref [] in
+  let seen : (Space.point, unit) Hashtbl.t = Hashtbl.create 64 in
+  let evaluate it point =
+    Hashtbl.replace seen point ();
+    let obj = objective point in
+    history := record !history it point obj
+  in
+  (* initial design *)
+  let it = ref 0 in
+  while !it < min init budget do
+    incr it;
+    match Space.sample space rng with
+    | Some point when not (Hashtbl.mem seen point) -> evaluate !it point
+    | _ -> ()
+  done;
+  (* BO loop *)
+  (try
+  while List.length !history < budget do
+    let observations = !history in
+    let xs =
+      Array.of_list
+        (List.map (fun e -> Space.encode space e.e_point) observations)
+    in
+    let ys = Array.of_list (List.map (fun e -> e.e_objective) observations) in
+    let best = Array.fold_left Float.min Float.infinity ys in
+    let next =
+      match Gp.fit xs ys with
+      | None -> Space.sample space rng
+      | Some gp ->
+        (* sample candidates, pick the best EI among unseen ones *)
+        let best_cand = ref None in
+        for _ = 1 to candidates_per_iter do
+          match Space.sample space rng with
+          | Some c when not (Hashtbl.mem seen c) ->
+            let ei = Gp.expected_improvement gp ~best (Space.encode space c) in
+            (match !best_cand with
+            | Some (_, best_ei) when best_ei >= ei -> ()
+            | _ -> best_cand := Some (c, ei))
+          | _ -> ()
+        done;
+        (match !best_cand with
+        | Some (c, _) -> Some c
+        | None -> Space.sample space rng)
+    in
+    match next with
+    | Some point -> evaluate (List.length !history + 1) point
+    | None -> raise Exit (* space exhausted *)
+  done
+  with Exit -> ());
+  finish !history
+
+(** Evolution of the best objective, for plotting Figure 11. *)
+let best_curve result = List.map (fun e -> e.e_best_so_far) result.history

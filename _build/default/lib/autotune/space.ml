@@ -1,0 +1,88 @@
+(** Search-space definition for autotuning (Case Study 5, Figure 10):
+    named parameters over finite domains with arbitrary constraints (e.g.
+    "tile sizes must divide their dimension", "vectorization is disabled
+    unless the innermost trip count is divisible by the vector width"). *)
+
+type param = {
+  p_name : string;
+  p_values : int list;  (** ordinal/categorical domain, encoded as ints *)
+}
+
+type point = (string * int) list  (** parameter name -> chosen value *)
+
+type t = {
+  params : param list;
+  constraints : (string * (point -> bool)) list;  (** named predicates *)
+}
+
+let param name values = { p_name = name; p_values = values }
+
+let make ?(constraints = []) params = { params; constraints }
+
+let get point name =
+  match List.assoc_opt name point with
+  | Some v -> v
+  | None -> invalid_arg (Fmt.str "unknown parameter %s" name)
+
+let feasible t point =
+  List.for_all (fun (_, pred) -> pred point) t.constraints
+
+(** Number of raw (unconstrained) configurations. *)
+let raw_size t =
+  List.fold_left (fun acc p -> acc * List.length p.p_values) 1 t.params
+
+(** Enumerate all feasible points (use only for small spaces). *)
+let enumerate t =
+  let rec go acc = function
+    | [] -> List.map List.rev acc
+    | p :: rest ->
+      let acc' =
+        List.concat_map
+          (fun partial ->
+            List.map (fun v -> (p.p_name, v) :: partial) p.p_values)
+          acc
+      in
+      go acc' rest
+  in
+  go [ [] ] t.params |> List.filter (feasible t)
+
+(** Sample a feasible point uniformly (rejection sampling). *)
+let sample t rng =
+  let raw () =
+    List.map
+      (fun p ->
+        (p.p_name, List.nth p.p_values (Random.State.int rng (List.length p.p_values))))
+      t.params
+  in
+  let rec go tries =
+    if tries > 10_000 then None
+    else
+      let pt = raw () in
+      if feasible t pt then Some pt else go (tries + 1)
+  in
+  go 0
+
+(** Encode a point as a normalized feature vector for surrogate models:
+    each parameter's value index scaled to [0, 1]. *)
+let encode t point =
+  Array.of_list
+    (List.map
+       (fun p ->
+         let v = get point p.p_name in
+         let idx =
+           match List.find_index (Int.equal v) p.p_values with
+           | Some i -> i
+           | None -> 0
+         in
+         if List.length p.p_values <= 1 then 0.0
+         else float_of_int idx /. float_of_int (List.length p.p_values - 1))
+       t.params)
+
+let pp_point fmt point =
+  Fmt.pf fmt "{%a}"
+    (Fmt.list ~sep:Fmt.comma (fun fmt (k, v) -> Fmt.pf fmt "%s=%d" k v))
+    point
+
+(** Divisors of [n], ascending. *)
+let divisors n =
+  List.filter (fun d -> n mod d = 0) (List.init n (fun i -> i + 1))

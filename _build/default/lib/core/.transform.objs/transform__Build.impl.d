@@ -1,0 +1,1 @@
+lib/core/build.ml: Attr Builder Dialects Ir Ircore List Ops Rewriter Typ

@@ -1,0 +1,1 @@
+lib/core/conditions.ml: Fmt Ir Ircore List Opset Passes Treg

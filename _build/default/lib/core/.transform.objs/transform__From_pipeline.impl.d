@@ -1,0 +1,1 @@
+lib/core/from_pipeline.ml: Attr Build Ir Ircore List Ops Passes Result

@@ -1,0 +1,1 @@
+lib/core/interp.ml: Attr Fmt Hashtbl Ir Ircore Irdl List Loc Ops Opset Result State Symbol Terror Treg Verifier

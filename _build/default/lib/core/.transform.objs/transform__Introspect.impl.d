@@ -1,0 +1,1 @@
+lib/core/introspect.ml: Attr Builder Hashtbl Ir Ircore List Ops Opset Option Rewriter State Symbol Treg Util

@@ -1,0 +1,1 @@
+lib/core/invalidation.ml: Fmt Hashtbl Ir Ircore List Option Symbol Treg

@@ -1,0 +1,1 @@
+lib/core/register.ml: Dialects Introspect Ops Passes

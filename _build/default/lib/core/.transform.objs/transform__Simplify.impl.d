@@ -1,0 +1,1 @@
+lib/core/simplify.ml: Attr Fmt Ir Ircore List Ops Option Result Rewriter Symbol

@@ -1,0 +1,1 @@
+lib/core/state.ml: Attr Context Hashtbl Ir Ircore List Option Rewriter String Terror Typ

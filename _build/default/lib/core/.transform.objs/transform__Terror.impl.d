@@ -1,0 +1,1 @@
+lib/core/terror.ml: Fmt

@@ -1,0 +1,1 @@
+lib/core/treg.ml: Fmt Hashtbl Ir Ircore List Opset State Terror

@@ -1,0 +1,384 @@
+(** The transform interpreter (Section 3): executes a Transform script
+    against a payload program, maintaining the handle association table,
+    dispatching to registered transform implementations, and providing the
+    silenceable/definite error discipline.
+
+    Structural ops are interpreted here:
+    - [transform.sequence]: binds its block argument to the payload root and
+      runs its body;
+    - [transform.named_sequence]: a declaration; executed only via
+      [transform.include] (or as the main entry point);
+    - [transform.include]: inlined call — operands bound to the callee's
+      block arguments, the callee's [transform.yield] operands bound to the
+      include's results;
+    - [transform.alternatives]: runs regions in order until one succeeds,
+      suppressing silenceable errors of failed regions. Registered
+      transforms check their pre-conditions before mutating the payload, so
+      a failed alternative leaves the payload unchanged;
+    - [transform.foreach]: runs its region once per payload op of the
+      operand handle. *)
+
+open Ir
+
+let ( let* ) = Result.bind
+
+type stats = { mutable transforms_executed : int }
+
+let rec run_block st (block : Ircore.block) : (unit, Terror.t) result =
+  let rec go = function
+    | [] -> Ok ()
+    | op :: rest ->
+      if op.Ircore.op_name = Ops.yield_op then Ok ()
+      else
+        let* () = run_op st op in
+        go rest
+  in
+  go (Ircore.block_ops block)
+
+and run_region st (region : Ircore.region) =
+  match Ircore.region_first_block region with
+  | None -> Ok ()
+  | Some b -> run_block st b
+
+and run_op st (op : Ircore.op) : (unit, Terror.t) result =
+  st.State.steps <- st.State.steps + 1;
+  match op.Ircore.op_name with
+  | "transform.sequence" -> (
+    match op.Ircore.regions with
+    | [ r ] -> (
+      match Ircore.region_first_block r with
+      | None -> Ok ()
+      | Some b ->
+        (match Ircore.block_args b with
+        | [ root ] -> State.set_handle st root [ st.State.payload_root ]
+        | [] -> ()
+        | _ ->
+          ());
+        let result = run_block st b in
+        let suppress =
+          match Ircore.attr op "failure_propagation" with
+          | Some (Attr.String "suppress") -> true
+          | _ -> false
+        in
+        (match result with
+        | Error (Terror.Silenceable _) when suppress -> Ok ()
+        | r -> r))
+    | _ -> Terror.definite "transform.sequence must have one region")
+  | "transform.named_sequence" ->
+    (* declaration: skipped during sequential execution *)
+    Ok ()
+  | "transform.include" -> run_include st op
+  | "transform.alternatives" -> run_alternatives st op
+  | "transform.foreach" -> run_foreach st op
+  | name -> (
+    match Treg.lookup name with
+    | None ->
+      Terror.definite "unknown transform operation %s (not registered)" name
+    | Some def ->
+      let consumed = def.Treg.t_consumes op in
+      (* the dynamic pre-condition check applies to *consuming* transforms
+         only: they demand their payload kind to be present, whereas a
+         non-consuming transform (pass application, hoisting) with nothing
+         matching its pre-condition is a legal no-op — the phase-ordering
+         variant of that situation is what the static checker's Vacuous
+         diagnostic reports. *)
+      let* () =
+        if st.State.config.State.check_conditions && consumed <> [] then
+          check_preconditions st def op
+        else Ok ()
+      in
+      (* snapshot before the transform mutates the payload, commit only on
+         success: a silenceable failure leaves both payload and handles
+         usable, while success invalidates every handle that pointed into
+         the consumed payload (Section 3.1) *)
+      let snapshot =
+        if consumed = [] then None
+        else
+          Some
+            (State.snapshot_consumption st
+               (List.map (fun idx -> Ircore.operand ~index:idx op) consumed))
+      in
+      let post_check =
+        if st.State.config.State.check_conditions then
+          prepare_post_check st def op
+        else None
+      in
+      (* attach the failing transform op (and its source location, when the
+         script came from text) to the error *)
+      let with_context msg =
+        match op.Ircore.op_loc with
+        | Loc.Unknown -> Fmt.str "while applying %s: %s" name msg
+        | l -> Fmt.str "while applying %s at %a: %s" name Loc.pp l msg
+      in
+      let* () =
+        match def.Treg.t_apply st op with
+        | Ok () -> Ok ()
+        | Error (Terror.Silenceable m) ->
+          Error (Terror.Silenceable (with_context m))
+        | Error (Terror.Definite m) -> Error (Terror.Definite (with_context m))
+      in
+      (match snapshot with
+      | Some snap -> State.commit_consumption st ~by:name snap
+      | None -> ());
+      let* () =
+        match post_check with
+        | Some check -> check ()
+        | None -> Ok ()
+      in
+      let* () =
+        if st.State.config.State.expensive_checks then
+          match Verifier.verify st.State.ctx st.State.payload_root with
+          | Ok () -> Ok ()
+          | Error diags ->
+            Terror.definite "payload verification failed after %s: %a" name
+              (Fmt.list ~sep:Fmt.comma Verifier.pp_diagnostic)
+              diags
+        else Ok ()
+      in
+      Ok ())
+
+(** Dynamic post-condition check (Section 3.3): after the transform runs,
+
+    - op kinds the pre-condition claims to consume must afterwards be
+      covered by the post-condition (with IRDL constraint verification for
+      constrained elements such as [memref.subview.constr]);
+    - freshly introduced op kinds must be declared by the post-condition.
+
+    This validates that the declared conditions are accurate specifications
+    of the (natively implemented) transformation — "an additional tool to
+    detect bugs in transformations". *)
+and prepare_post_check st def op =
+  let pre = def.Treg.t_pre op and post = def.Treg.t_post op in
+  if pre = [] && post = [] then None
+  else begin
+    let before = Hashtbl.create 32 in
+    Ircore.walk_op st.State.payload_root ~pre:(fun o ->
+        Hashtbl.replace before o.Ircore.op_name ());
+    (* the "left behind" half of the check only makes sense when the
+       transform's scope is the whole payload (e.g. apply_registered_pass on
+       the root); a loop transform targeting one loop says nothing about its
+       siblings *)
+    let whole_payload =
+      Ircore.num_operands op = 0
+      ||
+      match State.lookup_handle st (Ircore.operand ~index:0 op) with
+      | Ok [ p ] -> p == st.State.payload_root
+      | _ -> false
+    in
+    Some
+      (fun () ->
+        let violation = ref None in
+        Ircore.walk_op st.State.payload_root ~pre:(fun o ->
+            if !violation = None then begin
+              let consumed_kind =
+                whole_payload && Opset.matches_op_name pre o.Ircore.op_name
+              in
+              let fresh = not (Hashtbl.mem before o.Ircore.op_name) in
+              if
+                (consumed_kind || fresh)
+                && not (Irdl.opset_covers_op ~ctx:st.State.ctx post o)
+              then
+                violation :=
+                  Some
+                    (Fmt.str
+                       "op %s %s by transform %s is not covered by its \
+                        declared post-condition %a"
+                       o.Ircore.op_name
+                       (if fresh then "introduced" else "left behind")
+                       def.Treg.t_name Opset.pp post)
+            end);
+        match !violation with
+        | None -> Ok ()
+        | Some msg -> Terror.definite "dynamic post-condition check: %s" msg)
+  end
+
+(** Dynamic pre-condition check (Section 3.3): the op kinds required by the
+    transform must be present in the targeted payload. *)
+and check_preconditions st def op =
+  let pre = def.Treg.t_pre op in
+  if pre = [] then Ok ()
+  else if Ircore.num_operands op = 0 then Ok ()
+  else
+    match State.lookup_handle st (Ircore.operand ~index:0 op) with
+    | Error _ -> Ok () (* reported by the transform itself *)
+    | Ok payload ->
+      let present =
+        List.concat_map (fun p -> Opset.of_payload p) payload
+        |> fun s ->
+        List.fold_left
+          (fun acc p -> Opset.union acc (Opset.of_payload p))
+          s payload
+      in
+      let present =
+        List.fold_left
+          (fun acc p -> Opset.union acc [ Opset.exact p.Ircore.op_name ])
+          present payload
+      in
+      if Opset.overlaps pre present then Ok ()
+      else
+        Terror.silenceable
+          "dynamic pre-condition failed for %s: payload contains none of %a"
+          def.Treg.t_name Opset.pp pre
+
+and run_include st op =
+  let* callee =
+    match Ircore.attr op "target" with
+    | Some (Attr.Symbol_ref (s, _)) -> Ok s
+    | _ -> Terror.definite "transform.include requires a target symbol"
+  in
+  (* resolve in the enclosing module/sequence *)
+  let rec find_root o =
+    match Ircore.parent_op o with None -> o | Some p -> find_root p
+  in
+  let root = find_root op in
+  let* target =
+    match Symbol.lookup_in ~table:root callee with
+    | Some t -> Ok t
+    | None -> (
+      (* also search the root's regions transitively for named sequences *)
+      match
+        Symbol.collect root ~f:(fun o ->
+            o.Ircore.op_name = Ops.named_sequence_op
+            && Symbol.symbol_name o = Some callee)
+      with
+      | t :: _ -> Ok t
+      | [] -> Terror.definite "include: no named_sequence @%s" callee)
+  in
+  match target.Ircore.regions with
+  | [ r ] -> (
+    match Ircore.region_first_block r with
+    | None -> Ok ()
+    | Some body ->
+      let args = Ircore.block_args body in
+      if List.length args <> Ircore.num_operands op then
+        Terror.definite "include @%s: expected %d arguments, got %d" callee
+          (List.length args) (Ircore.num_operands op)
+      else begin
+        (* bind arguments: copy handle/param associations *)
+        let rec bind i = function
+          | [] -> Ok ()
+          | arg :: rest ->
+            let operand = Ircore.operand ~index:i op in
+            let bound =
+              if State.is_param_typ (Ircore.value_typ operand) then
+                let* ps = State.lookup_params st operand in
+                State.set_params st arg ps;
+                Ok ()
+              else
+                let* ops = State.lookup_handle st operand in
+                State.set_handle st arg ops;
+                Ok ()
+            in
+            let* () = bound in
+            bind (i + 1) rest
+        in
+        let* () = bind 0 args in
+        let* () = run_block st body in
+        (* bind yielded values to include results *)
+        (match Ircore.block_last_op body with
+        | Some y when y.Ircore.op_name = Ops.yield_op ->
+          List.iteri
+            (fun i yielded ->
+              if i < Ircore.num_results op then begin
+                if State.is_param_typ (Ircore.value_typ yielded) then
+                  match State.lookup_params st yielded with
+                  | Ok ps -> State.set_params st (Ircore.result ~index:i op) ps
+                  | Error _ -> ()
+                else
+                  match State.lookup_handle st yielded with
+                  | Ok ops -> State.set_handle st (Ircore.result ~index:i op) ops
+                  | Error _ -> ()
+              end)
+            (Ircore.operands y)
+        | _ -> ());
+        Ok ()
+      end)
+  | _ -> Terror.definite "named_sequence must have one region"
+
+and run_alternatives st op =
+  let rec try_regions = function
+    | [] ->
+      Terror.silenceable "all alternatives failed"
+    | r :: rest -> (
+      match run_region st r with
+      | Ok () -> Ok ()
+      | Error (Terror.Silenceable _) -> try_regions rest
+      | Error (Terror.Definite _) as e -> e)
+  in
+  match op.Ircore.regions with
+  | [] -> Ok ()
+  | regions -> try_regions regions
+
+and run_foreach st op =
+  let* payload = State.lookup_handle st (Ircore.operand ~index:0 op) in
+  match op.Ircore.regions with
+  | [ r ] -> (
+    match Ircore.region_first_block r with
+    | None -> Ok ()
+    | Some body ->
+      let rec go = function
+        | [] -> Ok ()
+        | p :: rest ->
+          (match Ircore.block_args body with
+          | [ arg ] -> State.set_handle st arg [ p ]
+          | _ -> ());
+          let* () = run_block st body in
+          go rest
+      in
+      go payload)
+  | _ -> Terror.definite "transform.foreach must have one region"
+
+(* ------------------------------------------------------------------ *)
+(* Entry points                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(** Find the main entry of a transform script: either the op itself if it is
+    a sequence/named_sequence, or a [@__transform_main] named sequence
+    inside a module. *)
+let find_entry script =
+  match script.Ircore.op_name with
+  | "transform.sequence" | "transform.named_sequence" -> Some script
+  | _ -> (
+    match
+      Symbol.collect script ~f:(fun o ->
+          o.Ircore.op_name = Ops.named_sequence_op
+          && (Symbol.symbol_name o = Some "__transform_main"
+             || Symbol.symbol_name o = Some "transform_main"))
+    with
+    | t :: _ -> Some t
+    | [] -> (
+      match
+        Symbol.collect script ~f:(fun o ->
+            o.Ircore.op_name = Ops.sequence_op)
+      with
+      | t :: _ -> Some t
+      | [] -> None))
+
+(** Interpret [script] against [payload]. *)
+let apply ?(config = State.default_config) ctx ~script ~payload =
+  match find_entry script with
+  | None ->
+    Error
+      (Terror.Definite
+         "no transform entry point (sequence or @__transform_main) found")
+  | Some entry ->
+    let st = State.create ~config ctx payload in
+    let result =
+      match entry.Ircore.op_name with
+      | "transform.sequence" -> run_op st entry
+      | _ -> (
+        (* named_sequence: bind its argument to the payload root *)
+        match entry.Ircore.regions with
+        | [ r ] -> (
+          match Ircore.region_first_block r with
+          | None -> Ok ()
+          | Some b ->
+            (match Ircore.block_args b with
+            | root :: _ -> State.set_handle st root [ payload ]
+            | [] -> ());
+            run_block st b)
+        | _ -> Terror.definite "named_sequence must have one region")
+    in
+    (match result with
+    | Ok () -> Ok st.State.steps
+    | Error e -> Error e)

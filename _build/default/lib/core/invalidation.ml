@@ -1,0 +1,110 @@
+(** Static handle-invalidation analysis (Sections 3.1/3.4): a forward
+    dataflow over a transform region that treats handle consumption as a
+    [free] effect and handle derivation (e.g. [match_op in %h]) as aliasing
+    into the producer's payload. Reports use-after-consume before the script
+    ever runs — this is what statically catches the duplicated
+    [loop.unroll] in the paper's Figure 1a. *)
+
+open Ir
+
+type diagnostic = {
+  d_op : Ircore.op;  (** the transform op performing the invalid use *)
+  d_operand : int;
+  d_consumed_by : string;  (** name of the transform that consumed it *)
+}
+
+let pp_diagnostic fmt d =
+  Fmt.pf fmt
+    "op '%s' uses operand #%d, but that handle was invalidated by a prior \
+     '%s' (use after consume)"
+    d.d_op.Ircore.op_name d.d_operand d.d_consumed_by
+
+(* For each value: the set of values it aliases into (its ancestors via
+   derivations). Consuming v invalidates v and every value whose payload is
+   derived from v (descendants). *)
+
+type env = {
+  consumed : (int, string) Hashtbl.t;  (** value id -> consumer name *)
+  mutable diags : diagnostic list;
+}
+
+(* transforms whose results alias (point into) their operand's payload *)
+let aliasing_results op =
+  match op.Ircore.op_name with
+  | "transform.match_op" | "transform.get_parent" | "transform.merge_handles" ->
+    true
+  | _ -> false
+
+let analyze_block env (block : Ircore.block) =
+  (* reverse alias map: parent value id -> derived values *)
+  let children : (int, Ircore.value list) Hashtbl.t = Hashtbl.create 16 in
+  let add_child parent child =
+    let cur =
+      Option.value ~default:[] (Hashtbl.find_opt children parent.Ircore.v_id)
+    in
+    Hashtbl.replace children parent.Ircore.v_id (child :: cur)
+  in
+  let rec consume ~by (v : Ircore.value) =
+    if not (Hashtbl.mem env.consumed v.Ircore.v_id) then begin
+      Hashtbl.replace env.consumed v.Ircore.v_id by;
+      List.iter
+        (fun child -> consume ~by child)
+        (Option.value ~default:[] (Hashtbl.find_opt children v.Ircore.v_id))
+    end
+  in
+  let rec go (op : Ircore.op) =
+    (* check uses *)
+    List.iteri
+      (fun i v ->
+        match Hashtbl.find_opt env.consumed v.Ircore.v_id with
+        | Some by ->
+          env.diags <-
+            { d_op = op; d_operand = i; d_consumed_by = by } :: env.diags
+        | None -> ())
+      (Ircore.operands op);
+    (* record aliasing *)
+    if aliasing_results op then
+      List.iter
+        (fun r ->
+          List.iter
+            (fun parent -> add_child parent r)
+            (Ircore.operands op))
+        (Ircore.results op);
+    (* consume *)
+    (match Treg.lookup op.Ircore.op_name with
+    | Some def ->
+      List.iter
+        (fun idx ->
+          if idx < Ircore.num_operands op then
+            consume ~by:op.Ircore.op_name (Ircore.operand ~index:idx op))
+        (def.Treg.t_consumes op)
+    | None -> ());
+    (* nested regions execute in the same handle scope for foreach /
+       alternatives; analyze them sequentially *)
+    List.iter
+      (fun r ->
+        List.iter
+          (fun b -> List.iter go (Ircore.block_ops b))
+          (Ircore.region_blocks r))
+      op.Ircore.regions
+  in
+  List.iter go (Ircore.block_ops block)
+
+(** Analyze a transform script; returns use-after-consume diagnostics in
+    program order. *)
+let analyze (script : Ircore.op) =
+  let env = { consumed = Hashtbl.create 16; diags = [] } in
+  (* find all sequence-like bodies at the top level of the script *)
+  let bodies =
+    match script.Ircore.op_name with
+    | "transform.sequence" | "transform.named_sequence" ->
+      List.concat_map Ircore.region_blocks script.Ircore.regions
+    | _ ->
+      Symbol.collect script ~f:(fun o ->
+          o.Ircore.op_name = "transform.sequence"
+          || o.Ircore.op_name = "transform.named_sequence")
+      |> List.concat_map (fun o ->
+             List.concat_map Ircore.region_blocks o.Ircore.regions)
+  in
+  List.iter (analyze_block env) bodies;
+  List.rev env.diags

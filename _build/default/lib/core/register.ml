@@ -1,0 +1,20 @@
+(** One-stop initialization of the Transform dialect: context registration,
+    transform implementations, and the demonstration extensions. Also
+    ensures the pass and dialect registries the transforms depend on are
+    populated. *)
+
+let impls_registered = ref false
+
+let register ctx =
+  Passes.Register_all.register ();
+  Ops.register ctx;
+  if not !impls_registered then begin
+    impls_registered := true;
+    Introspect.register_enzyme_ad ()
+  end
+
+(** Fresh context with all dialects, passes and transform ops registered. *)
+let full_context ?allow_unregistered () =
+  let ctx = Dialects.Registry.context ?allow_unregistered () in
+  register ctx;
+  ctx

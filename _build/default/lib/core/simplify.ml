@@ -1,0 +1,201 @@
+(** Transform-IR-level processing (Section 3.4): since Transform scripts are
+    ordinary IR, they can themselves be inlined, folded and cleaned up
+    before interpretation — saving interpreter work for no-op transforms.
+
+    - {!inline_includes}: macro expansion of [transform.include] (the
+      inliner of Section 3.4; recursion is rejected by cycle detection);
+    - {!fold_noops}: drops transforms that provably do nothing (unroll by
+      1, tile by 0/1 in every dimension) and forwards their handles;
+    - {!dce}: removes transforms without effects whose results are unused
+      (e.g. a [match_op] nobody reads). *)
+
+open Ir
+
+let ( let* ) = Result.bind
+
+(* ------------------------------------------------------------------ *)
+(* Inlining                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let callee_of op =
+  match Ircore.attr op "target" with
+  | Some (Attr.Symbol_ref (s, _)) -> Some s
+  | _ -> None
+
+(** Detect recursion in the include call graph (macros must be acyclic). *)
+let check_acyclic script =
+  let sequences =
+    Symbol.collect script ~f:(fun o -> o.Ircore.op_name = Ops.named_sequence_op)
+  in
+  let name_of o = Option.value ~default:"" (Symbol.symbol_name o) in
+  let edges =
+    List.map
+      (fun s ->
+        ( name_of s,
+          Symbol.collect s ~f:(fun o -> o.Ircore.op_name = Ops.include_op)
+          |> List.filter_map callee_of ))
+      sequences
+  in
+  let rec visit path name =
+    if List.mem name path then
+      Error (Fmt.str "recursive include cycle through @%s" name)
+    else
+      match List.assoc_opt name edges with
+      | None -> Ok ()
+      | Some callees ->
+        List.fold_left
+          (fun acc c -> Result.bind acc (fun () -> visit (name :: path) c))
+          (Ok ()) callees
+  in
+  List.fold_left
+    (fun acc (n, _) -> Result.bind acc (fun () -> visit [] n))
+    (Ok ()) edges
+
+(** Expand every [transform.include] in place. *)
+let inline_includes script =
+  let* () = check_acyclic script in
+  let rw = Rewriter.create () in
+  let rec expand_all () =
+    let includes =
+      Symbol.collect script ~f:(fun o -> o.Ircore.op_name = Ops.include_op)
+    in
+    match includes with
+    | [] -> Ok ()
+    | _ ->
+      let* () =
+        List.fold_left
+          (fun acc inc ->
+            let* () = acc in
+            match callee_of inc with
+            | None -> Error "include without target"
+            | Some callee -> (
+              match
+                Symbol.collect script ~f:(fun o ->
+                    o.Ircore.op_name = Ops.named_sequence_op
+                    && Symbol.symbol_name o = Some callee)
+              with
+              | [] -> Error (Fmt.str "include of unknown sequence @%s" callee)
+              | target :: _ ->
+                let body =
+                  Option.get
+                    (Ircore.region_first_block (List.hd target.Ircore.regions))
+                in
+                (* clone the body, substitute args, splice before include *)
+                let mapping = Ircore.Mapping.create () in
+                List.iteri
+                  (fun i arg ->
+                    Ircore.Mapping.map_value mapping ~from:arg
+                      ~to_:(Ircore.operand ~index:i inc))
+                  (Ircore.block_args body);
+                let yielded = ref [] in
+                List.iter
+                  (fun op ->
+                    if op.Ircore.op_name = Ops.yield_op then
+                      yielded :=
+                        List.map
+                          (Ircore.Mapping.lookup_value mapping)
+                          (Ircore.operands op)
+                    else begin
+                      let cloned = Ircore.clone_op ~mapping op in
+                      Ircore.insert_before ~anchor:inc cloned
+                    end)
+                  (Ircore.block_ops body);
+                let replacements =
+                  if List.length !yielded >= Ircore.num_results inc then
+                    List.filteri
+                      (fun i _ -> i < Ircore.num_results inc)
+                      !yielded
+                  else []
+                in
+                if List.length replacements = Ircore.num_results inc then begin
+                  Rewriter.replace_op rw inc ~with_:replacements;
+                  Ok ()
+                end
+                else Error (Fmt.str "include @%s: yield arity mismatch" callee)))
+          (Ok ()) includes
+      in
+      expand_all ()
+  in
+  let* () = expand_all () in
+  Ok ()
+
+(* ------------------------------------------------------------------ *)
+(* No-op folding                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(** Is this transform provably a no-op? If so, return the handle forwarding
+    for its results. *)
+let noop_forwarding op =
+  match op.Ircore.op_name with
+  | "transform.loop_unroll" -> (
+    match Ircore.attr op "factor" with
+    | Some (Attr.Int (1, _)) -> Some []
+    | _ -> None)
+  | "transform.loop_tile" -> (
+    match Ircore.attr op "tile_sizes" with
+    | Some (Attr.Int_array sizes)
+      when sizes <> [] && List.for_all (fun s -> s = 0) sizes ->
+      (* tiling by 0 everywhere: no tiling; both results = original loop *)
+      Some [ Ircore.operand ~index:0 op; Ircore.operand ~index:0 op ]
+    | _ -> None)
+  | "transform.loop_split" -> (
+    match Ircore.attr op "div_by" with
+    | Some (Attr.Int (1, _)) ->
+      (* dividing by 1: main = whole loop, rest = empty; not a pure no-op
+         because the rest handle exists — keep it *)
+      None
+    | _ -> None)
+  | _ -> None
+
+let fold_noops script =
+  let rw = Rewriter.create () in
+  let removed = ref 0 in
+  List.iter
+    (fun op ->
+      match noop_forwarding op with
+      | Some fwd when List.length fwd = Ircore.num_results op ->
+        Rewriter.replace_op rw op ~with_:fwd;
+        incr removed
+      | _ -> ())
+    (Symbol.collect script ~f:(fun o -> Option.is_some (noop_forwarding o)));
+  !removed
+
+(* ------------------------------------------------------------------ *)
+(* DCE on transform IR                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let side_effect_free op =
+  match op.Ircore.op_name with
+  | "transform.match_op" | "transform.param_constant" | "transform.get_parent"
+  | "transform.merge_handles" ->
+    true
+  | _ -> false
+
+let dce script =
+  let rw = Rewriter.create () in
+  let removed = ref 0 in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun op ->
+        if
+          Ircore.op_parent op <> None
+          && List.for_all
+               (fun r -> not (Ircore.has_uses r))
+               (Ircore.results op)
+        then begin
+          Rewriter.erase_op rw op;
+          incr removed;
+          changed := true
+        end)
+      (Symbol.collect script ~f:side_effect_free)
+  done;
+  !removed
+
+(** Full simplification: inline, fold, clean. Returns (folded, dced). *)
+let run script =
+  let* () = inline_includes script in
+  let folded = fold_noops script in
+  let dced = dce script in
+  Ok (folded, dced)

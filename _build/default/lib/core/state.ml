@@ -1,0 +1,211 @@
+(** Transform-interpreter state: the association table between transform
+    handles (SSA values of the transform IR) and payload operations, the
+    parameter table, and the consumed/invalidated bookkeeping of Section 3.1.
+
+    The state owns a {!Ir.Rewriter} whose listener keeps handles up to date
+    when payload ops are replaced or erased by transformations ("operation
+    replaced"/"erased" events). *)
+
+open Ir
+
+type config = {
+  expensive_checks : bool;
+      (** verify the payload after every transform step *)
+  check_conditions : bool;
+      (** dynamically check declared pre-/post-conditions (Section 3.3) *)
+}
+
+let default_config = { expensive_checks = false; check_conditions = false }
+
+type t = {
+  ctx : Context.t;
+  payload_root : Ircore.op;
+  config : config;
+  handles : (int, Ircore.op list) Hashtbl.t;  (** value id -> payload ops *)
+  params : (int, Attr.t list) Hashtbl.t;  (** value id -> parameter attrs *)
+  values : (int, Ircore.value list) Hashtbl.t;
+      (** value id -> payload values (for value handles) *)
+  consumed : (int, string) Hashtbl.t;  (** value id -> consuming transform *)
+  invalidated_payload : (int, string) Hashtbl.t;
+      (** payload op id -> transform that invalidated it *)
+  rewriter : Rewriter.t;
+  mutable steps : int;  (** executed transform ops, for stats *)
+}
+
+let is_handle_typ = function
+  | Typ.Opaque ("transform", body) ->
+    body = "any_op" || body = "any_value"
+    || (String.length body >= 3 && String.sub body 0 3 = "op<")
+  | _ -> false
+
+let is_param_typ = function
+  | Typ.Opaque ("transform", "param") -> true
+  | _ -> false
+
+let create ?(config = default_config) ctx payload_root =
+  let t =
+    {
+      ctx;
+      payload_root;
+      config;
+      handles = Hashtbl.create 64;
+      params = Hashtbl.create 16;
+      values = Hashtbl.create 16;
+      consumed = Hashtbl.create 16;
+      invalidated_payload = Hashtbl.create 64;
+      rewriter = Rewriter.create ();
+      steps = 0;
+    }
+  in
+  (* track payload mutations: update handles on replace, drop on erase *)
+  Rewriter.add_listener t.rewriter
+    {
+      Rewriter.on_inserted = ignore;
+      on_replaced =
+        (fun op with_ ->
+          let replacement_ops =
+            List.filter_map Ircore.defining_op with_
+            |> List.fold_left
+                 (fun acc o -> if List.memq o acc then acc else acc @ [ o ])
+                 []
+          in
+          Hashtbl.iter
+            (fun vid ops ->
+              if List.memq op ops then
+                Hashtbl.replace t.handles vid
+                  (List.concat_map
+                     (fun o -> if o == op then replacement_ops else [ o ])
+                     ops))
+            (Hashtbl.copy t.handles))
+      ;
+      on_erased =
+        (fun op ->
+          Hashtbl.iter
+            (fun vid ops ->
+              if List.memq op ops then
+                Hashtbl.replace t.handles vid
+                  (List.filter (fun o -> not (o == op)) ops))
+            (Hashtbl.copy t.handles));
+    };
+  t
+
+(* ------------------------------------------------------------------ *)
+(* Handle access                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let set_handle t (v : Ircore.value) ops =
+  Hashtbl.replace t.handles v.Ircore.v_id ops
+
+let set_params t (v : Ircore.value) attrs =
+  Hashtbl.replace t.params v.Ircore.v_id attrs
+
+(** Payload ops of a handle; checks consumption. *)
+let lookup_handle t (v : Ircore.value) : (Ircore.op list, Terror.t) result =
+  match Hashtbl.find_opt t.consumed v.Ircore.v_id with
+  | Some by ->
+    Terror.definite
+      "use of a handle invalidated by transform '%s' (handle consumed)" by
+  | None -> (
+    match Hashtbl.find_opt t.handles v.Ircore.v_id with
+    | None -> Terror.definite "use of an undefined handle"
+    | Some ops -> (
+      (* a handle is also dead if any of its payload ops were invalidated
+         indirectly (nested in a consumed payload op) *)
+      match
+        List.find_map
+          (fun op ->
+            Option.map
+              (fun by -> by)
+              (Hashtbl.find_opt t.invalidated_payload op.Ircore.op_id))
+          ops
+      with
+      | Some by ->
+        Terror.definite
+          "use of a handle whose payload was invalidated by transform '%s'" by
+      | None -> Ok ops))
+
+let lookup_params t (v : Ircore.value) : (Attr.t list, Terror.t) result =
+  match Hashtbl.find_opt t.params v.Ircore.v_id with
+  | None -> Terror.definite "use of an undefined parameter"
+  | Some attrs -> Ok attrs
+
+(** A single integer parameter. *)
+let lookup_int_param t v =
+  match lookup_params t v with
+  | Error e -> Error e
+  | Ok [ Attr.Int (n, _) ] -> Ok n
+  | Ok attrs ->
+    Terror.definite "expected a single integer parameter, got %d attrs"
+      (List.length attrs)
+
+(** Pre-consumption snapshot: taken *before* a consuming transform runs, so
+    that aliasing can be resolved even though the transform (via the tracking
+    listener) rewrites handle contents while it executes. Records the ids of
+    all payload ops nested under the consumed handles, plus a copy of the
+    current handle table. *)
+type consume_snapshot = {
+  cs_subtree : (int, unit) Hashtbl.t;  (** payload op ids to be invalidated *)
+  cs_handles : (int, Ircore.op list) Hashtbl.t;
+  cs_operands : int list;  (** value ids of the consumed operands *)
+}
+
+let snapshot_consumption t (operands : Ircore.value list) =
+  let cs_subtree = Hashtbl.create 32 in
+  List.iter
+    (fun v ->
+      match Hashtbl.find_opt t.handles v.Ircore.v_id with
+      | Some ops ->
+        List.iter
+          (fun op ->
+            Ircore.walk_op op ~pre:(fun nested ->
+                Hashtbl.replace cs_subtree nested.Ircore.op_id ()))
+          ops
+      | None -> ())
+    operands;
+  {
+    cs_subtree;
+    cs_handles = Hashtbl.copy t.handles;
+    cs_operands = List.map (fun v -> v.Ircore.v_id) operands;
+  }
+
+(** Commit a consumption (invalidation, Section 3.1): the consumed handles
+    and every *pre-existing* handle pointing into the same payload subtrees
+    become invalid; handles produced by the consuming transform itself are
+    fresh and stay valid. *)
+let commit_consumption t ~by (snap : consume_snapshot) =
+  List.iter (fun vid -> Hashtbl.replace t.consumed vid by) snap.cs_operands;
+  Hashtbl.iter (fun oid () -> Hashtbl.replace t.invalidated_payload oid by)
+    snap.cs_subtree;
+  Hashtbl.iter
+    (fun vid ops ->
+      if
+        (not (List.mem vid snap.cs_operands))
+        && List.exists (fun o -> Hashtbl.mem snap.cs_subtree o.Ircore.op_id) ops
+      then Hashtbl.replace t.consumed vid by)
+    snap.cs_handles
+
+(** Direct consumption of a single handle (no aliasing pass). *)
+let consume t ~by (v : Ircore.value) =
+  commit_consumption t ~by (snapshot_consumption t [ v ])
+
+(** Remove payload ops from the invalidated set (used when a transform
+    re-associates fresh payload with old locations, e.g. after cloning). *)
+let bless_payload t op =
+  Ircore.walk_op op ~pre:(fun nested ->
+      Hashtbl.remove t.invalidated_payload nested.Ircore.op_id)
+
+let rewriter t = t.rewriter
+
+(** Drop payload ops that are no longer attached under the payload root from
+    every handle. Used after running black-box passes (which own their own
+    rewriters, so replace/erase events are not observable). *)
+let prune t =
+  let alive op =
+    Ircore.op_parent op <> None || op == t.payload_root
+  in
+  Hashtbl.iter
+    (fun vid ops ->
+      let ops' = List.filter alive ops in
+      if List.length ops' <> List.length ops then
+        Hashtbl.replace t.handles vid ops')
+    (Hashtbl.copy t.handles)

@@ -1,0 +1,22 @@
+(** Transform-interpreter errors, mirroring the paper's two severities:
+
+    - a {e silenceable} error signals a failed pre-condition; the payload has
+      not been modified irreversibly and an enclosing construct (e.g.
+      [transform.alternatives]) may suppress it;
+    - a {e definite} error aborts interpretation immediately. *)
+
+type t =
+  | Silenceable of string
+  | Definite of string
+
+let silenceable fmt = Fmt.kstr (fun m -> Error (Silenceable m)) fmt
+let definite fmt = Fmt.kstr (fun m -> Error (Definite m)) fmt
+
+let message = function Silenceable m | Definite m -> m
+let is_silenceable = function Silenceable _ -> true | Definite _ -> false
+
+let pp fmt = function
+  | Silenceable m -> Fmt.pf fmt "silenceable error: %s" m
+  | Definite m -> Fmt.pf fmt "definite error: %s" m
+
+let to_string e = Fmt.str "%a" pp e

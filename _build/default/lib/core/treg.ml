@@ -1,0 +1,46 @@
+(** Registry of transform operations — the extensibility mechanism of
+    Section 3.2: new transform ops (wrapping existing compiler features or
+    custom rewrites, e.g. the microkernel replacement of Case Study 4) are
+    registered here, optionally from plugins, without modifying the
+    interpreter. *)
+
+open Ir
+
+type def = {
+  t_name : string;
+  t_summary : string;
+  t_consumes : Ircore.op -> int list;
+      (** operand indices whose handles are invalidated (Section 3.1) *)
+  t_pre : Ircore.op -> Opset.t;  (** payload op kinds consumed (Section 3.3) *)
+  t_post : Ircore.op -> Opset.t;  (** payload op kinds introduced *)
+  t_apply : State.t -> Ircore.op -> (unit, Terror.t) result;
+}
+
+let registry : (string, def) Hashtbl.t = Hashtbl.create 32
+
+let no_indices (_ : Ircore.op) = []
+let no_set (_ : Ircore.op) = Opset.empty
+
+let register ?(summary = "") ?(consumes = no_indices) ?(pre = no_set)
+    ?(post = no_set) ~name apply =
+  if Hashtbl.mem registry name then
+    invalid_arg (Fmt.str "transform op %s already registered" name);
+  Hashtbl.replace registry name
+    {
+      t_name = name;
+      t_summary = summary;
+      t_consumes = consumes;
+      t_pre = pre;
+      t_post = post;
+      t_apply = apply;
+    }
+
+let lookup name = Hashtbl.find_opt registry name
+
+let all_registered () =
+  Hashtbl.fold (fun _ d acc -> d :: acc) registry []
+  |> List.sort (fun a b -> compare a.t_name b.t_name)
+
+(** Fixed consumed-operand lists. *)
+let consumes_operand idx (_ : Ircore.op) = [ idx ]
+let consumes_first = consumes_operand 0

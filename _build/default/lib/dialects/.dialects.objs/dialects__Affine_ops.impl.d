@@ -1,0 +1,1 @@
+lib/dialects/affine_ops.ml: Affine Array Attr Context Fmt Ir Ircore List Option Rewriter Typ Util Verifier

@@ -1,0 +1,1 @@
+lib/dialects/arith.ml: Attr Builder Context Dutil Float Int Ir Ircore List Option Pattern Rewriter Typ Util Verifier

@@ -1,0 +1,1 @@
+lib/dialects/cf.ml: Array Attr Context Ir Ircore List Rewriter Util Verifier

@@ -1,0 +1,1 @@
+lib/dialects/dutil.ml: Attr Builder Context Greedy Ir Ircore List Option Result Rewriter Typ Util Verifier

@@ -1,0 +1,1 @@
+lib/dialects/func.ml: Attr Context Ir Ircore Option Rewriter Symbol Typ Verifier

@@ -1,0 +1,1 @@
+lib/dialects/index_d.ml: Attr Context Dutil Ir Rewriter Typ Verifier

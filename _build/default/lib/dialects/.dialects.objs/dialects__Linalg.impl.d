@@ -1,0 +1,1 @@
+lib/dialects/linalg.ml: Attr Context Dutil Ir Ircore List Rewriter Typ Verifier

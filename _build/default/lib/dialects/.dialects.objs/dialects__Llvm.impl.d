@@ -1,0 +1,1 @@
+lib/dialects/llvm.ml: Cf Context Ir List Util Verifier

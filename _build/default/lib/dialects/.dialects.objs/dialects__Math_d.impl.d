@@ -1,0 +1,1 @@
+lib/dialects/math_d.ml: Context Ir List Verifier

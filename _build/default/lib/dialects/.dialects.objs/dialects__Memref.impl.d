@@ -1,0 +1,1 @@
+lib/dialects/memref.ml: Attr Context Fmt Ir Ircore List Rewriter Typ Verifier

@@ -1,0 +1,1 @@
+lib/dialects/registry.ml: Affine_ops Arith Builtin Cf Func Index_d Ir Linalg Llvm Math_d Memref Scf Shlo Shlo_patterns Tensor_d Tosa Vector

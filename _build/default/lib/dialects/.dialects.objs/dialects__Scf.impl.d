@@ -1,0 +1,1 @@
+lib/dialects/scf.ml: Arith Attr Builder Context Dutil Fmt Ir Ircore List Option Pattern Result Rewriter Typ Util Verifier

@@ -1,0 +1,1 @@
+lib/dialects/shlo.ml: Attr Context Ir Ircore List Rewriter Verifier

@@ -1,0 +1,1 @@
+lib/dialects/shlo_patterns.ml: Attr Builder Fun Ir Ircore List Pattern Rewriter Shlo Typ

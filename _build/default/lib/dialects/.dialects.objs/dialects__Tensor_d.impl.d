@@ -1,0 +1,1 @@
+lib/dialects/tensor_d.ml: Context Ir List Verifier

@@ -1,0 +1,1 @@
+lib/dialects/tosa.ml: Context Ir List Rewriter Verifier

@@ -1,0 +1,60 @@
+(** The func dialect: functions, calls and returns. *)
+
+open Ir
+
+let func_op = "func.func"
+let return_op = "func.return"
+let call_op = "func.call"
+
+let register ctx =
+  Context.register_op ctx func_op ~summary:"function definition"
+    ~traits:[ Context.Isolated_from_above; Context.Symbol ]
+    ~verify:
+      (Verifier.all
+         [
+           Verifier.expect_operands 0;
+           Verifier.expect_regions 1;
+           Verifier.expect_attr "sym_name";
+           Verifier.expect_attr "function_type";
+         ]);
+  Context.register_op ctx return_op ~summary:"function return"
+    ~traits:[ Context.Terminator; Context.Return_like ];
+  Context.register_op ctx call_op ~summary:"direct call"
+    ~verify:(Verifier.expect_attr "callee")
+    ~effects:(fun _ -> [ Context.Read; Context.Write ])
+
+(** Create a function with entry-block arguments matching [arg_types].
+    Returns the op and its entry block. *)
+let create ~name ~arg_types ~result_types () =
+  let entry = Ircore.create_block ~args:arg_types () in
+  let region = Ircore.region_with_block entry in
+  let op =
+    Ircore.create ~regions:[ region ]
+      ~attrs:
+        [
+          ("sym_name", Attr.String name);
+          ("function_type", Attr.Type (Typ.Func (arg_types, result_types)));
+        ]
+      func_op
+  in
+  (op, entry)
+
+let name op = Option.value ~default:"" (Symbol.symbol_name op)
+
+let function_type op =
+  match Ircore.attr op "function_type" with
+  | Some (Attr.Type (Typ.Func (ins, outs))) -> Some (ins, outs)
+  | _ -> None
+
+let entry_block op =
+  match op.Ircore.regions with
+  | [ r ] -> Ircore.region_first_block r
+  | _ -> None
+
+let return rw ?(operands = []) () =
+  Rewriter.build rw ~operands return_op |> ignore
+
+let call rw ~callee ~operands ~result_types =
+  Rewriter.build rw ~operands ~result_types
+    ~attrs:[ ("callee", Attr.Symbol_ref (callee, [])) ]
+    call_op

@@ -1,0 +1,89 @@
+(** The LLVM dialect (the subset targeted by the lowering passes of Case
+    Study 2): arithmetic, control flow, memory and function ops. *)
+
+open Ir
+
+let func_op = "llvm.func"
+let return_op = "llvm.return"
+let call_op = "llvm.call"
+let br_op = "llvm.br"
+let cond_br_op = "llvm.cond_br"
+let switch_op = "llvm.switch"
+let unreachable_op = "llvm.unreachable"
+let constant_op = "llvm.mlir.constant"
+let undef_op = "llvm.mlir.undef"
+let alloca_op = "llvm.alloca"
+let load_op = "llvm.load"
+let store_op = "llvm.store"
+let getelementptr_op = "llvm.getelementptr"
+let ptrtoint_op = "llvm.ptrtoint"
+let inttoptr_op = "llvm.inttoptr"
+let bitcast_op = "llvm.bitcast"
+
+let binary_ops =
+  [
+    "llvm.add"; "llvm.sub"; "llvm.mul"; "llvm.sdiv"; "llvm.udiv"; "llvm.srem";
+    "llvm.urem"; "llvm.and"; "llvm.or"; "llvm.xor"; "llvm.shl"; "llvm.ashr";
+    "llvm.lshr"; "llvm.fadd"; "llvm.fsub"; "llvm.fmul"; "llvm.fdiv";
+    "llvm.fmax"; "llvm.fmin";
+  ]
+
+let register ctx =
+  Context.register_op ctx func_op ~summary:"LLVM function"
+    ~traits:[ Context.Isolated_from_above; Context.Symbol ]
+    ~verify:(Verifier.all [ Verifier.expect_attr "sym_name"; Verifier.expect_regions 1 ]);
+  Context.register_op ctx return_op ~summary:"LLVM return"
+    ~traits:[ Context.Terminator; Context.Return_like ];
+  Context.register_op ctx call_op ~summary:"LLVM call"
+    ~verify:(Verifier.expect_attr "callee");
+  let br_ifaces =
+    Util.Univ.add Context.branch_like_key Cf.branch_like Util.Univ.empty
+  in
+  Context.register_op ctx br_op ~traits:[ Context.Terminator ]
+    ~interfaces:br_ifaces;
+  Context.register_op ctx cond_br_op ~traits:[ Context.Terminator ]
+    ~interfaces:br_ifaces ~verify:(Verifier.expect_min_operands 1);
+  Context.register_op ctx switch_op ~traits:[ Context.Terminator ];
+  Context.register_op ctx unreachable_op ~traits:[ Context.Terminator ];
+  Context.register_op ctx constant_op ~traits:[ Context.Pure; Context.Constant_like ]
+    ~verify:
+      (Verifier.all
+         [
+           Verifier.expect_operands 0;
+           Verifier.expect_results 1;
+           Verifier.expect_attr "value";
+         ]);
+  Context.register_op ctx undef_op ~traits:[ Context.Pure ]
+    ~verify:(Verifier.expect_results 1);
+  Context.register_op ctx alloca_op
+    ~effects:(fun _ -> [ Context.Alloc ])
+    ~verify:(Verifier.expect_results 1);
+  Context.register_op ctx load_op
+    ~effects:(fun _ -> [ Context.Read ])
+    ~verify:
+      (Verifier.all [ Verifier.expect_min_operands 1; Verifier.expect_results 1 ]);
+  Context.register_op ctx store_op
+    ~effects:(fun _ -> [ Context.Write ])
+    ~verify:(Verifier.expect_min_operands 2);
+  List.iter
+    (fun name ->
+      Context.register_op ctx name ~traits:[ Context.Pure ]
+        ~verify:
+          (Verifier.all [ Verifier.expect_min_operands 1; Verifier.expect_results 1 ]))
+    ([ getelementptr_op; ptrtoint_op; inttoptr_op; bitcast_op ]);
+  Context.register_op ctx "llvm.icmp" ~traits:[ Context.Pure ]
+    ~verify:
+      (Verifier.all
+         [
+           Verifier.expect_operands 2;
+           Verifier.expect_results 1;
+           Verifier.expect_attr "predicate";
+         ]);
+  Context.register_op ctx "llvm.fcmp" ~traits:[ Context.Pure ]
+    ~verify:(Verifier.expect_operands 2);
+  List.iter
+    (fun name ->
+      Context.register_op ctx name ~traits:[ Context.Pure ]
+        ~verify:
+          (Verifier.all [ Verifier.expect_operands 2; Verifier.expect_results 1 ]))
+    binary_ops

@@ -1,0 +1,30 @@
+(** The math dialect: transcendental scalar functions used inside
+    linalg.generic payloads. *)
+
+open Ir
+
+let unary =
+  [
+    "math.exp"; "math.log"; "math.tanh"; "math.sqrt"; "math.rsqrt";
+    "math.absf"; "math.erf"; "math.floor"; "math.ceil"; "math.sigmoid";
+  ]
+
+let binary = [ "math.pow"; "math.atan2" ]
+
+let register ctx =
+  List.iter
+    (fun name ->
+      Context.register_op ctx name ~traits:[ Context.Pure ]
+        ~verify:
+          (Verifier.all [ Verifier.expect_operands 1; Verifier.expect_results 1 ]))
+    unary;
+  List.iter
+    (fun name ->
+      Context.register_op ctx name ~traits:[ Context.Pure ]
+        ~verify:
+          (Verifier.all [ Verifier.expect_operands 2; Verifier.expect_results 1 ]))
+    binary;
+  (* arith.negf is referenced by the tosa lowering *)
+  Context.register_op ctx "arith.negf" ~traits:[ Context.Pure ]
+    ~verify:
+      (Verifier.all [ Verifier.expect_operands 1; Verifier.expect_results 1 ])

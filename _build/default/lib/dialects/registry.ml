@@ -1,0 +1,26 @@
+(** One-stop registration of every dialect shipped with this library. *)
+
+let register_all ctx =
+  (* force linkage of the pattern modules so their registrations run *)
+  ignore (Shlo_patterns.names ());
+  Builtin.register ctx;
+  Func.register ctx;
+  Arith.register ctx;
+  Index_d.register ctx;
+  Scf.register ctx;
+  Cf.register ctx;
+  Memref.register ctx;
+  Affine_ops.register ctx;
+  Llvm.register ctx;
+  Vector.register ctx;
+  Tosa.register ctx;
+  Linalg.register ctx;
+  Shlo.register ctx;
+  Tensor_d.register ctx;
+  Math_d.register ctx
+
+(** Fresh context with all dialects registered. *)
+let context ?allow_unregistered () =
+  let ctx = Ir.Context.create ?allow_unregistered () in
+  register_all ctx;
+  ctx

@@ -1,0 +1,1 @@
+lib/experiments/ablations.ml: Array Fmt Gc Ir List Passes Transform Unix Workloads

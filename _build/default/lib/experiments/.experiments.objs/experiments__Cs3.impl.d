@@ -1,0 +1,1 @@
+lib/experiments/cs3.ml: Dialects Fmt Interp List Transform Unix Workloads

@@ -1,0 +1,1 @@
+lib/experiments/cs4.ml: Fmt Interp List Transform Workloads

@@ -1,0 +1,1 @@
+lib/experiments/cs5.ml: Autotune Float Fmt Interp List String Transform Workloads

@@ -1,0 +1,1 @@
+lib/experiments/cs5_structured.ml: Autotune Float Fmt Interp List Transform Workloads

@@ -1,0 +1,1 @@
+lib/experiments/s34.ml: Builtin Dialects Dutil Fmt Func Ir Ircore List Opset Passes Rewriter Shlo Transform Typ

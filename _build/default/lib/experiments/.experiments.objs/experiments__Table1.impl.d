@@ -1,0 +1,1 @@
+lib/experiments/table1.ml: Float Fmt Gc Ir List Passes String Transform Unix Workloads

@@ -1,0 +1,1 @@
+lib/experiments/table2.ml: Fmt Ir List Opset Passes Transform Workloads

@@ -1,0 +1,93 @@
+(** Extension of Case Study 5: autotuning at the *structured-op* level.
+
+    The search space tunes the tile sizes of a [transform.structured_tile]
+    and whether to attempt the microkernel; because libxsmm only supports
+    block shapes up to 64 (with n divisible by 4), the microkernel choice
+    interacts with the tile-size choice through the
+    [transform.alternatives] fallback — a search space the paper's loop-level
+    study does not have, exercising exactly the composability the Transform
+    dialect is about. *)
+
+let m = 128
+let n = 128
+let k = 64
+
+type config = { ti : int; tj : int; use_library : bool }
+
+let config_of_point pt =
+  {
+    ti = Autotune.Space.get pt "tile_i";
+    tj = Autotune.Space.get pt "tile_j";
+    use_library = Autotune.Space.get pt "library" = 1;
+  }
+
+let space () =
+  let divs d = List.filter (fun x -> x >= 4) (Autotune.Space.divisors d) in
+  Autotune.Space.make
+    [
+      Autotune.Space.param "tile_i" (divs m);
+      Autotune.Space.param "tile_j" (divs n);
+      Autotune.Space.param "library" [ 0; 1 ];
+    ]
+
+let script_for cfg =
+  Transform.Build.script (fun rw root ->
+      let mm = Transform.Build.match_op rw ~name:"linalg.matmul" root in
+      let _loops, inner =
+        Transform.Build.structured_tile rw ~sizes:[ cfg.ti; cfg.tj; 0 ] mm
+      in
+      if cfg.use_library then
+        Transform.Build.alternatives rw
+          [
+            (fun brw ->
+              Transform.Build.structured_to_library brw ~library:"libxsmm" inner);
+            (fun brw -> Transform.Build.structured_to_loops brw inner);
+          ]
+      else Transform.Build.structured_to_loops rw inner)
+
+let evaluate ctx cfg =
+  let md = Workloads.Matmul.build_linalg_module ~m ~n ~k () in
+  match Transform.Interp.apply ctx ~script:(script_for cfg) ~payload:md with
+  | Error e ->
+    failwith
+      (Fmt.str "structured autotune transform failed: %s"
+         (Transform.Terror.to_string e))
+  | Ok _ -> (
+    match Workloads.Matmul.run_matmul ~ir_ctx:ctx ~m ~n ~k md with
+    | Error e -> failwith e
+    | Ok (_, _, _, _, report) -> report.Interp.Machine.r_seconds)
+
+type outcome = {
+  result : Autotune.Search.result;
+  best_uses_library : bool;
+  loops_only_best : float;  (** best objective among library=0 points *)
+}
+
+let run ?(budget = 20) ctx =
+  let space = space () in
+  let objective pt = evaluate ctx (config_of_point pt) in
+  let result = Autotune.Search.bayesian ~seed:11 ~budget space objective in
+  let best_cfg = config_of_point result.Autotune.Search.best_point in
+  let loops_only_best =
+    List.fold_left
+      (fun acc e ->
+        if Autotune.Space.get e.Autotune.Search.e_point "library" = 0 then
+          Float.min acc e.Autotune.Search.e_objective
+        else acc)
+      Float.infinity result.Autotune.Search.history
+  in
+  {
+    result;
+    best_uses_library = best_cfg.use_library;
+    loops_only_best;
+  }
+
+let pp_outcome fmt o =
+  Fmt.pf fmt "best configuration:        %a -> %.5f s@." Autotune.Space.pp_point
+    o.result.Autotune.Search.best_point
+    o.result.Autotune.Search.best_objective;
+  Fmt.pf fmt "best uses the microkernel: %b@." o.best_uses_library;
+  if o.loops_only_best < Float.infinity then
+    Fmt.pf fmt "best loops-only sampled:   %.5f s (%.1fx slower)@."
+      o.loops_only_best
+      (o.loops_only_best /. o.result.Autotune.Search.best_objective)

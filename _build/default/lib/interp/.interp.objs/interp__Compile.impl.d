@@ -1,0 +1,1 @@
+lib/interp/compile.ml: Affine Affine_ops Arith Array Attr Cf Context Dialects Dutil Float Fmt Func Hashtbl Int Ir Ircore Lazy List Machine Memref Option Rvalue Scf Symbol Typ

@@ -1,0 +1,1 @@
+lib/interp/extern.ml: Array Compile Fmt Hashtbl Machine Rvalue

@@ -1,0 +1,1 @@
+lib/interp/fusion_model.ml: Dialects Float Func Hashtbl Ir Ircore List Option Shlo String Typ

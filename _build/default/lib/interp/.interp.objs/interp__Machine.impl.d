@@ -1,0 +1,1 @@
+lib/interp/machine.ml: Cache Fmt

@@ -1,0 +1,1 @@
+lib/interp/rvalue.ml: Array Fmt

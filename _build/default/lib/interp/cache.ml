@@ -1,0 +1,79 @@
+(** Set-associative LRU cache simulator. One instance per level; levels are
+    chained by the {!Machine} module. *)
+
+type t = {
+  name : string;
+  line_bytes : int;
+  num_sets : int;
+  ways : int;
+  hit_latency : int;  (** cycles *)
+  tags : int array;  (** num_sets * ways, -1 = invalid *)
+  stamps : int array;  (** LRU timestamps, parallel to [tags] *)
+  mutable clock : int;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create ~name ~size_bytes ~line_bytes ~ways ~hit_latency =
+  let num_lines = size_bytes / line_bytes in
+  let num_sets = max 1 (num_lines / ways) in
+  {
+    name;
+    line_bytes;
+    num_sets;
+    ways;
+    hit_latency;
+    tags = Array.make (num_sets * ways) (-1);
+    stamps = Array.make (num_sets * ways) 0;
+    clock = 0;
+    hits = 0;
+    misses = 0;
+  }
+
+let reset t =
+  Array.fill t.tags 0 (Array.length t.tags) (-1);
+  Array.fill t.stamps 0 (Array.length t.stamps) 0;
+  t.clock <- 0;
+  t.hits <- 0;
+  t.misses <- 0
+
+(** Access the line containing [addr]. Returns [true] on hit; on miss the
+    line is installed (evicting the LRU way). *)
+let access t addr =
+  t.clock <- t.clock + 1;
+  let line = addr / t.line_bytes in
+  let set = line mod t.num_sets in
+  let tag = line in
+  let base = set * t.ways in
+  let hit = ref false in
+  let lru_idx = ref base in
+  let lru_stamp = ref max_int in
+  (try
+     for i = base to base + t.ways - 1 do
+       if t.tags.(i) = tag then begin
+         t.stamps.(i) <- t.clock;
+         hit := true;
+         raise Exit
+       end;
+       if t.stamps.(i) < !lru_stamp then begin
+         lru_stamp := t.stamps.(i);
+         lru_idx := i
+       end
+     done
+   with Exit -> ());
+  if !hit then begin
+    t.hits <- t.hits + 1;
+    true
+  end
+  else begin
+    t.misses <- t.misses + 1;
+    t.tags.(!lru_idx) <- tag;
+    t.stamps.(!lru_idx) <- t.clock;
+    false
+  end
+
+let hit_rate t =
+  let total = t.hits + t.misses in
+  if total = 0 then 1.0 else float_of_int t.hits /. float_of_int total
+
+let stats t = (t.hits, t.misses)

@@ -1,0 +1,63 @@
+(** External function models: the libxsmm-style microkernel library of Case
+    Study 4. The microkernel computes a small matrix multiplication
+    semantically (so correctness tests still pass) while charging the
+    machine a near-peak cost instead of per-scalar interpretation cost. *)
+
+module R = Rvalue
+
+(** Sizes supported by the modeled microkernel library. Mirrors a JIT-backed
+    library: small-to-medium blocks, register-tileable dimensions. *)
+let libxsmm_supported ~m ~n ~k =
+  let ok d = d > 0 && d <= 64 in
+  ok m && ok n && ok k && n mod 4 = 0
+
+(** [libxsmm_gemm] takes three memref views (A: m*k, B: k*n, C: m*n) and
+    performs C += A*B. *)
+let libxsmm_gemm : Compile.extern_fn =
+ fun machine args ->
+  match args with
+  | [ a; b; c ] ->
+    let va = R.as_view a and vb = R.as_view b and vc = R.as_view c in
+    let m = va.R.sizes.(0) and k = va.R.sizes.(1) in
+    let n = vb.R.sizes.(1) in
+    if not (libxsmm_supported ~m ~n ~k) then
+      failwith
+        (Fmt.str "libxsmm: unsupported GEMM size %dx%dx%d" m n k);
+    (* semantics: C += A * B (plain triple loop, cost accounting disabled) *)
+    let was_enabled = machine.Machine.cost_enabled in
+    machine.Machine.cost_enabled <- false;
+    for i = 0 to m - 1 do
+      for j = 0 to n - 1 do
+        let acc = ref (R.load vc [| i; j |]) in
+        for p = 0 to k - 1 do
+          acc := !acc +. (R.load va [| i; p |] *. R.load vb [| p; j |])
+        done;
+        R.store vc [| i; j |] !acc
+      done
+    done;
+    machine.Machine.cost_enabled <- was_enabled;
+    (* cost: near-peak FLOPs plus streaming the three operand blocks *)
+    let flops = 2 * m * n * k in
+    Machine.add_cycles machine
+      (float_of_int flops
+      /. machine.Machine.config.Machine.microkernel_flops_per_cycle);
+    machine.Machine.flops <- machine.Machine.flops + flops;
+    let stream_view v rows cols =
+      (* touch each row's span once *)
+      for i = 0 to rows - 1 do
+        let li = R.linear_index v [| i; 0 |] in
+        Machine.stream machine ~is_store:false (R.byte_address v li)
+          (cols * v.R.buf.elt_bytes)
+      done
+    in
+    stream_view va m k;
+    stream_view vb k n;
+    stream_view vc m n;
+    []
+  | _ -> failwith "libxsmm: expected three memref arguments"
+
+(** Registry preloaded with the microkernel library. *)
+let default_externs () =
+  let t : (string, Compile.extern_fn) Hashtbl.t = Hashtbl.create 8 in
+  Hashtbl.replace t "libxsmm_gemm" libxsmm_gemm;
+  t

@@ -1,0 +1,241 @@
+(** A model of the XLA-style fusion back-end used in Case Study 3.
+
+    The paper's story: among >100 peephole "work-reducing" StableHLO
+    patterns, folding reshape/transpose into a full reduction strictly
+    reduces work, yet degrades end-to-end performance because the back-end
+    fusion heuristic then builds larger, less cache-efficient fusion
+    clusters. This module reproduces that mechanism:
+
+    - ops are greedily clustered with their producers (elementwise and shape
+      ops fuse freely; a reduction absorbs its producer chain);
+    - cluster execution time is a roofline: max(flops / peak, bytes /
+      bandwidth), where only cluster-external tensors count as bytes;
+    - a cluster's effective bandwidth degrades once its working set exceeds
+      the cache budget — large reduction clusters read their inputs with
+      poor locality. *)
+
+open Ir
+open Dialects
+
+type cluster = {
+  mutable ops : Ircore.op list;  (** in program order, reversed *)
+  mutable is_reduction : bool;
+  mutable has_dot : bool;  (** contraction clusters stay on the GEMM path *)
+  id : int;
+}
+
+type params = {
+  peak_flops : float;  (** flops / second *)
+  bandwidth : float;  (** bytes / second for cache-friendly clusters *)
+  cache_budget : int;  (** bytes of working set before locality degrades *)
+  degraded_factor : float;  (** bandwidth divisor for oversized clusters *)
+  kernel_launch : float;  (** seconds of fixed overhead per cluster *)
+}
+
+let default_params =
+  {
+    peak_flops = 1.0e12;
+    bandwidth = 2.0e11;
+    cache_budget = 256 * 1024;
+    degraded_factor = 10.0;
+    kernel_launch = 3.0e-6;
+  }
+
+let tensor_bytes t =
+  match Typ.num_elements t with
+  | Some n ->
+    let eb =
+      match Typ.element_type t with
+      | Some (Typ.Float Typ.F64) -> 8
+      | Some (Typ.Integer b) -> max 1 (b / 8)
+      | _ -> 4
+    in
+    n * eb
+  | None -> 0
+
+let op_flops (op : Ircore.op) =
+  let out_elems =
+    match Ircore.results op with
+    | r :: _ -> Option.value ~default:0 (Typ.num_elements (Ircore.value_typ r))
+    | [] -> 0
+  in
+  match op.Ircore.op_name with
+  | "shlo.dot_general" -> (
+    (* 2*M*N*K: result elems * 2 * contracted dim *)
+    match Ircore.operands op with
+    | a :: _ -> (
+      match Typ.static_shape (Ircore.value_typ a) with
+      | Some dims when dims <> [] ->
+        2 * out_elems * List.nth dims (List.length dims - 1)
+      | _ -> 2 * out_elems)
+    | [] -> 0)
+  | "shlo.reduce" -> (
+    match Ircore.operands op with
+    | a :: _ ->
+      Option.value ~default:out_elems
+        (Typ.num_elements (Ircore.value_typ a))
+    | [] -> out_elems)
+  | "shlo.transpose" | "shlo.reshape" | "shlo.broadcast_in_dim"
+  | "shlo.constant" | "shlo.slice" | "shlo.concatenate" ->
+    0
+  | _ -> out_elems
+
+let is_fusible_elementwise name =
+  List.mem name Shlo.binary_ops
+  || List.mem name Shlo.unary_ops
+  || List.mem name
+       [ Shlo.reshape_op; Shlo.broadcast_op; Shlo.select_op; Shlo.slice_op ]
+
+(* transposes fuse, but they poison the locality of a reduction cluster *)
+let is_transpose name = String.equal name Shlo.transpose_op
+
+(** Greedy clustering over the ops of [func]'s body, in program order. *)
+let cluster_func (func : Ircore.op) =
+  let clusters : (int, cluster) Hashtbl.t = Hashtbl.create 32 in
+  let op_cluster : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  let next_id = ref 0 in
+  let new_cluster op =
+    let c =
+      {
+        ops = [ op ];
+        is_reduction = false;
+        has_dot = op.Ircore.op_name = Shlo.dot_general_op;
+        id = !next_id;
+      }
+    in
+    incr next_id;
+    Hashtbl.replace clusters c.id c;
+    Hashtbl.replace op_cluster op.Ircore.op_id c.id;
+    c
+  in
+  let producer_cluster op =
+    (* cluster of the first operand's defining op, if any *)
+    match Ircore.operands op with
+    | v :: _ -> (
+      match Ircore.defining_op v with
+      | Some d -> (
+        match Hashtbl.find_opt op_cluster d.Ircore.op_id with
+        | Some cid -> Hashtbl.find_opt clusters cid
+        | None -> None)
+      | None -> None)
+    | [] -> None
+  in
+  (match Func.entry_block func with
+  | None -> ()
+  | Some block ->
+    List.iter
+      (fun op ->
+        let name = op.Ircore.op_name in
+        if String.length name >= 5 && String.sub name 0 5 = "shlo." then begin
+          let joined =
+            if is_fusible_elementwise name || is_transpose name then
+              match producer_cluster op with
+              | Some c when (not c.is_reduction) && not c.has_dot ->
+                c.ops <- op :: c.ops;
+                Hashtbl.replace op_cluster op.Ircore.op_id c.id;
+                true
+              | _ -> false
+            else if name <> Shlo.reduce_op then false
+            else
+              (* a reduction absorbs its whole producer cluster — but only
+                 when the chain is transpose-free: a transpose in the chain
+                 breaks the coalesced-access pattern the fused reduction
+                 kernel needs, so the heuristic keeps them separate. This is
+                 exactly why eliminating the transpose (work reduction!)
+                 lets the heuristic build the oversized cluster of Case
+                 Study 3. *)
+              match producer_cluster op with
+              | Some c
+                when (not c.has_dot)
+                     && not
+                          (List.exists
+                             (fun o -> is_transpose o.Ircore.op_name)
+                             c.ops) ->
+                c.ops <- op :: c.ops;
+                c.is_reduction <- true;
+                Hashtbl.replace op_cluster op.Ircore.op_id c.id;
+                true
+              | _ -> false
+          in
+          if not joined then ignore (new_cluster op)
+        end)
+      (Ircore.block_ops block));
+  Hashtbl.fold (fun _ c acc -> c :: acc) clusters []
+  |> List.sort (fun a b -> compare a.id b.id)
+
+(** External bytes of a cluster: operands produced outside it plus results
+    used outside it. *)
+let cluster_external_bytes (c : cluster) =
+  let inside op =
+    List.exists (fun o -> o == op) c.ops
+  in
+  let in_bytes =
+    List.fold_left
+      (fun acc op ->
+        List.fold_left
+          (fun acc v ->
+            match Ircore.defining_op v with
+            | Some d when inside d -> acc
+            | _ -> acc + tensor_bytes (Ircore.value_typ v))
+          acc (Ircore.operands op))
+      0 c.ops
+  in
+  let out_bytes =
+    List.fold_left
+      (fun acc op ->
+        List.fold_left
+          (fun acc r ->
+            let escapes =
+              List.exists
+                (fun u -> not (inside u.Ircore.u_op))
+                (Ircore.value_uses r)
+            in
+            if escapes then acc + tensor_bytes (Ircore.value_typ r) else acc)
+          acc (Ircore.results op))
+      0 c.ops
+  in
+  in_bytes + out_bytes
+
+(** Working set: all tensors touched by the cluster (internal included). *)
+let cluster_working_set (c : cluster) =
+  List.fold_left
+    (fun acc op ->
+      List.fold_left
+        (fun acc r -> acc + tensor_bytes (Ircore.value_typ r))
+        acc (Ircore.results op))
+    0 c.ops
+
+let cluster_flops (c : cluster) =
+  List.fold_left (fun acc op -> acc + op_flops op) 0 c.ops
+
+let cluster_time params c =
+  let flops = float_of_int (cluster_flops c) in
+  let bytes = float_of_int (cluster_external_bytes c) in
+  let ws = cluster_working_set c in
+  (* reduction clusters stream their whole producer chain; once the working
+     set exceeds the cache budget, effective bandwidth collapses *)
+  let bw =
+    if c.is_reduction && ws > params.cache_budget then
+      params.bandwidth /. params.degraded_factor
+    else params.bandwidth
+  in
+  params.kernel_launch
+  +. Float.max (flops /. params.peak_flops) (bytes /. bw)
+
+type report = {
+  num_clusters : int;
+  total_flops : int;
+  total_seconds : float;
+}
+
+(** Estimated execution time of [func] under the fusion model. *)
+let estimate ?(params = default_params) func =
+  let clusters = cluster_func func in
+  let total =
+    List.fold_left (fun acc c -> acc +. cluster_time params c) 0.0 clusters
+  in
+  {
+    num_clusters = List.length clusters;
+    total_flops = List.fold_left (fun a c -> a + cluster_flops c) 0 clusters;
+    total_seconds = total;
+  }

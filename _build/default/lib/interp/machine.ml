@@ -1,0 +1,169 @@
+(** The abstract machine: cost accounting on top of a two-level cache
+    hierarchy. This is the repository's substitute for the paper's hardware
+    testbed — simulated runtimes are produced by charging per-operation
+    cycle costs and cache-dependent memory latencies, so transformations
+    (tiling, unrolling, vectorization, microkernel calls) change performance
+    through the same mechanisms as on real hardware. *)
+
+type config = {
+  freq_ghz : float;
+  l1_size : int;
+  l1_ways : int;
+  l1_latency : int;
+  l2_size : int;
+  l2_ways : int;
+  l2_latency : int;
+  mem_latency : int;
+  line_bytes : int;
+  int_op_cycles : float;
+  float_op_cycles : float;
+  vector_width : int;  (** f32 lanes of the modeled SIMD unit *)
+  loop_overhead_cycles : float;  (** per-iteration increment+compare+branch *)
+  call_overhead_cycles : float;
+  microkernel_flops_per_cycle : float;
+      (** near-peak FLOP rate achieved by the libxsmm-style microkernel *)
+  num_threads : int;
+      (** cores available to parallel constructs ([scf.forall]); modeled as
+          ideal linear scaling of the cycles spent inside the construct *)
+  parallel_fork_cycles : float;  (** fixed fork/join overhead per forall *)
+}
+
+let default_config =
+  {
+    freq_ghz = 2.0;
+    l1_size = 32 * 1024;
+    l1_ways = 8;
+    l1_latency = 4;
+    l2_size = 1024 * 1024;
+    l2_ways = 16;
+    l2_latency = 14;
+    mem_latency = 110;
+    line_bytes = 64;
+    int_op_cycles = 1.0;
+    float_op_cycles = 1.0;
+    vector_width = 8;
+    loop_overhead_cycles = 2.0;
+    call_overhead_cycles = 30.0;
+    microkernel_flops_per_cycle = 32.0;
+    num_threads = 1;
+    parallel_fork_cycles = 2000.0;
+  }
+
+type t = {
+  config : config;
+  l1 : Cache.t;
+  l2 : Cache.t;
+  mutable cycles : float;
+  mutable flops : int;
+  mutable loads : int;
+  mutable stores : int;
+  mutable next_base : int;  (** bump allocator for virtual addresses *)
+  mutable cost_enabled : bool;
+}
+
+let create ?(config = default_config) () =
+  {
+    config;
+    l1 =
+      Cache.create ~name:"L1" ~size_bytes:config.l1_size
+        ~line_bytes:config.line_bytes ~ways:config.l1_ways
+        ~hit_latency:config.l1_latency;
+    l2 =
+      Cache.create ~name:"L2" ~size_bytes:config.l2_size
+        ~line_bytes:config.line_bytes ~ways:config.l2_ways
+        ~hit_latency:config.l2_latency;
+    cycles = 0.0;
+    flops = 0;
+    loads = 0;
+    stores = 0;
+    next_base = 0x10000;
+    cost_enabled = true;
+  }
+
+let reset t =
+  Cache.reset t.l1;
+  Cache.reset t.l2;
+  t.cycles <- 0.0;
+  t.flops <- 0;
+  t.loads <- 0;
+  t.stores <- 0
+
+(** Allocate a virtual address range (64-byte aligned). *)
+let alloc_address t bytes =
+  let base = t.next_base in
+  t.next_base <- t.next_base + ((bytes + 63) / 64 * 64) + 64;
+  base
+
+let add_cycles t c = if t.cost_enabled then t.cycles <- t.cycles +. c
+
+let int_op t = add_cycles t t.config.int_op_cycles
+
+let float_op t =
+  if t.cost_enabled then begin
+    t.cycles <- t.cycles +. t.config.float_op_cycles;
+    t.flops <- t.flops + 1
+  end
+
+let vector_op t =
+  if t.cost_enabled then begin
+    t.cycles <- t.cycles +. t.config.float_op_cycles;
+    t.flops <- t.flops + t.config.vector_width
+  end
+
+let loop_iter t = add_cycles t t.config.loop_overhead_cycles
+let call t = add_cycles t t.config.call_overhead_cycles
+
+(** Charge a memory access of [bytes] bytes at virtual address [addr]
+    through the cache hierarchy (one lookup per touched line). *)
+let memory_access t ~is_store addr bytes =
+  if t.cost_enabled then begin
+    if is_store then t.stores <- t.stores + 1 else t.loads <- t.loads + 1;
+    let first_line = addr / t.config.line_bytes in
+    let last_line = (addr + bytes - 1) / t.config.line_bytes in
+    for line = first_line to last_line do
+      let a = line * t.config.line_bytes in
+      if Cache.access t.l1 a then add_cycles t (float_of_int t.config.l1_latency)
+      else if Cache.access t.l2 a then
+        add_cycles t (float_of_int t.config.l2_latency)
+      else add_cycles t (float_of_int t.config.mem_latency)
+    done
+  end
+
+(** Charge a bulk streaming access over [bytes] contiguous bytes: touches
+    every line once (used by library-call models). *)
+let stream t ~is_store addr bytes =
+  if t.cost_enabled then begin
+    let lines = max 1 ((bytes + t.config.line_bytes - 1) / t.config.line_bytes) in
+    for i = 0 to lines - 1 do
+      memory_access t ~is_store (addr + (i * t.config.line_bytes)) 1
+    done
+  end
+
+let seconds t = t.cycles /. (t.config.freq_ghz *. 1e9)
+
+type report = {
+  r_cycles : float;
+  r_seconds : float;
+  r_flops : int;
+  r_loads : int;
+  r_stores : int;
+  r_l1_hit_rate : float;
+  r_l2_hit_rate : float;
+}
+
+let report t =
+  {
+    r_cycles = t.cycles;
+    r_seconds = seconds t;
+    r_flops = t.flops;
+    r_loads = t.loads;
+    r_stores = t.stores;
+    r_l1_hit_rate = Cache.hit_rate t.l1;
+    r_l2_hit_rate = Cache.hit_rate t.l2;
+  }
+
+let pp_report fmt r =
+  Fmt.pf fmt
+    "cycles=%.0f time=%.6fs flops=%d loads=%d stores=%d L1=%.1f%% L2=%.1f%%"
+    r.r_cycles r.r_seconds r.r_flops r.r_loads r.r_stores
+    (100. *. r.r_l1_hit_rate) (100. *. r.r_l2_hit_rate)

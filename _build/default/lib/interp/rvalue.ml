@@ -1,0 +1,99 @@
+(** Runtime values for payload-IR execution.
+
+    Buffers hold [float array]s regardless of element type; integer memref
+    elements are stored as floats (exact below 2^53), which covers every
+    workload in this repository. Each buffer carries a virtual base address
+    so the cache simulator sees a realistic address space. *)
+
+type buffer = {
+  data : float array;
+  base : int;  (** virtual byte address, 64-byte aligned *)
+  elt_bytes : int;
+}
+
+type view = {
+  buf : buffer;
+  offset : int;  (** in elements *)
+  sizes : int array;
+  strides : int array;  (** in elements *)
+}
+
+type t =
+  | Int of int
+  | Float of float
+  | Bool of bool
+  | Vec of float array
+  | Memref of view
+  | Unit
+
+let pp fmt = function
+  | Int n -> Fmt.pf fmt "%d" n
+  | Float f -> Fmt.pf fmt "%g" f
+  | Bool b -> Fmt.bool fmt b
+  | Vec xs ->
+    Fmt.pf fmt "vec[%a]" Fmt.(array ~sep:comma float) xs
+  | Memref v ->
+    Fmt.pf fmt "memref<%a>(offset=%d)"
+      Fmt.(array ~sep:(any "x") int)
+      v.sizes v.offset
+  | Unit -> Fmt.string fmt "()"
+
+exception Type_error of string
+
+let as_int = function
+  | Int n -> n
+  | Bool b -> if b then 1 else 0
+  | v -> raise (Type_error (Fmt.str "expected int, got %a" pp v))
+
+let as_float = function
+  | Float f -> f
+  | Int n -> float_of_int n
+  | v -> raise (Type_error (Fmt.str "expected float, got %a" pp v))
+
+let as_bool = function
+  | Bool b -> b
+  | Int n -> n <> 0
+  | v -> raise (Type_error (Fmt.str "expected bool, got %a" pp v))
+
+let as_view = function
+  | Memref v -> v
+  | v -> raise (Type_error (Fmt.str "expected memref, got %a" pp v))
+
+let as_vec = function
+  | Vec v -> v
+  | v -> raise (Type_error (Fmt.str "expected vector, got %a" pp v))
+
+(* ------------------------------------------------------------------ *)
+(* Views                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let row_major_strides sizes =
+  let n = Array.length sizes in
+  let strides = Array.make n 1 in
+  for i = n - 2 downto 0 do
+    strides.(i) <- strides.(i + 1) * sizes.(i + 1)
+  done;
+  strides
+
+let num_elements view = Array.fold_left ( * ) 1 view.sizes
+
+(** Linear element index of [indices] within [view]'s buffer. *)
+let linear_index view indices =
+  let acc = ref view.offset in
+  Array.iteri (fun i idx -> acc := !acc + (idx * view.strides.(i))) indices;
+  !acc
+
+(** Byte address of the element at linear buffer index [li]. *)
+let byte_address view li = view.buf.base + (li * view.buf.elt_bytes)
+
+let load view indices = view.buf.data.(linear_index view indices)
+let store view indices v = view.buf.data.(linear_index view indices) <- v
+
+(** Subview: compose offsets/strides. *)
+let subview view ~offsets ~sizes ~strides =
+  let offset = ref view.offset in
+  Array.iteri (fun i o -> offset := !offset + (o * view.strides.(i))) offsets;
+  let new_strides =
+    Array.mapi (fun i s -> s * view.strides.(i)) strides
+  in
+  { buf = view.buf; offset = !offset; sizes; strides = new_strides }

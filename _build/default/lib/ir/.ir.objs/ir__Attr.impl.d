@@ -1,0 +1,1 @@
+lib/ir/attr.ml: Affine Fmt List Typ Util

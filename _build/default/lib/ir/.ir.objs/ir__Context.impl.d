@@ -1,0 +1,1 @@
+lib/ir/context.ml: Attr Hashtbl Ircore List Util

@@ -1,0 +1,1 @@
+lib/ir/ircore.ml: Array Attr Fmt Hashtbl List Loc Option Typ Util

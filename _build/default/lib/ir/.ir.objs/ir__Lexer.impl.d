@@ -1,0 +1,1 @@
+lib/ir/lexer.ml: Buffer Fmt List String Typ

@@ -1,0 +1,1 @@
+lib/ir/opset.ml: Fmt Hashtbl Ircore List String Util

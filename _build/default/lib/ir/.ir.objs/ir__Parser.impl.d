@@ -1,0 +1,1 @@
+lib/ir/parser.ml: Affine Array Attr Buffer Fmt Hashtbl Ircore Lexer List Loc String Typ

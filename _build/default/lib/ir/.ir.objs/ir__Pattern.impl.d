@@ -1,0 +1,1 @@
+lib/ir/pattern.ml: Fmt Hashtbl Ircore List Rewriter String

@@ -1,0 +1,1 @@
+lib/ir/pretty.ml: Array Attr Fmt Ircore List Option Printer String Typ

@@ -1,0 +1,1 @@
+lib/ir/printer.ml: Array Attr Fmt Format Hashtbl Ircore List Loc String Typ Util

@@ -1,0 +1,1 @@
+lib/ir/rewriter.ml: Builder Ircore List

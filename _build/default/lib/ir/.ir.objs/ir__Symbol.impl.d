@@ -1,0 +1,1 @@
+lib/ir/symbol.ml: Attr Context Ircore List

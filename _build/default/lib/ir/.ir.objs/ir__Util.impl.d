@@ -1,0 +1,1 @@
+lib/ir/util.ml: Fmt List Option String

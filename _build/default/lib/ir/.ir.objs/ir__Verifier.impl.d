@@ -1,0 +1,1 @@
+lib/ir/verifier.ml: Array Attr Context Dominance Fmt Hashtbl Ircore List Loc Result Typ

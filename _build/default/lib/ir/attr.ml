@@ -1,0 +1,74 @@
+(** Attributes: compile-time constant data attached to operations. *)
+
+type t =
+  | Unit
+  | Bool of bool
+  | Int of int * Typ.t  (** typed integer; [index] or [iN] *)
+  | Float of float * Typ.t
+  | String of string
+  | Type of Typ.t
+  | Array of t list
+  | Int_array of int list  (** MLIR's [array<i64: ...>], dense int arrays *)
+  | Dense_int of int list * Typ.t  (** [dense<[...]> : tensor<...>] *)
+  | Dense_float of float list * Typ.t
+  | Dict of (string * t) list
+  | Symbol_ref of string * string list  (** [@root::@nested...] *)
+  | Affine_map of Affine.map
+
+let unit = Unit
+let bool b = Bool b
+let int ?(typ = Typ.i64) v = Int (v, typ)
+let index v = Int (v, Typ.index)
+let float ?(typ = Typ.f64) v = Float (v, typ)
+let str s = String s
+let typ t = Type t
+let symbol s = Symbol_ref (s, [])
+
+let get_int = function Int (v, _) -> Some v | _ -> None
+let get_bool = function Bool b -> Some b | _ -> None
+let get_float = function Float (v, _) -> Some v | _ -> None
+let get_string = function String s -> Some s | _ -> None
+let get_type = function Type t -> Some t | _ -> None
+let get_int_array = function Int_array xs -> Some xs | _ -> None
+let get_symbol = function Symbol_ref (s, _) -> Some s | _ -> None
+let get_array = function Array xs -> Some xs | _ -> None
+
+let rec pp fmt = function
+  | Unit -> Fmt.string fmt "unit"
+  | Bool b -> Fmt.bool fmt b
+  | Int (v, Typ.Index) -> Fmt.pf fmt "%d : index" v
+  | Int (v, t) -> Fmt.pf fmt "%d : %a" v Typ.pp t
+  | Float (v, t) -> Fmt.pf fmt "%h : %a" v Typ.pp t
+  | String s -> Fmt.pf fmt "%S" s
+  | Type t -> Typ.pp fmt t
+  | Array xs -> Fmt.pf fmt "[%a]" (Util.pp_list pp) xs
+  | Int_array xs ->
+    Fmt.pf fmt "array<i64: %a>" (Util.pp_list Fmt.int) xs
+  | Dense_int (xs, t) ->
+    Fmt.pf fmt "dense<[%a]> : %a" (Util.pp_list Fmt.int) xs Typ.pp t
+  | Dense_float (xs, t) ->
+    Fmt.pf fmt "dense<[%a]> : %a" (Util.pp_list Fmt.float) xs Typ.pp t
+  | Dict kvs ->
+    Fmt.pf fmt "{%a}"
+      (Util.pp_list (fun fmt (k, v) -> Fmt.pf fmt "%s = %a" k pp v))
+      kvs
+  | Symbol_ref (root, nested) ->
+    Fmt.pf fmt "@%s" root;
+    List.iter (Fmt.pf fmt "::@%s") nested
+  | Affine_map m -> Fmt.pf fmt "affine_map<%a>" Affine.pp_map m
+
+let to_string a = Fmt.str "%a" pp a
+
+let equal (a : t) (b : t) = a = b
+
+(* Named attribute dictionaries are association lists with stable order. *)
+type dict = (string * t) list
+
+let find (name : string) (d : dict) = List.assoc_opt name d
+
+let set (name : string) (v : t) (d : dict) : dict =
+  if List.mem_assoc name d then
+    List.map (fun (k, old) -> if k = name then (k, v) else (k, old)) d
+  else d @ [ (name, v) ]
+
+let remove (name : string) (d : dict) : dict = List.remove_assoc name d

@@ -1,0 +1,142 @@
+(** Dominance information for multi-block regions (Cooper–Harvey–Kennedy
+    iterative algorithm) and SSA dominance queries used by the verifier. *)
+
+open Ircore
+
+type t = {
+  order : (int, int) Hashtbl.t;  (** block id -> reverse postorder index *)
+  idom : (int, block) Hashtbl.t;  (** block id -> immediate dominator *)
+  entry : block option;
+}
+
+let successors_of_block b =
+  match block_last_op b with
+  | None -> []
+  | Some term -> Array.to_list term.successors
+
+(** Reverse postorder of the CFG rooted at the region's entry block. *)
+let reverse_postorder r =
+  match region_first_block r with
+  | None -> []
+  | Some entry ->
+    let visited = Hashtbl.create 8 in
+    let out = ref [] in
+    let rec dfs b =
+      if not (Hashtbl.mem visited b.b_id) then begin
+        Hashtbl.replace visited b.b_id ();
+        List.iter dfs (successors_of_block b);
+        out := b :: !out
+      end
+    in
+    dfs entry;
+    !out
+
+let compute r =
+  let rpo = reverse_postorder r in
+  let order = Hashtbl.create 8 in
+  List.iteri (fun i b -> Hashtbl.replace order b.b_id i) rpo;
+  let idom : (int, block) Hashtbl.t = Hashtbl.create 8 in
+  (match rpo with
+  | [] -> ()
+  | entry :: rest ->
+    Hashtbl.replace idom entry.b_id entry;
+    (* predecessors map *)
+    let preds = Hashtbl.create 8 in
+    List.iter
+      (fun b ->
+        List.iter
+          (fun s ->
+            let cur = Option.value ~default:[] (Hashtbl.find_opt preds s.b_id) in
+            Hashtbl.replace preds s.b_id (b :: cur))
+          (successors_of_block b))
+      rpo;
+    let intersect b1 b2 =
+      let rec go f1 f2 =
+        if f1 == f2 then f1
+        else
+          let o1 = Hashtbl.find order f1.b_id in
+          let o2 = Hashtbl.find order f2.b_id in
+          if o1 > o2 then go (Hashtbl.find idom f1.b_id) f2
+          else go f1 (Hashtbl.find idom f2.b_id)
+      in
+      go b1 b2
+    in
+    let changed = ref true in
+    while !changed do
+      changed := false;
+      List.iter
+        (fun b ->
+          let ps =
+            Option.value ~default:[] (Hashtbl.find_opt preds b.b_id)
+            |> List.filter (fun p -> Hashtbl.mem idom p.b_id)
+          in
+          match ps with
+          | [] -> ()
+          | first :: others ->
+            let new_idom = List.fold_left intersect first others in
+            (match Hashtbl.find_opt idom b.b_id with
+            | Some cur when cur == new_idom -> ()
+            | _ ->
+              Hashtbl.replace idom b.b_id new_idom;
+              changed := true))
+        rest
+    done);
+  { order; idom; entry = region_first_block r }
+
+(** Immediate dominator of [b], or [None] for the entry / unreachable
+    blocks. *)
+let idom_of t b =
+  match Hashtbl.find_opt t.idom b.b_id with
+  | Some d when not (d == b) -> Some d
+  | _ -> None
+
+(** Does block [a] dominate block [b] (within the analyzed region)? *)
+let block_dominates t a b =
+  let rec go x =
+    if x == a then true
+    else
+      match Hashtbl.find_opt t.idom x.b_id with
+      | None -> false
+      | Some d -> if d == x then x == a else go d
+  in
+  (* unreachable blocks dominate nothing and are dominated by everything
+     reachable is irrelevant; be conservative *)
+  if not (Hashtbl.mem t.order b.b_id) then false else go b
+
+(** Does the program point of [def] properly dominate op [user]?
+    Both must live in blocks of the same region. *)
+let value_dominates_op doms (v : value) (user : op) =
+  (* hoist user up to the op in the same region as the def *)
+  let placement =
+    match v.v_def with
+    | Block_arg (b, _) -> Some (b, None)
+    | Op_result (op, _) -> (
+      match op.op_parent with
+      | None -> None (* detached defining op dominates nothing *)
+      | Some b -> Some (b, Some op))
+  in
+  match placement with
+  | None -> false
+  | Some (def_block, def_op) ->
+  let same_region b =
+    match (b.b_parent, def_block.b_parent) with
+    | Some r1, Some r2 -> r1 == r2
+    | None, None -> b == def_block
+    | _ -> false
+  in
+  (* walk user up through parents until its block is in the def's region *)
+  let rec hoist (o : op) =
+    match o.op_parent with
+    | None -> None
+    | Some b ->
+      if same_region b then Some (o, b)
+      else ( match parent_op o with None -> None | Some p -> hoist p)
+  in
+  match hoist user with
+  | None -> false
+  | Some (user', user_block) ->
+    if user_block == def_block then (
+      match def_op with
+      | None -> true (* block argument dominates everything in its block *)
+      | Some d -> if d == user' then false else is_before_in_block d user')
+    else block_dominates doms def_block user_block

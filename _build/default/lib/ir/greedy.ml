@@ -1,0 +1,143 @@
+(** Greedy pattern application driver: applies a set of rewrite patterns to
+    a payload subtree until fixpoint, folding constants and eliminating dead
+    pure ops along the way — MLIR's [applyPatternsAndFoldGreedily]. *)
+
+type config = {
+  max_iterations : int;
+  fold : bool;  (** use registered {!Context.folder} hooks *)
+  remove_dead : bool;  (** erase pure ops with no uses *)
+  materialize_constant :
+    (Rewriter.t -> Attr.t -> Typ.t -> Ircore.value option) option;
+      (** hook to build a constant op for folded results *)
+}
+
+let default_config =
+  {
+    max_iterations = 10;
+    fold = true;
+    remove_dead = true;
+    materialize_constant = None;
+  }
+
+type stats = {
+  mutable rewrites : int;
+  mutable folds : int;
+  mutable dce : int;
+  mutable iterations : int;
+}
+
+(** Attribute of a constant-like op, if any. Convention: constant ops carry
+    their value in the ["value"] attribute. *)
+let constant_value ctx (op : Ircore.op) =
+  if Context.op_has_trait ctx op Context.Constant_like then
+    Ircore.attr op "value"
+  else None
+
+let operand_constants ctx (op : Ircore.op) =
+  List.map
+    (fun v ->
+      match Ircore.defining_op v with
+      | Some d -> constant_value ctx d
+      | None -> None)
+    (Ircore.operands op)
+
+(** Try to constant-fold [op] in place; returns true on success. *)
+let try_fold ctx rewriter config (op : Ircore.op) =
+  match (Context.interface ctx op.Ircore.op_name Context.folder_key,
+         config.materialize_constant) with
+  | Some { Context.fold }, Some materialize -> (
+    match fold op (operand_constants ctx op) with
+    | None -> false
+    | Some result_attrs ->
+      let result_types = List.map Ircore.value_typ (Ircore.results op) in
+      Rewriter.set_ip rewriter (Builder.Before op);
+      let values =
+        List.map2
+          (fun attr t -> materialize rewriter attr t)
+          result_attrs result_types
+      in
+      if List.for_all Option.is_some values then begin
+        Rewriter.replace_op rewriter op ~with_:(List.map Option.get values);
+        true
+      end
+      else false)
+  | _ -> false
+
+let is_trivially_dead ctx (op : Ircore.op) =
+  Context.is_pure ctx op
+  && (not (Context.op_has_trait ctx op Context.Terminator))
+  && List.for_all (fun r -> not (Ircore.has_uses r)) (Ircore.results op)
+
+(** Apply [patterns] greedily to the subtree rooted at [root] (the root op
+    itself is not rewritten). Returns [true] if the IR converged within
+    [config.max_iterations] sweeps. *)
+let apply ?(config = default_config) ?stats ?rewriter ctx ~patterns root =
+  let patterns =
+    List.stable_sort (fun a b -> compare b.Pattern.benefit a.Pattern.benefit) patterns
+  in
+  let stats =
+    match stats with
+    | Some s -> s
+    | None -> { rewrites = 0; folds = 0; dce = 0; iterations = 0 }
+  in
+  let rewriter =
+    match rewriter with Some rw -> rw | None -> Rewriter.create ()
+  in
+  let erased : (int, unit) Hashtbl.t = Hashtbl.create 64 in
+  (* track erasure so stale worklist entries are skipped *)
+  Rewriter.add_listener rewriter
+    {
+      Rewriter.null_listener with
+      Rewriter.on_erased = (fun op -> Hashtbl.replace erased op.Ircore.op_id ());
+      on_replaced = (fun op _ -> Hashtbl.replace erased op.Ircore.op_id ());
+    };
+  let changed_overall = ref true in
+  let iterations = ref 0 in
+  while !changed_overall && !iterations < config.max_iterations do
+    incr iterations;
+    changed_overall := false;
+    (* collect the current ops in post-order *)
+    let worklist = ref [] in
+    List.iter
+      (fun r ->
+        List.iter
+          (fun b ->
+            List.iter
+              (fun op ->
+                Ircore.walk_op op ~post:(fun o -> worklist := o :: !worklist))
+              (Ircore.block_ops b))
+          (Ircore.region_blocks r))
+      root.Ircore.regions;
+    let worklist = List.rev !worklist in
+    List.iter
+      (fun op ->
+        if not (Hashtbl.mem erased op.Ircore.op_id) then begin
+          if config.remove_dead && is_trivially_dead ctx op then begin
+            Rewriter.erase_op rewriter op;
+            stats.dce <- stats.dce + 1;
+            changed_overall := true
+          end
+          else if config.fold && try_fold ctx rewriter config op then begin
+            stats.folds <- stats.folds + 1;
+            changed_overall := true
+          end
+          else
+            let rec try_patterns = function
+              | [] -> ()
+              | p :: rest ->
+                if Pattern.applicable p op then begin
+                  Rewriter.set_ip rewriter (Builder.Before op);
+                  if p.Pattern.rewrite rewriter op then begin
+                    stats.rewrites <- stats.rewrites + 1;
+                    changed_overall := true
+                  end
+                  else try_patterns rest
+                end
+                else try_patterns rest
+            in
+            try_patterns patterns
+        end)
+      worklist
+  done;
+  stats.iterations <- !iterations;
+  not !changed_overall

@@ -1,0 +1,535 @@
+(** The mutable IR graph: values, operations, blocks and regions, with
+    use-def chains and intrusive doubly-linked lists of operations within
+    blocks and blocks within regions — mirroring MLIR's in-memory design so
+    that insertion, erasure and replacement are O(1) during rewrites. *)
+
+type value = {
+  v_id : int;
+  mutable v_typ : Typ.t;
+  v_def : vdef;
+  mutable v_uses : use list;  (** unordered list of (user op, operand idx) *)
+}
+
+and vdef =
+  | Op_result of op * int
+  | Block_arg of block * int
+
+and use = { u_op : op; u_index : int }
+
+and op = {
+  op_id : int;
+  op_name : string;
+  mutable operands : value array;
+  mutable results : value array;
+  mutable attrs : Attr.dict;
+  mutable regions : region list;
+  mutable successors : block array;
+  mutable op_parent : block option;
+  mutable op_prev : op option;
+  mutable op_next : op option;
+  mutable op_loc : Loc.t;
+}
+
+and block = {
+  b_id : int;
+  mutable b_args : value array;
+  mutable b_first : op option;
+  mutable b_last : op option;
+  mutable b_parent : region option;
+  mutable b_prev : block option;
+  mutable b_next : block option;
+}
+
+and region = {
+  r_id : int;
+  mutable r_first : block option;
+  mutable r_last : block option;
+  mutable r_parent : op option;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Values                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let value_typ v = v.v_typ
+let value_id v = v.v_id
+
+let new_result op index typ =
+  { v_id = Util.fresh_id (); v_typ = typ; v_def = Op_result (op, index); v_uses = [] }
+
+let defining_op v =
+  match v.v_def with Op_result (op, _) -> Some op | Block_arg _ -> None
+
+let defining_block v =
+  match v.v_def with Block_arg (b, _) -> Some b | Op_result _ -> None
+
+let value_uses v = v.v_uses
+let has_uses v = v.v_uses <> []
+let num_uses v = List.length v.v_uses
+
+let add_use v ~op ~index = v.v_uses <- { u_op = op; u_index = index } :: v.v_uses
+
+let remove_use v ~op ~index =
+  v.v_uses <-
+    List.filter (fun u -> not (u.u_op == op && u.u_index = index)) v.v_uses
+
+(* ------------------------------------------------------------------ *)
+(* Op creation                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let create ?(operands = []) ?(result_types = []) ?(attrs = []) ?(regions = [])
+    ?(successors = []) ?(loc = Loc.unknown) op_name =
+  let op =
+    {
+      op_id = Util.fresh_id ();
+      op_name;
+      operands = Array.of_list operands;
+      results = [||];
+      attrs;
+      regions;
+      successors = Array.of_list successors;
+      op_parent = None;
+      op_prev = None;
+      op_next = None;
+      op_loc = loc;
+    }
+  in
+  op.results <- Array.of_list (List.mapi (fun i t -> new_result op i t) result_types);
+  Array.iteri (fun index v -> add_use v ~op ~index) op.operands;
+  List.iter (fun r -> r.r_parent <- Some op) op.regions;
+  op
+
+let result ?(index = 0) op =
+  if index >= Array.length op.results then
+    invalid_arg
+      (Fmt.str "op %s has %d results, requested %d" op.op_name
+         (Array.length op.results) index);
+  op.results.(index)
+
+let results op = Array.to_list op.results
+let operands op = Array.to_list op.operands
+let operand ?(index = 0) op = op.operands.(index)
+let num_operands op = Array.length op.operands
+let num_results op = Array.length op.results
+
+let attr op name = Attr.find name op.attrs
+let set_attr op name v = op.attrs <- Attr.set name v op.attrs
+let remove_attr op name = op.attrs <- Attr.remove name op.attrs
+let has_attr op name = Option.is_some (attr op name)
+
+let set_operand op index v =
+  let old = op.operands.(index) in
+  if not (old == v) then begin
+    remove_use old ~op ~index;
+    op.operands.(index) <- v;
+    add_use v ~op ~index
+  end
+
+let set_operands op vs =
+  Array.iteri (fun index v -> remove_use v ~op ~index) op.operands;
+  op.operands <- Array.of_list vs;
+  Array.iteri (fun index v -> add_use v ~op ~index) op.operands
+
+(* ------------------------------------------------------------------ *)
+(* Linking ops into blocks                                             *)
+(* ------------------------------------------------------------------ *)
+
+let op_parent op = op.op_parent
+let op_next op = op.op_next
+let op_prev op = op.op_prev
+
+let block_ops b =
+  let rec go acc = function
+    | None -> List.rev acc
+    | Some op -> go (op :: acc) op.op_next
+  in
+  go [] b.b_first
+
+let block_first_op b = b.b_first
+let block_last_op b = b.b_last
+
+(** Number of ops in [b]; O(n). *)
+let block_num_ops b =
+  let rec go n = function None -> n | Some op -> go (n + 1) op.op_next in
+  go 0 b.b_first
+
+let assert_detached op =
+  if op.op_parent <> None then
+    invalid_arg (Fmt.str "op %s is already attached to a block" op.op_name)
+
+let insert_at_end b op =
+  assert_detached op;
+  op.op_parent <- Some b;
+  op.op_prev <- b.b_last;
+  op.op_next <- None;
+  (match b.b_last with
+  | None -> b.b_first <- Some op
+  | Some last -> last.op_next <- Some op);
+  b.b_last <- Some op
+
+let insert_at_start b op =
+  assert_detached op;
+  op.op_parent <- Some b;
+  op.op_next <- b.b_first;
+  op.op_prev <- None;
+  (match b.b_first with
+  | None -> b.b_last <- Some op
+  | Some first -> first.op_prev <- Some op);
+  b.b_first <- Some op
+
+let insert_before ~anchor op =
+  assert_detached op;
+  let b =
+    match anchor.op_parent with
+    | Some b -> b
+    | None -> invalid_arg "insert_before: anchor is detached"
+  in
+  op.op_parent <- Some b;
+  op.op_prev <- anchor.op_prev;
+  op.op_next <- Some anchor;
+  (match anchor.op_prev with
+  | None -> b.b_first <- Some op
+  | Some p -> p.op_next <- Some op);
+  anchor.op_prev <- Some op
+
+let insert_after ~anchor op =
+  assert_detached op;
+  let b =
+    match anchor.op_parent with
+    | Some b -> b
+    | None -> invalid_arg "insert_after: anchor is detached"
+  in
+  op.op_parent <- Some b;
+  op.op_next <- anchor.op_next;
+  op.op_prev <- Some anchor;
+  (match anchor.op_next with
+  | None -> b.b_last <- Some op
+  | Some n -> n.op_prev <- Some op);
+  anchor.op_next <- Some op
+
+(** Unlink [op] from its block without touching uses or nested regions. *)
+let detach op =
+  match op.op_parent with
+  | None -> ()
+  | Some b ->
+    (match op.op_prev with
+    | None -> b.b_first <- op.op_next
+    | Some p -> p.op_next <- op.op_next);
+    (match op.op_next with
+    | None -> b.b_last <- op.op_prev
+    | Some n -> n.op_prev <- op.op_prev);
+    op.op_parent <- None;
+    op.op_prev <- None;
+    op.op_next <- None
+
+let move_before ~anchor op =
+  detach op;
+  insert_before ~anchor op
+
+let move_after ~anchor op =
+  detach op;
+  insert_after ~anchor op
+
+let move_to_end b op =
+  detach op;
+  insert_at_end b op
+
+(* ------------------------------------------------------------------ *)
+(* Blocks and regions                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let create_block ?(args = []) () =
+  let b =
+    {
+      b_id = Util.fresh_id ();
+      b_args = [||];
+      b_first = None;
+      b_last = None;
+      b_parent = None;
+      b_prev = None;
+      b_next = None;
+    }
+  in
+  b.b_args <-
+    Array.of_list
+      (List.mapi
+         (fun i t ->
+           { v_id = Util.fresh_id (); v_typ = t; v_def = Block_arg (b, i); v_uses = [] })
+         args);
+  b
+
+let block_args b = Array.to_list b.b_args
+let block_arg b i = b.b_args.(i)
+let block_parent b = b.b_parent
+
+let add_block_arg b t =
+  let i = Array.length b.b_args in
+  let v = { v_id = Util.fresh_id (); v_typ = t; v_def = Block_arg (b, i); v_uses = [] } in
+  b.b_args <- Array.append b.b_args [| v |];
+  v
+
+let create_region () =
+  { r_id = Util.fresh_id (); r_first = None; r_last = None; r_parent = None }
+
+let region_blocks r =
+  let rec go acc = function
+    | None -> List.rev acc
+    | Some b -> go (b :: acc) b.b_next
+  in
+  go [] r.r_first
+
+let region_first_block r = r.r_first
+let region_parent r = r.r_parent
+
+let append_block r b =
+  if b.b_parent <> None then invalid_arg "append_block: block already attached";
+  b.b_parent <- Some r;
+  b.b_prev <- r.r_last;
+  b.b_next <- None;
+  (match r.r_last with
+  | None -> r.r_first <- Some b
+  | Some last -> last.b_next <- Some b);
+  r.r_last <- Some b
+
+let insert_block_after r ~anchor b =
+  if b.b_parent <> None then
+    invalid_arg "insert_block_after: block already attached";
+  b.b_parent <- Some r;
+  b.b_prev <- Some anchor;
+  b.b_next <- anchor.b_next;
+  (match anchor.b_next with
+  | None -> r.r_last <- Some b
+  | Some n -> n.b_prev <- Some b);
+  anchor.b_next <- Some b
+
+let detach_block b =
+  match b.b_parent with
+  | None -> ()
+  | Some r ->
+    (match b.b_prev with
+    | None -> r.r_first <- b.b_next
+    | Some p -> p.b_next <- b.b_next);
+    (match b.b_next with
+    | None -> r.r_last <- b.b_prev
+    | Some n -> n.b_prev <- b.b_prev);
+    b.b_parent <- None;
+    b.b_prev <- None;
+    b.b_next <- None
+
+(** Region with a single empty block, the common case for structured ops. *)
+let single_block_region ?(args = []) () =
+  let r = create_region () in
+  append_block r (create_block ~args ());
+  r
+
+let region_with_block b =
+  let r = create_region () in
+  append_block r b;
+  r
+
+(* ------------------------------------------------------------------ *)
+(* Traversal                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let rec walk_op ?(pre = ignore) ?(post = ignore) op =
+  pre op;
+  List.iter (walk_region ~pre ~post) op.regions;
+  post op
+
+and walk_region ~pre ~post r =
+  List.iter (walk_block ~pre ~post) (region_blocks r)
+
+and walk_block ~pre ~post b =
+  (* Snapshot the op list so that callbacks may erase/move the current op. *)
+  List.iter (fun op -> walk_op ~pre ~post op) (block_ops b)
+
+(** Parent op of [op], if attached. *)
+let parent_op op =
+  match op.op_parent with
+  | None -> None
+  | Some b -> ( match b.b_parent with None -> None | Some r -> r.r_parent)
+
+let rec is_ancestor ~ancestor op =
+  if ancestor == op then true
+  else match parent_op op with None -> false | Some p -> is_ancestor ~ancestor p
+
+(** Is [op] a proper ancestor of (or equal to) the op defining/owning [v]? *)
+let value_defined_within ~ancestor v =
+  match v.v_def with
+  | Op_result (op, _) -> is_ancestor ~ancestor op
+  | Block_arg (b, _) -> (
+    match b.b_parent with
+    | None -> false
+    | Some r -> (
+      match r.r_parent with
+      | None -> false
+      | Some owner -> is_ancestor ~ancestor owner))
+
+(* ------------------------------------------------------------------ *)
+(* Replacement and erasure                                             *)
+(* ------------------------------------------------------------------ *)
+
+let replace_all_uses_with v ~with_ =
+  if not (v == with_) then begin
+    let uses = v.v_uses in
+    v.v_uses <- [];
+    List.iter
+      (fun { u_op; u_index } ->
+        u_op.operands.(u_index) <- with_;
+        with_.v_uses <- { u_op; u_index } :: with_.v_uses)
+      uses
+  end
+
+(** Drop all operand uses held by [op] and, recursively, by its regions.
+    Required before erasing a subtree that may contain forward references. *)
+let rec drop_all_references op =
+  Array.iteri (fun index v -> remove_use v ~op ~index) op.operands;
+  op.operands <- [||];
+  List.iter
+    (fun r ->
+      List.iter
+        (fun b -> List.iter drop_all_references (block_ops b))
+        (region_blocks r))
+    op.regions
+
+exception Has_live_uses of op
+
+(** Erase [op]: unlink it, drop its operand uses (recursively through
+    regions). Raises [Has_live_uses] if any result still has uses outside the
+    erased subtree. *)
+let erase op =
+  Array.iter
+    (fun res ->
+      List.iter
+        (fun u ->
+          if not (is_ancestor ~ancestor:op u.u_op) then raise (Has_live_uses op))
+        res.v_uses)
+    op.results;
+  (* Results of nested ops must not be used outside the subtree either. *)
+  List.iter
+    (fun r ->
+      List.iter
+        (fun b ->
+          List.iter
+            (fun nested ->
+              walk_op nested ~pre:(fun n ->
+                  Array.iter
+                    (fun res ->
+                      List.iter
+                        (fun u ->
+                          if not (is_ancestor ~ancestor:op u.u_op) then
+                            raise (Has_live_uses n))
+                        res.v_uses)
+                    n.results))
+            (block_ops b))
+        (region_blocks r))
+    op.regions;
+  detach op;
+  drop_all_references op
+
+(** Erase without checking uses; callers must know the uses are dead. *)
+let erase_unchecked op =
+  detach op;
+  drop_all_references op
+
+(** Replace [op] by [values] (one per result) and erase it. *)
+let replace op ~with_ =
+  if List.length with_ <> Array.length op.results then
+    invalid_arg "replace: result arity mismatch";
+  List.iteri
+    (fun i v -> replace_all_uses_with op.results.(i) ~with_:v)
+    with_;
+  erase op
+
+(* ------------------------------------------------------------------ *)
+(* Cloning                                                             *)
+(* ------------------------------------------------------------------ *)
+
+(** Value remapping used while cloning. *)
+module Mapping = struct
+  type t = {
+    values : (int, value) Hashtbl.t;
+    blocks : (int, block) Hashtbl.t;
+  }
+
+  let create () = { values = Hashtbl.create 16; blocks = Hashtbl.create 4 }
+  let map_value m ~from ~to_ = Hashtbl.replace m.values from.v_id to_
+  let lookup_value m v = Option.value ~default:v (Hashtbl.find_opt m.values v.v_id)
+  let map_block m ~from ~to_ = Hashtbl.replace m.blocks from.b_id to_
+  let lookup_block m b = Option.value ~default:b (Hashtbl.find_opt m.blocks b.b_id)
+end
+
+let rec clone_op ?(mapping = Mapping.create ()) op =
+  let operands =
+    Array.to_list (Array.map (Mapping.lookup_value mapping) op.operands)
+  in
+  let result_types = List.map (fun r -> r.v_typ) (results op) in
+  let regions = List.map (clone_region ~mapping) op.regions in
+  let successors =
+    Array.to_list (Array.map (Mapping.lookup_block mapping) op.successors)
+  in
+  let cloned =
+    create ~operands ~result_types ~attrs:op.attrs ~regions ~successors
+      ~loc:op.op_loc op.op_name
+  in
+  Array.iteri
+    (fun i r -> Mapping.map_value mapping ~from:r ~to_:cloned.results.(i))
+    op.results;
+  (* Remap forward references inside cloned regions now that results exist. *)
+  List.iter
+    (fun r ->
+      List.iter
+        (fun b ->
+          List.iter
+            (fun nested ->
+              walk_op nested ~pre:(fun n ->
+                  Array.iteri
+                    (fun index v ->
+                      let v' = Mapping.lookup_value mapping v in
+                      if not (v == v') then set_operand n index v')
+                    n.operands))
+            (block_ops b))
+        (region_blocks r))
+    cloned.regions;
+  cloned
+
+and clone_region ~mapping r =
+  let r' = create_region () in
+  (* First create all blocks (with args) so successors can be remapped. *)
+  let blocks = region_blocks r in
+  let cloned_blocks =
+    List.map
+      (fun b ->
+        let b' = create_block ~args:(List.map (fun a -> a.v_typ) (block_args b)) () in
+        Mapping.map_block mapping ~from:b ~to_:b';
+        Array.iteri
+          (fun i a -> Mapping.map_value mapping ~from:a ~to_:b'.b_args.(i))
+          b.b_args;
+        append_block r' b';
+        b')
+      blocks
+  in
+  List.iter2
+    (fun b b' ->
+      List.iter
+        (fun op -> insert_at_end b' (clone_op ~mapping op))
+        (block_ops b))
+    blocks cloned_blocks;
+  r'
+
+(* ------------------------------------------------------------------ *)
+(* Misc                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let op_dialect op = Util.dialect_of_op_name op.op_name
+
+let is_before_in_block a b =
+  (* both must be in the same block *)
+  let rec go = function
+    | None -> false
+    | Some x -> x == b || go x.op_next
+  in
+  (match (a.op_parent, b.op_parent) with
+  | Some ba, Some bb when ba == bb -> ()
+  | _ -> invalid_arg "is_before_in_block: ops not in the same block");
+  go a.op_next

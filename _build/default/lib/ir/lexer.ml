@@ -1,0 +1,335 @@
+(** Hand-written lexer for the generic MLIR textual format.
+
+    The lexer is pull-based with a single memoized lookahead token, and
+    additionally exposes *raw mode* access to the underlying characters.
+    Raw mode is needed to lex dimension lists such as [4x?xf32] inside shaped
+    types, where [x] acts as a separator — mirroring how MLIR's own parser
+    switches lexing modes inside [tensor<...>]. *)
+
+type token =
+  | INT of int
+  | FLOATLIT of float
+  | STRING of string
+  | IDENT of string  (** bare identifier, including keywords *)
+  | PCT_IDENT of string  (** [%foo] (without the [%]) *)
+  | CARET_IDENT of string  (** [^bb0] (without the [^]) *)
+  | AT_IDENT of string  (** [@foo] (without the [@]) *)
+  | LPAREN
+  | RPAREN
+  | LBRACE
+  | RBRACE
+  | LBRACKET
+  | RBRACKET
+  | LT
+  | GT
+  | COMMA
+  | COLON
+  | DCOLON  (** [::] *)
+  | EQUAL
+  | ARROW  (** [->] *)
+  | QUESTION
+  | STAR
+  | PLUS
+  | MINUS
+  | HASH  (** [#] *)
+  | BANG  (** [!] *)
+  | EOF
+
+let pp_token fmt = function
+  | INT n -> Fmt.pf fmt "integer %d" n
+  | FLOATLIT f -> Fmt.pf fmt "float %g" f
+  | STRING s -> Fmt.pf fmt "string %S" s
+  | IDENT s -> Fmt.pf fmt "identifier %s" s
+  | PCT_IDENT s -> Fmt.pf fmt "%%%s" s
+  | CARET_IDENT s -> Fmt.pf fmt "^%s" s
+  | AT_IDENT s -> Fmt.pf fmt "@%s" s
+  | LPAREN -> Fmt.string fmt "("
+  | RPAREN -> Fmt.string fmt ")"
+  | LBRACE -> Fmt.string fmt "{"
+  | RBRACE -> Fmt.string fmt "}"
+  | LBRACKET -> Fmt.string fmt "["
+  | RBRACKET -> Fmt.string fmt "]"
+  | LT -> Fmt.string fmt "<"
+  | GT -> Fmt.string fmt ">"
+  | COMMA -> Fmt.string fmt ","
+  | COLON -> Fmt.string fmt ":"
+  | DCOLON -> Fmt.string fmt "::"
+  | EQUAL -> Fmt.string fmt "="
+  | ARROW -> Fmt.string fmt "->"
+  | QUESTION -> Fmt.string fmt "?"
+  | STAR -> Fmt.string fmt "*"
+  | PLUS -> Fmt.string fmt "+"
+  | MINUS -> Fmt.string fmt "-"
+  | HASH -> Fmt.string fmt "#"
+  | BANG -> Fmt.string fmt "!"
+  | EOF -> Fmt.string fmt "<eof>"
+
+exception Error of string * int (* message, offset *)
+
+type t = {
+  src : string;
+  mutable pos : int;
+  mutable cached : (token * int * int) option;  (** token, start, end *)
+}
+
+let create src = { src; pos = 0; cached = None }
+
+let is_id_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_id_char c = is_id_start c || (c >= '0' && c <= '9') || c = '.' || c = '-' || c = '$'
+
+let is_digit c = c >= '0' && c <= '9'
+let is_hex c = is_digit c || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+
+(** Line/column of an offset, for diagnostics. *)
+let line_col t off =
+  let line = ref 1 and col = ref 1 in
+  for i = 0 to min (off - 1) (String.length t.src - 1) do
+    if t.src.[i] = '\n' then begin
+      incr line;
+      col := 1
+    end
+    else incr col
+  done;
+  (!line, !col)
+
+let rec skip_ws_from src pos =
+  let n = String.length src in
+  if pos >= n then pos
+  else
+    match src.[pos] with
+    | ' ' | '\t' | '\n' | '\r' -> skip_ws_from src (pos + 1)
+    | '/' when pos + 1 < n && src.[pos + 1] = '/' ->
+      let rec eol p = if p >= n || src.[p] = '\n' then p else eol (p + 1) in
+      skip_ws_from src (eol (pos + 2))
+    | _ -> pos
+
+let scan_suffix_id src pos =
+  (* identifier allowed after % ^ @ #: letters, digits, ., _, -, $ *)
+  let n = String.length src in
+  let start = pos in
+  let rec go p = if p < n && is_id_char src.[p] then go (p + 1) else p in
+  let stop = go pos in
+  if stop = start then raise (Error ("expected identifier", pos));
+  (String.sub src start (stop - start), stop)
+
+let scan_number src pos =
+  let n = String.length src in
+  let int_tok stop =
+    match int_of_string_opt (String.sub src pos (stop - pos)) with
+    | Some v -> (INT v, stop)
+    | None -> raise (Error ("integer literal out of range", pos))
+  in
+  let float_tok stop =
+    match float_of_string_opt (String.sub src pos (stop - pos)) with
+    | Some v -> (FLOATLIT v, stop)
+    | None -> raise (Error ("invalid numeric literal", pos))
+  in
+  if pos + 1 < n && src.[pos] = '0' && (src.[pos + 1] = 'x' || src.[pos + 1] = 'X')
+  then begin
+    (* hex integer or hex float *)
+    let rec hexrun p = if p < n && is_hex src.[p] then hexrun (p + 1) else p in
+    let p1 = hexrun (pos + 2) in
+    let is_float =
+      (p1 < n && src.[p1] = '.')
+      || (p1 < n && (src.[p1] = 'p' || src.[p1] = 'P'))
+    in
+    if not is_float then int_tok p1
+    else begin
+      let p2 = if p1 < n && src.[p1] = '.' then hexrun (p1 + 1) else p1 in
+      let p3 =
+        if p2 < n && (src.[p2] = 'p' || src.[p2] = 'P') then begin
+          let p = p2 + 1 in
+          let p = if p < n && (src.[p] = '+' || src.[p] = '-') then p + 1 else p in
+          let rec digs q = if q < n && is_digit src.[q] then digs (q + 1) else q in
+          let stop = digs p in
+          (* exponent marker without digits is not part of the literal *)
+          if stop = p then p2 else stop
+        end
+        else p2
+      in
+      float_tok p3
+    end
+  end
+  else begin
+    let rec digits p = if p < n && is_digit src.[p] then digits (p + 1) else p in
+    let p1 = digits pos in
+    let has_frac = p1 < n && src.[p1] = '.' && p1 + 1 < n && is_digit src.[p1 + 1] in
+    let p2 = if has_frac then digits (p1 + 1) else p1 in
+    let p3 =
+      if p2 < n && (src.[p2] = 'e' || src.[p2] = 'E') then begin
+        let p = p2 + 1 in
+        let p = if p < n && (src.[p] = '+' || src.[p] = '-') then p + 1 else p in
+        let stop = digits p in
+        (* "9E" / "9e+" are the integer/fraction followed by an identifier *)
+        if stop = p then p2 else stop
+      end
+      else p2
+    in
+    if p3 > p1 then float_tok p3 else int_tok p1
+  end
+
+let scan_string src pos =
+  let n = String.length src in
+  let buf = Buffer.create 16 in
+  let rec go p =
+    if p >= n then raise (Error ("unterminated string", pos))
+    else
+      match src.[p] with
+      | '"' -> (Buffer.contents buf, p + 1)
+      | '\\' when p + 1 < n ->
+        let c = src.[p + 1] in
+        let c' =
+          match c with
+          | 'n' -> '\n'
+          | 't' -> '\t'
+          | 'r' -> '\r'
+          | '\\' -> '\\'
+          | '"' -> '"'
+          | '0' -> '\000'
+          | c -> c
+        in
+        Buffer.add_char buf c';
+        go (p + 2)
+      | c ->
+        Buffer.add_char buf c;
+        go (p + 1)
+  in
+  go pos
+
+let scan_token src pos =
+  let n = String.length src in
+  if pos >= n then (EOF, pos)
+  else
+    let c = src.[pos] in
+    match c with
+    | '(' -> (LPAREN, pos + 1)
+    | ')' -> (RPAREN, pos + 1)
+    | '{' -> (LBRACE, pos + 1)
+    | '}' -> (RBRACE, pos + 1)
+    | '[' -> (LBRACKET, pos + 1)
+    | ']' -> (RBRACKET, pos + 1)
+    | '<' -> (LT, pos + 1)
+    | '>' -> (GT, pos + 1)
+    | ',' -> (COMMA, pos + 1)
+    | '=' -> (EQUAL, pos + 1)
+    | '?' -> (QUESTION, pos + 1)
+    | '*' -> (STAR, pos + 1)
+    | '+' -> (PLUS, pos + 1)
+    | '#' -> (HASH, pos + 1)
+    | '!' -> (BANG, pos + 1)
+    | ':' ->
+      if pos + 1 < n && src.[pos + 1] = ':' then (DCOLON, pos + 2)
+      else (COLON, pos + 1)
+    | '-' ->
+      if pos + 1 < n && src.[pos + 1] = '>' then (ARROW, pos + 2)
+      else (MINUS, pos + 1)
+    | '"' ->
+      let s, p = scan_string src (pos + 1) in
+      (STRING s, p)
+    | '%' ->
+      let s, p = scan_suffix_id src (pos + 1) in
+      (PCT_IDENT s, p)
+    | '^' ->
+      let s, p = scan_suffix_id src (pos + 1) in
+      (CARET_IDENT s, p)
+    | '@' ->
+      let s, p = scan_suffix_id src (pos + 1) in
+      (AT_IDENT s, p)
+    | c when is_digit c ->
+      let tok, p = scan_number src pos in
+      (tok, p)
+    | c when is_id_start c ->
+      let stop =
+        let rec go p =
+          if p < n && (is_id_start src.[p] || is_digit src.[p] || src.[p] = '.' || src.[p] = '_')
+          then go (p + 1)
+          else p
+        in
+        go pos
+      in
+      (IDENT (String.sub src pos (stop - pos)), stop)
+    | c -> raise (Error (Fmt.str "unexpected character %C" c, pos))
+
+let fill t =
+  match t.cached with
+  | Some _ -> ()
+  | None ->
+    let start = skip_ws_from t.src t.pos in
+    let tok, stop = scan_token t.src start in
+    t.cached <- Some (tok, start, stop)
+
+let peek t =
+  fill t;
+  match t.cached with Some (tok, _, _) -> tok | None -> assert false
+
+let token_start t =
+  fill t;
+  match t.cached with Some (_, s, _) -> s | None -> assert false
+
+let advance t =
+  fill t;
+  match t.cached with
+  | Some (_, _, stop) ->
+    t.pos <- stop;
+    t.cached <- None
+  | None -> assert false
+
+let next t =
+  let tok = peek t in
+  advance t;
+  tok
+
+(* ---------------------------------------------------------------- *)
+(* Raw mode: character-level access for dimension lists              *)
+(* ---------------------------------------------------------------- *)
+
+(** Enter raw mode: un-memoize the lookahead (if any), positioning the cursor
+    just before it, skipping leading whitespace. *)
+let enter_raw t =
+  (match t.cached with
+  | Some (_, start, _) ->
+    t.pos <- start;
+    t.cached <- None
+  | None -> ());
+  t.pos <- skip_ws_from t.src t.pos
+
+let raw_peek_char t =
+  if t.pos < String.length t.src then Some t.src.[t.pos] else None
+
+let raw_advance_char t = t.pos <- t.pos + 1
+
+(** Lex the dimension-list prefix of a shaped type body: a (possibly empty)
+    sequence of [<dim>x] items where dim is an integer, [?] or [*]. Returns
+    the dims; the cursor is positioned at the element type. [*x] yields
+    [`Unranked]. *)
+let raw_dimension_list t =
+  enter_raw t;
+  let src = t.src in
+  let n = String.length src in
+  let dims = ref [] in
+  let unranked = ref false in
+  let continue_ = ref true in
+  while !continue_ do
+    let p = t.pos in
+    if p < n && src.[p] = '?' && p + 1 < n && src.[p + 1] = 'x' then begin
+      dims := Typ.Dynamic :: !dims;
+      t.pos <- p + 2
+    end
+    else if p < n && src.[p] = '*' && p + 1 < n && src.[p + 1] = 'x' then begin
+      unranked := true;
+      t.pos <- p + 2
+    end
+    else if p < n && is_digit src.[p] then begin
+      let rec digits q = if q < n && is_digit src.[q] then digits (q + 1) else q in
+      let stop = digits p in
+      if stop < n && src.[stop] = 'x' then begin
+        dims := Typ.Static (int_of_string (String.sub src p (stop - p))) :: !dims;
+        t.pos <- stop + 1
+      end
+      else continue_ := false
+    end
+    else continue_ := false
+  done;
+  if !unranked then `Unranked else `Ranked (List.rev !dims)

@@ -1,0 +1,20 @@
+(** Source locations attached to operations, mirroring MLIR's [Location]. *)
+
+type t =
+  | Unknown
+  | File of { file : string; line : int; col : int }
+  | Name of string * t  (** a named location wrapping a child location *)
+  | Fused of t list
+
+let unknown = Unknown
+let file ?(line = 0) ?(col = 0) file = File { file; line; col }
+let name ?(child = Unknown) n = Name (n, child)
+
+let rec pp fmt = function
+  | Unknown -> Fmt.string fmt "loc(unknown)"
+  | File { file; line; col } -> Fmt.pf fmt "loc(%S:%d:%d)" file line col
+  | Name (n, Unknown) -> Fmt.pf fmt "loc(%S)" n
+  | Name (n, child) -> Fmt.pf fmt "loc(%S at %a)" n pp child
+  | Fused locs -> Fmt.pf fmt "loc(fused[%a])" (Util.pp_list pp) locs
+
+let to_string l = Fmt.str "%a" pp l

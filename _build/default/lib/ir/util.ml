@@ -1,0 +1,67 @@
+(** Small shared utilities for the IR library. *)
+
+(** Monotonically increasing unique identifiers used by values, ops, blocks
+    and regions. Deterministic within a process run; never reused. *)
+let fresh_id : unit -> int =
+  let counter = ref 0 in
+  fun () ->
+    incr counter;
+    !counter
+
+let pp_list ?(sep = ", ") pp_elt fmt xs =
+  Fmt.(list ~sep:(fun fmt () -> Fmt.string fmt sep) pp_elt) fmt xs
+
+(** [split_op_name "arith.addi"] is [("arith", "addi")]. Names without a dot
+    belong to the builtin dialect, mirroring MLIR. *)
+let split_op_name name =
+  match String.index_opt name '.' with
+  | None -> ("builtin", name)
+  | Some i ->
+    (String.sub name 0 i, String.sub name (i + 1) (String.length name - i - 1))
+
+let dialect_of_op_name name = fst (split_op_name name)
+
+(** Typed universal maps, used for extensible op interfaces. Keys carry an
+    injection/projection pair built from a locally generated exception
+    constructor, so lookups are type-safe without [Obj.magic]. *)
+module Univ = struct
+  type 'a key = {
+    id : int;
+    name : string;
+    inj : 'a -> exn;
+    proj : exn -> 'a option;
+  }
+
+  let create_key (type a) name : a key =
+    let module M = struct
+      exception E of a
+    end in
+    {
+      id = fresh_id ();
+      name;
+      inj = (fun x -> M.E x);
+      proj = (function M.E x -> Some x | _ -> None);
+    }
+
+  let key_name k = k.name
+
+  type binding = B : int * string * exn -> binding
+  type t = binding list
+
+  let empty : t = []
+  let add key value m = B (key.id, key.name, key.inj value) :: m
+
+  let find key m =
+    let rec go = function
+      | [] -> None
+      | B (id, _, e) :: rest ->
+        if id = key.id then key.proj e else go rest
+    in
+    go m
+
+  let mem key m = Option.is_some (find key m)
+
+  (** Names of all bound keys (used to answer "does this op implement an
+      interface with this name" without the typed key). *)
+  let binding_names m = List.map (fun (B (_, name, _)) -> name) m
+end

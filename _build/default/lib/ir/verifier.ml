@@ -1,0 +1,193 @@
+(** IR verification: structural SSA invariants (dominance, terminators,
+    successor wiring, use-def consistency) plus per-op verifiers registered
+    in the {!Context}. *)
+
+open Ircore
+
+type diagnostic = { d_op : op; d_message : string }
+
+let pp_diagnostic fmt d =
+  (match d.d_op.op_loc with
+  | Loc.Unknown -> ()
+  | l -> Fmt.pf fmt "%a: " Loc.pp l);
+  Fmt.pf fmt "error: '%s': %s" d.d_op.op_name d.d_message
+
+let diag op fmt = Fmt.kstr (fun m -> { d_op = op; d_message = m }) fmt
+
+let verify_op_structure ctx op errors =
+  (* registration *)
+  (match Context.lookup ctx op.op_name with
+  | Some def -> (
+    match def.Context.d_verify op with
+    | Ok () -> ()
+    | Error msg -> errors := diag op "%s" msg :: !errors)
+  | None ->
+    if not (Context.allows_unregistered ctx) then
+      errors :=
+        diag op "unregistered operation in a context that requires registration"
+        :: !errors);
+  (* trait checks *)
+  if Context.op_has_trait ctx op Context.Same_operands_and_result_type then begin
+    let tys =
+      List.map value_typ (operands op) @ List.map value_typ (results op)
+    in
+    match tys with
+    | [] -> ()
+    | t :: rest ->
+      if not (List.for_all (Typ.equal t) rest) then
+        errors :=
+          diag op "requires the same type for all operands and results"
+          :: !errors
+  end;
+  if Context.op_has_trait ctx op Context.Terminator then begin
+    match op.op_parent with
+    | Some b when (match block_last_op b with Some l -> l == op | None -> false)
+      ->
+      ()
+    | _ -> errors := diag op "terminator must be the last op in its block" :: !errors
+  end;
+  if Array.length op.successors > 0
+     && not (Context.op_has_trait ctx op Context.Terminator)
+     && Context.is_registered ctx op.op_name
+  then errors := diag op "only terminators may have successors" :: !errors
+
+let verify_block_terminator ctx ~parent b errors =
+  let graph_region = Context.op_has_trait ctx parent Context.No_terminator in
+  if not graph_region then
+    match block_last_op b with
+    | None -> errors := diag parent "block has no terminator" :: !errors
+    | Some last ->
+      if
+        Context.is_registered ctx last.op_name
+        && not (Context.op_has_trait ctx last Context.Terminator)
+      then
+        errors :=
+          diag last "block must end with a terminator operation" :: !errors
+
+(** Verify dominance of operand defs over their users in [region]. *)
+let verify_region_dominance r errors =
+  let doms = Dominance.compute r in
+  List.iter
+    (fun b ->
+      List.iter
+        (fun op ->
+          walk_op op ~pre:(fun user ->
+              Array.iteri
+                (fun i v ->
+                  (* only check values defined within this same region;
+                     outer values are checked at the outer region *)
+                  let in_region b =
+                    match b.b_parent with Some rr -> rr == r | None -> false
+                  in
+                  let in_this_region =
+                    match v.v_def with
+                    | Block_arg (db, _) -> in_region db
+                    | Op_result (dop, _) -> (
+                      match dop.op_parent with
+                      | Some db -> in_region db
+                      | None -> false)
+                  in
+                  if in_this_region && not (Dominance.value_dominates_op doms v user)
+                  then
+                    errors :=
+                      diag user "operand #%d does not dominate this use" i
+                      :: !errors)
+                user.operands))
+        (block_ops b))
+    (region_blocks r)
+
+let verify_use_def_consistency op errors =
+  walk_op op ~pre:(fun o ->
+      Array.iteri
+        (fun i v ->
+          if
+            not
+              (List.exists
+                 (fun u -> u.u_op == o && u.u_index = i)
+                 (value_uses v))
+          then
+            errors :=
+              diag o "operand #%d missing from the use list of its value" i
+              :: !errors)
+        o.operands)
+
+(** Verify symbol uniqueness within symbol-table ops. *)
+let verify_symbols ctx op errors =
+  if Context.op_has_trait ctx op Context.Symbol_table then begin
+    let seen = Hashtbl.create 8 in
+    List.iter
+      (fun r ->
+        List.iter
+          (fun b ->
+            List.iter
+              (fun nested ->
+                match attr nested "sym_name" with
+                | Some (Attr.String name) ->
+                  if Hashtbl.mem seen name then
+                    errors :=
+                      diag nested "redefinition of symbol @%s" name :: !errors
+                  else Hashtbl.replace seen name ()
+                | _ -> ())
+              (block_ops b))
+          (region_blocks r))
+      op.regions
+  end
+
+let verify ctx top : (unit, diagnostic list) result =
+  let errors = ref [] in
+  verify_use_def_consistency top errors;
+  walk_op top ~pre:(fun op ->
+      verify_op_structure ctx op errors;
+      verify_symbols ctx op errors;
+      List.iter
+        (fun r ->
+          List.iter
+            (fun b -> verify_block_terminator ctx ~parent:op b errors)
+            (region_blocks r);
+          verify_region_dominance r errors)
+        op.regions);
+  match List.rev !errors with [] -> Ok () | errs -> Error errs
+
+let verify_or_fail ctx top =
+  match verify ctx top with
+  | Ok () -> ()
+  | Error errs ->
+    let msg =
+      Fmt.str "@[<v>verification failed:@,%a@]"
+        (Fmt.list ~sep:Fmt.cut pp_diagnostic)
+        errs
+    in
+    failwith msg
+
+(* ------------------------------------------------------------------ *)
+(* Reusable per-op verification helpers for dialect definitions        *)
+(* ------------------------------------------------------------------ *)
+
+let expect_operands n op =
+  if num_operands op = n then Ok ()
+  else Error (Fmt.str "expected %d operands, got %d" n (num_operands op))
+
+let expect_min_operands n op =
+  if num_operands op >= n then Ok ()
+  else Error (Fmt.str "expected at least %d operands, got %d" n (num_operands op))
+
+let expect_results n op =
+  if num_results op = n then Ok ()
+  else Error (Fmt.str "expected %d results, got %d" n (num_results op))
+
+let expect_regions n op =
+  if List.length op.regions = n then Ok ()
+  else
+    Error (Fmt.str "expected %d regions, got %d" n (List.length op.regions))
+
+let expect_attr name op =
+  match attr op name with
+  | Some _ -> Ok ()
+  | None -> Error (Fmt.str "missing required attribute '%s'" name)
+
+let ( let* ) = Result.bind
+
+let all checks op =
+  List.fold_left
+    (fun acc check -> match acc with Error _ -> acc | Ok () -> check op)
+    (Ok ()) checks

@@ -1,0 +1,1 @@
+lib/passes/inline.ml: Attr Builder Dialects Func Hashtbl Ir Ircore List Opset Pass Rewriter Symbol

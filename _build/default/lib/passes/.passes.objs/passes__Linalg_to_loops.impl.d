@@ -1,0 +1,1 @@
+lib/passes/linalg_to_loops.ml: Arith Builder Dialects Dutil Ir Ircore Linalg List Memref Opset Pass Rewriter Scf Typ

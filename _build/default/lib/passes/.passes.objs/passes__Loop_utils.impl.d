@@ -1,0 +1,1 @@
+lib/passes/loop_utils.ml: Arith Array Builder Context Dialects Dutil Fmt Func Hashtbl Ir Ircore List Memref Option Result Rewriter Scf Typ Vector

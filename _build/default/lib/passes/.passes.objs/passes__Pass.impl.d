@@ -1,0 +1,1 @@
+lib/passes/pass.ml: Context Fmt Hashtbl Ir Ircore List Opset String Symbol Unix Verifier

@@ -1,0 +1,1 @@
+lib/passes/register_all.ml: Conversions Inline Linalg_to_loops Tosa_passes Transforms

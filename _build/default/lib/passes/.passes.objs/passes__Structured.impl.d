@@ -1,0 +1,1 @@
+lib/passes/structured.ml: Builder Dialects Dutil Fmt Fun Func Ir Ircore Linalg Linalg_to_loops List Memref Option Result Rewriter Scf Typ

@@ -1,0 +1,1 @@
+lib/passes/tosa_passes.ml: Arith Attr Builder Dialects Dutil Ir Ircore Linalg List Opset Option Pass Rewriter Tosa Typ Util

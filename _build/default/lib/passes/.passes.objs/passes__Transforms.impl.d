@@ -1,0 +1,1 @@
+lib/passes/transforms.ml: Arith Attr Context Dialects Dominance Dutil Func Greedy Hashtbl Ir Ircore List Loop_utils Opset Pass Pattern Rewriter Scf Symbol

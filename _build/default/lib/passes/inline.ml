@@ -1,0 +1,104 @@
+(** Function inlining: the payload-level inliner referenced by Section 3.4
+    ("macros … may be implemented by simply calling the inliner pass").
+
+    Inlines [func.call]s to same-module functions whose body is a single
+    block, bottom-up over the call graph; recursive cycles are left alone.
+    Calls to unknown symbols (external/microkernel functions) are kept. *)
+
+open Ir
+open Dialects
+
+let callee_name op =
+  match Ircore.attr op "callee" with
+  | Some (Attr.Symbol_ref (s, _)) -> Some s
+  | _ -> None
+
+(** Direct callees of [f] that resolve inside [module_]. *)
+let resolved_callees ~module_ f =
+  Symbol.collect_ops ~op_name:Func.call_op f
+  |> List.filter_map callee_name
+  |> List.filter_map (fun name -> Symbol.lookup_in ~table:module_ name)
+
+(** Functions reachable from [f] through resolved calls, including [f]. *)
+let reachable ~module_ f =
+  let seen = Hashtbl.create 8 in
+  let rec go g =
+    if not (Hashtbl.mem seen g.Ircore.op_id) then begin
+      Hashtbl.replace seen g.Ircore.op_id g;
+      List.iter go (resolved_callees ~module_ g)
+    end
+  in
+  go f;
+  Hashtbl.fold (fun _ g acc -> g :: acc) seen []
+
+let is_recursive ~module_ f =
+  List.exists
+    (fun callee ->
+      callee == f || List.memq f (reachable ~module_ callee))
+    (resolved_callees ~module_ f)
+
+(** Inline one call site. The callee must have a single-block body ending in
+    [func.return]. *)
+let inline_call rw ~callee call =
+  match Func.entry_block callee with
+  | None -> Error "callee has no body"
+  | Some body -> (
+    match callee.Ircore.regions with
+    | [ r ] when List.length (Ircore.region_blocks r) = 1 -> (
+      match Ircore.block_last_op body with
+      | Some ret when ret.Ircore.op_name = Func.return_op ->
+        (* clone the body before the call, mapping args to call operands *)
+        let mapping = Ircore.Mapping.create () in
+        List.iter2
+          (fun arg v -> Ircore.Mapping.map_value mapping ~from:arg ~to_:v)
+          (Ircore.block_args body) (Ircore.operands call);
+        Rewriter.set_ip rw (Builder.Before call);
+        let returned = ref [] in
+        List.iter
+          (fun op ->
+            if op == ret then
+              returned :=
+                List.map
+                  (Ircore.Mapping.lookup_value mapping)
+                  (Ircore.operands op)
+            else Rewriter.insert rw (Ircore.clone_op ~mapping op))
+          (Ircore.block_ops body);
+        Rewriter.replace_op rw call ~with_:!returned;
+        Ok ()
+      | _ -> Error "callee body does not end in func.return")
+    | _ -> Error "callee has a multi-block body")
+
+(** Inline every resolvable, non-recursive, single-block call in [top]. *)
+let run _ctx top =
+  let rw = Rewriter.create () in
+  let module_ = top in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    let calls = Symbol.collect_ops ~op_name:Func.call_op top in
+    List.iter
+      (fun call ->
+        if Ircore.op_parent call <> None then
+          match callee_name call with
+          | None -> ()
+          | Some name -> (
+            match Symbol.lookup_in ~table:module_ name with
+            | Some callee
+              when callee.Ircore.op_name = Func.func_op
+                   && not (is_recursive ~module_ callee) -> (
+              match inline_call rw ~callee call with
+              | Ok () -> changed := true
+              | Error _ -> ())
+            | _ -> ()))
+      calls
+  done;
+  Ok ()
+
+let register () =
+  if Pass.lookup "inline" = None then
+    Pass.register
+      (Pass.make ~name:"inline"
+         ~summary:"inline single-block non-recursive function calls"
+         ~pre:[ Opset.exact Func.call_op ]
+         ~post:[]
+         run)

@@ -1,0 +1,116 @@
+(** Passes and the pass manager.
+
+    A pass is a named IR transformation with declared pre-/post-conditions
+    (the op kinds it consumes and introduces — Section 3.3 of the paper).
+    The registry makes passes available both to classic pass-manager
+    pipelines and to [transform.apply_registered_pass]. *)
+
+open Ir
+
+type t = {
+  name : string;
+  summary : string;
+  pre : Opset.t;  (** op kinds consumed/removed by this pass *)
+  post : Opset.t;  (** op kinds (potentially) introduced by this pass *)
+  run : Context.t -> Ircore.op -> (unit, string) result;
+      (** runs on any op (module or function); must be idempotent on IR that
+          contains none of [pre] *)
+}
+
+let make ?(summary = "") ?(pre = []) ?(post = []) ~name run =
+  { name; summary; pre; post; run }
+
+(* ------------------------------------------------------------------ *)
+(* Registry                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let registry : (string, t) Hashtbl.t = Hashtbl.create 32
+
+let register p =
+  if Hashtbl.mem registry p.name then
+    invalid_arg (Fmt.str "pass %s already registered" p.name);
+  Hashtbl.replace registry p.name p
+
+let lookup name = Hashtbl.find_opt registry name
+
+let lookup_exn name =
+  match lookup name with
+  | Some p -> p
+  | None -> invalid_arg (Fmt.str "unknown pass %s" name)
+
+let all_registered () =
+  Hashtbl.fold (fun _ p acc -> p :: acc) registry []
+  |> List.sort (fun a b -> compare a.name b.name)
+
+(* ------------------------------------------------------------------ *)
+(* Pass manager                                                        *)
+(* ------------------------------------------------------------------ *)
+
+type timing = { t_pass : string; t_seconds : float }
+
+type run_result = {
+  timings : timing list;
+  total_seconds : float;
+}
+
+exception Pass_error of string * string  (** pass name, message *)
+
+(** Run a pipeline of passes over [op], timing each pass. Raises
+    {!Pass_error} on the first failing pass. *)
+let run_pipeline ?(verify_each = false) ctx passes op =
+  let t_start = Unix.gettimeofday () in
+  let timings =
+    List.map
+      (fun p ->
+        let t0 = Unix.gettimeofday () in
+        (match p.run ctx op with
+        | Ok () -> ()
+        | Error msg -> raise (Pass_error (p.name, msg)));
+        if verify_each then begin
+          match Verifier.verify ctx op with
+          | Ok () -> ()
+          | Error diags ->
+            raise
+              (Pass_error
+                 ( p.name,
+                   Fmt.str "verification failed after pass: %a"
+                     (Fmt.list ~sep:Fmt.comma Verifier.pp_diagnostic)
+                     diags ))
+        end;
+        { t_pass = p.name; t_seconds = Unix.gettimeofday () -. t0 })
+      passes
+  in
+  { timings; total_seconds = Unix.gettimeofday () -. t_start }
+
+(** Parse a comma-separated pipeline string, e.g.
+    ["convert-scf-to-cf,convert-arith-to-llvm"]. *)
+let parse_pipeline str =
+  String.split_on_char ',' str
+  |> List.map String.trim
+  |> List.filter (fun s -> s <> "")
+  |> List.map (fun name ->
+         match lookup name with
+         | Some p -> Ok p
+         | None -> Error (Fmt.str "unknown pass '%s'" name))
+  |> List.fold_left
+       (fun acc r ->
+         match (acc, r) with
+         | Ok ps, Ok p -> Ok (ps @ [ p ])
+         | Error e, _ -> Error e
+         | _, Error e -> Error e)
+       (Ok [])
+
+(* ------------------------------------------------------------------ *)
+(* Helpers for writing conversion passes                               *)
+(* ------------------------------------------------------------------ *)
+
+(** Apply [rewrite] to every op named [op_name] in the subtree (snapshot
+    first, so rewrites may erase the ops). *)
+let for_each_op ~op_name root f =
+  List.iter f (Symbol.collect_ops ~op_name root)
+
+(** Apply [f] to every op satisfying [p]. *)
+let for_each ~p root f = List.iter f (Symbol.collect ~f:p root)
+
+let ops_of_dialect root dialect =
+  Symbol.collect root ~f:(fun op -> Ircore.op_dialect op = dialect)

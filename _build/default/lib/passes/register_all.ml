@@ -1,0 +1,13 @@
+(** Registers every pass shipped with this library. Idempotent. *)
+
+let registered = ref false
+
+let register () =
+  if not !registered then begin
+    registered := true;
+    Conversions.register ();
+    Transforms.register ();
+    Tosa_passes.register ();
+    Linalg_to_loops.register ();
+    Inline.register ()
+  end

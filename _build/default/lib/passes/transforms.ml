@@ -1,0 +1,195 @@
+(** General transformation passes: canonicalize, CSE, LICM, DCE, inline. *)
+
+open Ir
+open Dialects
+
+(* ------------------------------------------------------------------ *)
+(* canonicalize                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(** All canonicalization patterns registered by op definitions in [ctx]. *)
+let canonicalization_patterns ctx =
+  let names = Hashtbl.create 16 in
+  List.iter
+    (fun dialect ->
+      List.iter
+        (fun op_name ->
+          match Context.lookup ctx op_name with
+          | Some def ->
+            List.iter
+              (fun pname -> Hashtbl.replace names pname ())
+              def.Context.d_canonicalizers
+          | None -> ())
+        (Context.dialect_ops ctx dialect))
+    (Context.registered_dialects ctx);
+  Hashtbl.fold
+    (fun name () acc ->
+      match Pattern.lookup name with Some p -> p :: acc | None -> acc)
+    names []
+
+let run_canonicalize ctx top =
+  let patterns =
+    canonicalization_patterns ctx
+    (* always include the arith simplifications *)
+    @ Arith.canonicalization_patterns ()
+  in
+  (* dedupe *)
+  let seen = Hashtbl.create 16 in
+  let patterns =
+    List.filter
+      (fun p ->
+        if Hashtbl.mem seen p.Pattern.name then false
+        else begin
+          Hashtbl.replace seen p.Pattern.name ();
+          true
+        end)
+      patterns
+  in
+  ignore (Greedy.apply ~config:Dutil.greedy_config ctx ~patterns top);
+  Ok ()
+
+(* ------------------------------------------------------------------ *)
+(* CSE                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(** Key identifying structurally equal pure ops within one block scope. *)
+let cse_key op =
+  let operand_ids =
+    List.map (fun v -> v.Ircore.v_id) (Ircore.operands op)
+  in
+  let attrs = List.map (fun (k, v) -> (k, Attr.to_string v)) op.Ircore.attrs in
+  (op.Ircore.op_name, operand_ids, attrs)
+
+(** Dominance-aware CSE: within each region, blocks are processed in reverse
+    postorder and an op may reuse an equivalent op from any *dominating*
+    block (looked up along the immediate-dominator chain). *)
+let run_cse ctx top =
+  let rw = Rewriter.create () in
+  let rec do_region r =
+    let doms = Dominance.compute r in
+    let tables : (int, (string * int list * (string * string) list, Ircore.op) Hashtbl.t) Hashtbl.t =
+      Hashtbl.create 8
+    in
+    let table_of b =
+      match Hashtbl.find_opt tables b.Ircore.b_id with
+      | Some t -> t
+      | None ->
+        let t = Hashtbl.create 16 in
+        Hashtbl.replace tables b.Ircore.b_id t;
+        t
+    in
+    let rec lookup b key =
+      match Hashtbl.find_opt (table_of b) key with
+      | Some op -> Some op
+      | None -> (
+        match Dominance.idom_of doms b with
+        | Some d -> lookup d key
+        | None -> None)
+    in
+    List.iter
+      (fun b ->
+        List.iter
+          (fun op ->
+            List.iter
+              (fun nested -> do_region nested)
+              op.Ircore.regions;
+            if
+              Context.is_pure ctx op
+              && op.Ircore.regions = []
+              && Ircore.num_results op > 0
+            then begin
+              let key = cse_key op in
+              match lookup b key with
+              | Some prior ->
+                Rewriter.replace_op rw op ~with_:(Ircore.results prior)
+              | None -> Hashtbl.replace (table_of b) key op
+            end)
+          (Ircore.block_ops b))
+      (Dominance.reverse_postorder r)
+  in
+  List.iter do_region top.Ircore.regions;
+  Ok ()
+
+(* ------------------------------------------------------------------ *)
+(* LICM                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let run_licm ctx top =
+  let rw = Rewriter.create () in
+  let loops = Symbol.collect_ops ~op_name:Scf.for_op top in
+  List.iter
+    (fun loop ->
+      if Ircore.op_parent loop <> None then
+        ignore (Loop_utils.hoist_invariants ctx rw loop))
+    loops;
+  Ok ()
+
+(* ------------------------------------------------------------------ *)
+(* DCE (standalone)                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let run_dce ctx top =
+  let rw = Rewriter.create () in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    let dead = ref [] in
+    Ircore.walk_op top ~post:(fun op ->
+        if
+          (not (op == top))
+          && Context.is_pure ctx op
+          && (not (Context.op_has_trait ctx op Context.Terminator))
+          && List.for_all
+               (fun r -> not (Ircore.has_uses r))
+               (Ircore.results op)
+        then dead := op :: !dead);
+    List.iter
+      (fun op ->
+        if Ircore.op_parent op <> None then begin
+          Rewriter.erase_op rw op;
+          changed := true
+        end)
+      !dead
+  done;
+  Ok ()
+
+(* ------------------------------------------------------------------ *)
+(* Symbol DCE: drop unreferenced private functions                     *)
+(* ------------------------------------------------------------------ *)
+
+let run_symbol_dce _ctx top =
+  let rw = Rewriter.create () in
+  let referenced = Hashtbl.create 16 in
+  Ircore.walk_op top ~pre:(fun op ->
+      List.iter
+        (fun (_, a) ->
+          match a with
+          | Attr.Symbol_ref (s, _) -> Hashtbl.replace referenced s ()
+          | _ -> ())
+        op.Ircore.attrs);
+  Pass.for_each_op ~op_name:Func.func_op top (fun f ->
+      let name = Func.name f in
+      let private_ =
+        match Ircore.attr f "sym_visibility" with
+        | Some (Attr.String "private") -> true
+        | _ -> false
+      in
+      if private_ && not (Hashtbl.mem referenced name) then
+        Rewriter.erase_op rw f);
+  Ok ()
+
+let register () =
+  Pass.register
+    (Pass.make ~name:"canonicalize"
+       ~summary:"greedy canonicalization and folding" run_canonicalize);
+  Pass.register
+    (Pass.make ~name:"cse" ~summary:"common subexpression elimination" run_cse);
+  Pass.register
+    (Pass.make ~name:"licm" ~summary:"loop-invariant code motion"
+       ~pre:[ Opset.exact "scf.for" ]
+       ~post:[]
+       run_licm);
+  Pass.register (Pass.make ~name:"dce" ~summary:"dead code elimination" run_dce);
+  Pass.register
+    (Pass.make ~name:"symbol-dce" ~summary:"drop dead private symbols"
+       run_symbol_dce)

@@ -1,0 +1,1 @@
+lib/workloads/llm.ml: Attr Builtin Dialects Dutil Func Ir Ircore Rewriter Shlo Symbol Typ

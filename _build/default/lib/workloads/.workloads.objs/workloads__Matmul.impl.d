@@ -1,0 +1,1 @@
+lib/workloads/matmul.ml: Arith Array Builtin Dialects Dutil Float Func Interp Ir Ircore Linalg Memref Scf Typ

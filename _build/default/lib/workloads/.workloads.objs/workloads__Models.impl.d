@@ -1,0 +1,1 @@
+lib/workloads/models.ml: Attr Builtin Dialects Dutil Func Ir Ircore Tosa Typ

@@ -1,0 +1,1 @@
+lib/workloads/subview_kernel.ml: Attr Builtin Dialects Dutil Func Ir Ircore Memref Rewriter Scf Typ

@@ -1,0 +1,157 @@
+(** Matmul workloads: the ResNet-50-layer loop nest of Case Study 4 and the
+    batch matmul of Case Study 5, plus helpers to allocate/initialize
+    buffers and check results. *)
+
+open Ir
+open Dialects
+
+(** Loop order of the generated nest. [Ikj] has the unit-stride dimension
+    innermost (vectorizable); [Ijk] is the naive accumulation order used in
+    the paper's Figure 7/8 discussion. *)
+type order = Ijk | Ikj
+
+(** Build [func @name(%A: memref<MxKxf32>, %B: memref<KxNxf32>,
+    %C: memref<MxNxf32>)] computing [C += A*B] with the given loop order.
+    Returns the func op. *)
+let build_func ?(order = Ijk) ~name ~m ~n ~k () =
+  let f32 = Typ.f32 in
+  let mt a b = Typ.memref (Typ.static_dims [ a; b ]) f32 in
+  let fop, entry =
+    Func.create ~name
+      ~arg_types:[ mt m k; mt k n; mt m n ]
+      ~result_types:[] ()
+  in
+  let a = Ircore.block_arg entry 0 in
+  let b = Ircore.block_arg entry 1 in
+  let c = Ircore.block_arg entry 2 in
+  let rw = Dutil.rw_at_end entry in
+  let zero = Dutil.const_int rw 0 in
+  let one = Dutil.const_int rw 1 in
+  let cm = Dutil.const_int rw m in
+  let cn = Dutil.const_int rw n in
+  let ck = Dutil.const_int rw k in
+  let body rwk i kv j =
+    let av = Memref.load rwk a [ i; kv ] in
+    let bv = Memref.load rwk b [ kv; j ] in
+    let cv = Memref.load rwk c [ i; j ] in
+    let prod = Arith.mulf rwk av bv in
+    let sum = Arith.addf rwk cv prod in
+    Memref.store rwk sum c [ i; j ]
+  in
+  (match order with
+  | Ijk ->
+    ignore
+      (Scf.build_for rw ~lb:zero ~ub:cm ~step:one (fun rwi i _ ->
+           ignore
+             (Scf.build_for rwi ~lb:zero ~ub:cn ~step:one (fun rwj j _ ->
+                  ignore
+                    (Scf.build_for rwj ~lb:zero ~ub:ck ~step:one
+                       (fun rwk kv _ ->
+                         body rwk i kv j;
+                         []));
+                  []));
+           []))
+  | Ikj ->
+    ignore
+      (Scf.build_for rw ~lb:zero ~ub:cm ~step:one (fun rwi i _ ->
+           ignore
+             (Scf.build_for rwi ~lb:zero ~ub:ck ~step:one (fun rwk kv _ ->
+                  ignore
+                    (Scf.build_for rwk ~lb:zero ~ub:cn ~step:one
+                       (fun rwj j _ ->
+                         body rwj i kv j;
+                         []));
+                  []));
+           [])));
+  Func.return rw ();
+  fop
+
+(** Build a module containing the matmul function. *)
+let build_module ?order ~m ~n ~k () =
+  let md = Builtin.create_module () in
+  let f = build_func ?order ~name:"matmul" ~m ~n ~k () in
+  Ircore.insert_at_end (Builtin.body_block md) f;
+  md
+
+(** The structured-op variant: [func @matmul] containing a single
+    [linalg.matmul] on memref arguments (the starting point for
+    [transform.structured_*]). *)
+let build_linalg_module ~m ~n ~k () =
+  let md = Builtin.create_module () in
+  let mt a b = Typ.memref (Typ.static_dims [ a; b ]) Typ.f32 in
+  let fop, entry =
+    Func.create ~name:"matmul"
+      ~arg_types:[ mt m k; mt k n; mt m n ]
+      ~result_types:[] ()
+  in
+  Ircore.insert_at_end (Builtin.body_block md) fop;
+  let rw = Dutil.rw_at_end entry in
+  ignore
+    (Linalg.matmul rw
+       ~a:(Ircore.block_arg entry 0)
+       ~b:(Ircore.block_arg entry 1)
+       ~c:(Ircore.block_arg entry 2));
+  Func.return rw ();
+  md
+
+(* ------------------------------------------------------------------ *)
+(* Runtime buffers                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(** Deterministic pseudo-random matrix entries. *)
+let fill_deterministic (data : float array) ~seed =
+  let state = ref (seed land 0x3FFFFFFF) in
+  for i = 0 to Array.length data - 1 do
+    state := (!state * 1103515245 + 12345) land 0x3FFFFFFF;
+    data.(i) <- float_of_int (!state mod 1000) /. 500.0 -. 1.0
+  done
+
+let make_matrix machine ~rows ~cols ~seed =
+  let data = Array.make (rows * cols) 0.0 in
+  fill_deterministic data ~seed;
+  let base = Interp.Machine.alloc_address machine (rows * cols * 4) in
+  {
+    Interp.Rvalue.buf = { Interp.Rvalue.data; base; elt_bytes = 4 };
+    offset = 0;
+    sizes = [| rows; cols |];
+    strides = [| cols; 1 |];
+  }
+
+(** Reference matmul on plain arrays: C += A*B. *)
+let reference ~m ~n ~k (a : Interp.Rvalue.view) (b : Interp.Rvalue.view)
+    (c_init : float array) =
+  let out = Array.copy c_init in
+  for i = 0 to m - 1 do
+    for j = 0 to n - 1 do
+      let acc = ref out.((i * n) + j) in
+      for p = 0 to k - 1 do
+        acc :=
+          !acc
+          +. Interp.Rvalue.load a [| i; p |] *. Interp.Rvalue.load b [| p; j |]
+      done;
+      out.((i * n) + j) <- !acc
+    done
+  done;
+  out
+
+let max_abs_diff (x : float array) (y : float array) =
+  let d = ref 0.0 in
+  Array.iteri (fun i v -> d := Float.max !d (Float.abs (v -. y.(i)))) x;
+  !d
+
+(** Execute the module's @matmul on fresh deterministic inputs; returns
+    (result C data, machine report). *)
+let run_matmul ?(machine = Interp.Machine.create ()) ~ir_ctx ~m ~n ~k module_ =
+  let a = make_matrix machine ~rows:m ~cols:k ~seed:17 in
+  let b = make_matrix machine ~rows:k ~cols:n ~seed:42 in
+  let c = make_matrix machine ~rows:m ~cols:n ~seed:7 in
+  let c_init = Array.copy c.Interp.Rvalue.buf.Interp.Rvalue.data in
+  let externs = Interp.Extern.default_externs () in
+  match
+    Interp.Compile.run_function ~machine ~externs ~ir_ctx ~module_
+      ~name:"matmul"
+      [ Interp.Rvalue.Memref a; Interp.Rvalue.Memref b; Interp.Rvalue.Memref c ]
+  with
+  | Ok (_, report) ->
+    Ok (a, b, c_init, c.Interp.Rvalue.buf.Interp.Rvalue.data, report)
+  | Error e -> Error e

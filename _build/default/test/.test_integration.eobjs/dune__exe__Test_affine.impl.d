@@ -1,0 +1,1 @@
+test/test_affine.ml: Affine Alcotest Array Attr Fmt Ir Parser QCheck QCheck_alcotest

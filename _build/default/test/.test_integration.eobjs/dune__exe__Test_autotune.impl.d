@@ -1,0 +1,1 @@
+test/test_autotune.ml: Alcotest Array Autotune Float Fmt List QCheck QCheck_alcotest Random

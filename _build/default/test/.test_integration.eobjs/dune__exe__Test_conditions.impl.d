@@ -1,0 +1,1 @@
+test/test_conditions.ml: Alcotest Experiments Ir List Opset Passes Transform Workloads

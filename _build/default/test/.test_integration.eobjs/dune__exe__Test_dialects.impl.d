@@ -1,0 +1,1 @@
+test/test_dialects.ml: Alcotest Arith Attr Builtin Context Dialects Dutil Fmt Func Greedy Ir Ircore List Memref Opset Option Pattern Scf Shlo Shlo_patterns Symbol Transform Typ Workloads

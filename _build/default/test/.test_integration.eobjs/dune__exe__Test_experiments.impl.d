@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Autotune Dialects Experiments Float List Result Transform

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Fmt Ir Ircore Passes Symbol Transform Verifier Workloads

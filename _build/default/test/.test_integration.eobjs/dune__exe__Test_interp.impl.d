@@ -1,0 +1,1 @@
+test/test_interp.ml: Alcotest Arith Array Attr Builtin Dialects Dutil Float Fmt Func Interp Ir Ircore List Memref QCheck QCheck_alcotest Rewriter Scf Shlo_patterns String Transform Typ Workloads

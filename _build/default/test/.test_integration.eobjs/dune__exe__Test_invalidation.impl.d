@@ -1,0 +1,1 @@
+test/test_invalidation.ml: Alcotest Fmt List String Transform

@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest Array Attr Fmt Ir Ircore List QCheck QCheck_alcotest Symbol Typ Util

@@ -1,0 +1,1 @@
+test/test_irdl.ml: Alcotest Attr Builder Dialects Dutil Fmt Ir Ircore Irdl List Memref Opset Option Passes Rewriter String Symbol Transform Typ Workloads

@@ -1,0 +1,1 @@
+test/test_loop_utils.ml: Alcotest Arith Array Builder Builtin Dialects Dutil Fmt Func Interp Ir Ircore List Memref Passes QCheck QCheck_alcotest Rewriter Scf Symbol Transform Typ Verifier Workloads

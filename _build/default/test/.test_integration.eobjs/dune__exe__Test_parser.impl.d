@@ -1,0 +1,1 @@
+test/test_parser.ml: Alcotest Attr Bytes Fmt Ir Ircore List Loc Option Parser Printer QCheck QCheck_alcotest String Typ

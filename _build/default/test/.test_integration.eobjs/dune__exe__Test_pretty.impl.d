@@ -1,0 +1,1 @@
+test/test_pretty.ml: Alcotest Arith Builtin Dialects Dutil Func Ir Ircore List Parser Passes Pretty Printer Scf String Transform Typ Workloads

@@ -1,0 +1,1 @@
+test/test_simplify.ml: Alcotest Attr Experiments Ir Ircore List Printer Rewriter String Symbol Transform Workloads

@@ -1,0 +1,1 @@
+test/test_structured.ml: Alcotest Fmt Interp Ir Ircore List Passes QCheck QCheck_alcotest Rewriter Symbol Transform Verifier Workloads

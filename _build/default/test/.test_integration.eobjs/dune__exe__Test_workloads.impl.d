@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Array Fmt Interp Ir List Symbol Transform Verifier Workloads

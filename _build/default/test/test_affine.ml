@@ -1,0 +1,172 @@
+(* Affine expressions and maps: simplification, evaluation, composition. *)
+
+open Ir
+
+let check = Alcotest.check
+let ci = Alcotest.int
+
+(* random affine expression generator over n dims / m syms *)
+let gen_expr ~dims ~syms =
+  let open QCheck.Gen in
+  sized (fun size ->
+      fix
+        (fun self n ->
+          if n <= 0 then
+            oneof
+              [
+                map (fun i -> Affine.Dim (i mod dims)) small_nat;
+                map (fun i -> Affine.Sym (i mod syms)) small_nat;
+                map (fun c -> Affine.Const (c - 8)) (int_bound 16);
+              ]
+          else
+            oneof
+              [
+                map2 (fun a b -> Affine.Add (a, b)) (self (n / 2)) (self (n / 2));
+                map2 (fun a b -> Affine.Mul (a, b)) (self (n / 2)) (self (n / 2));
+                map2
+                  (fun a c -> Affine.Mod (a, Affine.Const (1 + (c mod 7))))
+                  (self (n - 1)) small_nat;
+                map2
+                  (fun a c -> Affine.Floordiv (a, Affine.Const (1 + (c mod 7))))
+                  (self (n - 1)) small_nat;
+                map2
+                  (fun a c -> Affine.Ceildiv (a, Affine.Const (1 + (c mod 7))))
+                  (self (n - 1)) small_nat;
+              ])
+        (min size 6))
+
+let arb_expr = QCheck.make (gen_expr ~dims:3 ~syms:2)
+
+let prop_simplify_preserves_eval =
+  QCheck.Test.make ~count:300 ~name:"simplify preserves evaluation"
+    QCheck.(pair arb_expr (pair (array_of_size (QCheck.Gen.return 3) small_int) (array_of_size (QCheck.Gen.return 2) small_int)))
+    (fun (e, (dims, syms)) ->
+      let dims = Array.map (fun x -> x mod 100) dims in
+      let syms = Array.map (fun x -> x mod 100) syms in
+      match Affine.eval ~dims ~syms e with
+      | v -> Affine.eval ~dims ~syms (Affine.simplify e) = v
+      | exception Affine.Eval_error _ -> true)
+
+let prop_simplify_idempotent =
+  QCheck.Test.make ~count:300 ~name:"simplify is idempotent" arb_expr (fun e ->
+      let s = Affine.simplify e in
+      Affine.simplify s = s)
+
+let test_simplify_constants () =
+  let e = Affine.(Add (Const 2, Mul (Const 3, Const 4))) in
+  check ci "2+3*4" 14 (match Affine.simplify e with Affine.Const c -> c | _ -> -1)
+
+let test_simplify_identities () =
+  check Alcotest.bool "x+0 = x" true
+    (Affine.simplify Affine.(Add (Dim 0, Const 0)) = Affine.Dim 0);
+  check Alcotest.bool "x*1 = x" true
+    (Affine.simplify Affine.(Mul (Dim 0, Const 1)) = Affine.Dim 0);
+  check Alcotest.bool "x*0 = 0" true
+    (Affine.simplify Affine.(Mul (Dim 0, Const 0)) = Affine.Const 0);
+  check Alcotest.bool "x mod 1 = 0" true
+    (Affine.simplify Affine.(Mod (Dim 0, Const 1)) = Affine.Const 0);
+  check Alcotest.bool "x floordiv 1 = x" true
+    (Affine.simplify Affine.(Floordiv (Dim 0, Const 1)) = Affine.Dim 0)
+
+let test_floordiv_negative () =
+  check ci "-7 floordiv 2 = -4" (-4)
+    (Affine.eval ~dims:[||] ~syms:[||]
+       Affine.(Floordiv (Const (-7), Const 2)));
+  check ci "-7 ceildiv 2 = -3" (-3)
+    (Affine.eval ~dims:[||] ~syms:[||] Affine.(Ceildiv (Const (-7), Const 2)));
+  check ci "-7 mod 3 = 2" 2
+    (Affine.eval ~dims:[||] ~syms:[||] Affine.(Mod (Const (-7), Const 3)))
+
+let test_map_eval () =
+  let m =
+    Affine.make_map ~num_dims:2 ~num_syms:1
+      [ Affine.(Add (Mul (Dim 0, Const 4), Add (Dim 1, Sym 0))) ]
+  in
+  check (Alcotest.list ci) "eval" [ 4 + 2 + 10 ]
+    (Affine.eval_map m ~dims:[| 1; 2 |] ~syms:[| 10 |])
+
+let test_identity_map () =
+  let m = Affine.identity_map 3 in
+  Alcotest.(check bool) "is_identity" true (Affine.is_identity m);
+  check (Alcotest.list ci) "eval id" [ 7; 8; 9 ]
+    (Affine.eval_map m ~dims:[| 7; 8; 9 |] ~syms:[||])
+
+let test_compose () =
+  (* f(x) = 2x + 1, g(y) = y + 3; f∘g (y) = 2y + 7 *)
+  let f =
+    Affine.make_map ~num_dims:1 ~num_syms:0
+      [ Affine.(Add (Mul (Dim 0, Const 2), Const 1)) ]
+  in
+  let g =
+    Affine.make_map ~num_dims:1 ~num_syms:0 [ Affine.(Add (Dim 0, Const 3)) ]
+  in
+  let fg = Affine.compose f g in
+  check (Alcotest.list ci) "compose" [ (2 * 5) + 7 ]
+    (Affine.eval_map fg ~dims:[| 5 |] ~syms:[||])
+
+let prop_compose_matches_sequential =
+  QCheck.Test.make ~count:200 ~name:"compose f g = f after g"
+    QCheck.(pair arb_expr (array_of_size (QCheck.Gen.return 3) small_int))
+    (fun (fe, dims) ->
+      let dims = Array.map (fun x -> x mod 50) dims in
+      (* g: three projections with offsets *)
+      let g =
+        Affine.make_map ~num_dims:3 ~num_syms:0
+          [
+            Affine.(Add (Dim 0, Const 1));
+            Affine.(Add (Dim 1, Const 2));
+            Affine.(Add (Dim 2, Const 3));
+          ]
+      in
+      let f = Affine.make_map ~num_dims:3 ~num_syms:2 [ fe ] in
+      let syms = [| 4; 5 |] in
+      let fg = Affine.compose f g in
+      match
+        ( Affine.eval_map fg ~dims ~syms,
+          Affine.eval_map f
+            ~dims:(Array.of_list (Affine.eval_map g ~dims ~syms:[||]))
+            ~syms )
+      with
+      | a, b -> a = b
+      | exception Affine.Eval_error _ -> true)
+
+let test_print_parse_roundtrip () =
+  let m =
+    Affine.make_map ~num_dims:2 ~num_syms:1
+      [
+        Affine.(Add (Mul (Dim 0, Const 4), Sym 0));
+        Affine.(Mod (Dim 1, Const 8));
+      ]
+  in
+  let s = Fmt.str "affine_map<%a>" Affine.pp_map m in
+  match Parser.parse_attr_string s with
+  | Ok (Attr.Affine_map m') ->
+    Alcotest.(check bool)
+      "round-trip evaluates equally" true
+      (Affine.eval_map m ~dims:[| 3; 13 |] ~syms:[| 2 |]
+      = Affine.eval_map m' ~dims:[| 3; 13 |] ~syms:[| 2 |])
+  | Ok _ -> Alcotest.fail "parsed to non-map"
+  | Error e -> Alcotest.failf "parse error: %s" e
+
+let () =
+  Alcotest.run "affine"
+    [
+      ( "simplify",
+        [
+          Alcotest.test_case "constants fold" `Quick test_simplify_constants;
+          Alcotest.test_case "identities" `Quick test_simplify_identities;
+          Alcotest.test_case "negative division semantics" `Quick
+            test_floordiv_negative;
+          QCheck_alcotest.to_alcotest prop_simplify_preserves_eval;
+          QCheck_alcotest.to_alcotest prop_simplify_idempotent;
+        ] );
+      ( "maps",
+        [
+          Alcotest.test_case "eval" `Quick test_map_eval;
+          Alcotest.test_case "identity" `Quick test_identity_map;
+          Alcotest.test_case "compose" `Quick test_compose;
+          QCheck_alcotest.to_alcotest prop_compose_matches_sequential;
+          Alcotest.test_case "print/parse round-trip" `Quick
+            test_print_parse_roundtrip;
+        ] );
+    ]

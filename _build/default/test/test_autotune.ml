@@ -1,0 +1,225 @@
+(* Autotuning: search space, linear algebra, GP surrogate, searches. *)
+
+module A = Autotune
+
+let check = Alcotest.check
+let ci = Alcotest.int
+let cb = Alcotest.bool
+let cf = Alcotest.float 1e-6
+
+(* ------------------------------------------------------------------ *)
+(* space                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let small_space () =
+  A.Space.make
+    ~constraints:
+      [ ("sum<=8", fun p -> A.Space.get p "a" + A.Space.get p "b" <= 8) ]
+    [ A.Space.param "a" [ 1; 2; 4; 8 ]; A.Space.param "b" [ 1; 2; 4; 8 ] ]
+
+let test_space_enumerate () =
+  let s = small_space () in
+  check ci "raw size" 16 (A.Space.raw_size s);
+  let feasible = A.Space.enumerate s in
+  (* feasible pairs with sum <= 8: a=1 with b in {1,2,4}; a=2 with b in
+     {1,2,4}; a=4 with b in {1,2,4}; a=8 with none — 9 total *)
+  check ci "feasible count" 9 (List.length feasible);
+  List.iter
+    (fun p -> check cb "satisfies constraint" true (A.Space.feasible s p))
+    feasible
+
+let test_space_sample_feasible () =
+  let s = small_space () in
+  let rng = Random.State.make [| 7 |] in
+  for _ = 1 to 50 do
+    match A.Space.sample s rng with
+    | Some p -> check cb "sampled feasible" true (A.Space.feasible s p)
+    | None -> Alcotest.fail "sampling failed"
+  done
+
+let test_space_encode () =
+  let s = small_space () in
+  let e = A.Space.encode s [ ("a", 1); ("b", 8) ] in
+  check cf "a at 0" 0.0 e.(0);
+  check cf "b at 1" 1.0 e.(1)
+
+let test_divisors () =
+  check (Alcotest.list ci) "divisors of 12" [ 1; 2; 3; 4; 6; 12 ]
+    (A.Space.divisors 12)
+
+(* ------------------------------------------------------------------ *)
+(* linear algebra                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_cholesky_solve () =
+  (* A = [[4,2],[2,3]], b = [1, 2]; x = A^-1 b = [ -1/8, 3/4 ] *)
+  let a = [| [| 4.0; 2.0 |]; [| 2.0; 3.0 |] |] in
+  match Autotune.La.cholesky a with
+  | None -> Alcotest.fail "SPD matrix rejected"
+  | Some l ->
+    let x = Autotune.La.cholesky_solve l [| 1.0; 2.0 |] in
+    check (Alcotest.float 1e-6) "x0" (-0.125) x.(0);
+    check (Alcotest.float 1e-6) "x1" 0.75 x.(1)
+
+and test_cholesky_rejects_non_spd () =
+  let a = [| [| 1.0; 2.0 |]; [| 2.0; 1.0 |] |] in
+  (* eigenvalues 3, -1 *)
+  match Autotune.La.cholesky a with
+  | None -> ()
+  | Some _ -> Alcotest.fail "non-SPD accepted"
+
+let prop_cholesky_solves_random_spd =
+  QCheck.Test.make ~count:50 ~name:"cholesky solves random SPD systems"
+    QCheck.(
+      pair
+        (array_of_size (QCheck.Gen.return 9) (float_range (-1.0) 1.0))
+        (array_of_size (QCheck.Gen.return 3) (float_range (-5.0) 5.0)))
+    (fun (m, b) ->
+      (* A = M M^T + I is SPD *)
+      let mm = Array.init 3 (fun i -> Array.init 3 (fun j -> m.((i * 3) + j))) in
+      let a =
+        Array.init 3 (fun i ->
+            Array.init 3 (fun j ->
+                let s = ref (if i = j then 1.0 else 0.0) in
+                for k = 0 to 2 do
+                  s := !s +. (mm.(i).(k) *. mm.(j).(k))
+                done;
+                !s))
+      in
+      match Autotune.La.cholesky a with
+      | None -> false
+      | Some l ->
+        let x = Autotune.La.cholesky_solve l b in
+        (* residual small *)
+        let ok = ref true in
+        for i = 0 to 2 do
+          let r = ref (-.b.(i)) in
+          for j = 0 to 2 do
+            r := !r +. (a.(i).(j) *. x.(j))
+          done;
+          if Float.abs !r > 1e-6 then ok := false
+        done;
+        !ok)
+
+(* ------------------------------------------------------------------ *)
+(* GP                                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_gp_interpolates () =
+  let xs = [| [| 0.0 |]; [| 0.5 |]; [| 1.0 |] |] in
+  let ys = [| 1.0; 0.0; 1.0 |] in
+  match A.Gp.fit xs ys with
+  | None -> Alcotest.fail "fit failed"
+  | Some gp ->
+    Array.iteri
+      (fun i x ->
+        let mu, _ = A.Gp.predict gp x in
+        check (Alcotest.float 0.05) (Fmt.str "interp %d" i) ys.(i) mu)
+      xs
+
+let test_gp_uncertainty_grows_away_from_data () =
+  let xs = [| [| 0.0 |]; [| 1.0 |] |] in
+  let ys = [| 0.0; 1.0 |] in
+  match A.Gp.fit xs ys with
+  | None -> Alcotest.fail "fit failed"
+  | Some gp ->
+    let _, v_near = A.Gp.predict gp [| 0.01 |] in
+    let _, v_far = A.Gp.predict gp [| 3.0 |] in
+    check cb "variance grows" true (v_far > v_near)
+
+let test_ei_nonnegative_and_peaks () =
+  let xs = [| [| 0.0 |]; [| 1.0 |] |] in
+  let ys = [| 1.0; 2.0 |] in
+  match A.Gp.fit xs ys with
+  | None -> Alcotest.fail "fit failed"
+  | Some gp ->
+    let best = 1.0 in
+    List.iter
+      (fun x ->
+        let ei = A.Gp.expected_improvement gp ~best [| x |] in
+        check cb (Fmt.str "EI(%g) >= 0" x) true (ei >= 0.0))
+      [ 0.0; 0.25; 0.5; 2.0 ];
+    (* far from data, EI must exceed EI at the known worst point *)
+    let ei_unknown = A.Gp.expected_improvement gp ~best [| 5.0 |] in
+    let ei_known_bad = A.Gp.expected_improvement gp ~best [| 1.0 |] in
+    check cb "exploration valued" true (ei_unknown > ei_known_bad)
+
+(* ------------------------------------------------------------------ *)
+(* searches                                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* synthetic objective: minimized at a=4, b=2 *)
+let synth_objective p =
+  let a = A.Space.get p "a" and b = A.Space.get p "b" in
+  float_of_int (((a - 4) * (a - 4)) + ((b - 2) * (b - 2)))
+
+let test_random_search_finds_optimum () =
+  let s = small_space () in
+  let r = A.Search.random_search ~seed:1 ~budget:40 s synth_objective in
+  check cf "optimum found" 0.0 r.A.Search.best_objective
+
+let test_bayesian_finds_optimum () =
+  let s = small_space () in
+  let r = A.Search.bayesian ~seed:1 ~budget:9 s synth_objective in
+  check cf "optimum found within feasible budget" 0.0 r.A.Search.best_objective
+
+let test_best_curve_monotone () =
+  let s = small_space () in
+  let r = A.Search.bayesian ~seed:2 ~budget:9 s synth_objective in
+  let curve = A.Search.best_curve r in
+  let rec mono = function
+    | a :: (b :: _ as rest) -> a >= b && mono rest
+    | _ -> true
+  in
+  check cb "best-so-far non-increasing" true (mono curve);
+  check ci "curve length = evaluations" (List.length r.A.Search.history)
+    (List.length curve)
+
+let test_history_records_points () =
+  let s = small_space () in
+  let r = A.Search.random_search ~seed:3 ~budget:10 s synth_objective in
+  List.iter
+    (fun e ->
+      check cb "objective consistent" true
+        (e.A.Search.e_objective = synth_objective e.A.Search.e_point))
+    r.A.Search.history
+
+let () =
+  Alcotest.run "autotune"
+    [
+      ( "space",
+        [
+          Alcotest.test_case "enumerate with constraints" `Quick
+            test_space_enumerate;
+          Alcotest.test_case "sampling feasible" `Quick
+            test_space_sample_feasible;
+          Alcotest.test_case "encoding" `Quick test_space_encode;
+          Alcotest.test_case "divisors" `Quick test_divisors;
+        ] );
+      ( "linalg",
+        [
+          Alcotest.test_case "cholesky solve" `Quick test_cholesky_solve;
+          Alcotest.test_case "non-SPD rejected" `Quick
+            test_cholesky_rejects_non_spd;
+          QCheck_alcotest.to_alcotest prop_cholesky_solves_random_spd;
+        ] );
+      ( "gp",
+        [
+          Alcotest.test_case "interpolation" `Quick test_gp_interpolates;
+          Alcotest.test_case "uncertainty" `Quick
+            test_gp_uncertainty_grows_away_from_data;
+          Alcotest.test_case "expected improvement" `Quick
+            test_ei_nonnegative_and_peaks;
+        ] );
+      ( "search",
+        [
+          Alcotest.test_case "random finds optimum" `Quick
+            test_random_search_finds_optimum;
+          Alcotest.test_case "bayesian finds optimum" `Quick
+            test_bayesian_finds_optimum;
+          Alcotest.test_case "best curve monotone" `Quick
+            test_best_curve_monotone;
+          Alcotest.test_case "history consistent" `Quick
+            test_history_records_points;
+        ] );
+    ]

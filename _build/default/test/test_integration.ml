@@ -1,0 +1,112 @@
+(* Smoke-level integration test; the full suites live in the other files. *)
+
+open Ir
+
+let ctx = Transform.Register.full_context ()
+
+let check_verifies what m =
+  match Verifier.verify ctx m with
+  | Ok () -> ()
+  | Error diags ->
+    Alcotest.failf "%s: verification failed: %a" what
+      (Fmt.list ~sep:Fmt.comma Verifier.pp_diagnostic)
+      diags
+
+let test_matmul_baseline () =
+  let m, n, k = (16, 16, 8) in
+  let md = Workloads.Matmul.build_module ~m ~n ~k () in
+  check_verifies "baseline" md;
+  match Workloads.Matmul.run_matmul ~ir_ctx:ctx ~m ~n ~k md with
+  | Error e -> Alcotest.failf "run failed: %s" e
+  | Ok (a, b, c_init, c_out, _report) ->
+    let expected = Workloads.Matmul.reference ~m ~n ~k a b c_init in
+    let diff = Workloads.Matmul.max_abs_diff expected c_out in
+    Alcotest.(check bool) "results match reference" true (diff < 1e-4)
+
+let test_transform_tile_preserves_semantics () =
+  let m, n, k = (24, 16, 8) in
+  let md = Workloads.Matmul.build_module ~m ~n ~k () in
+  let script =
+    Transform.Build.script (fun rw root ->
+        let loop = Transform.Build.match_op rw ~select:"first" ~name:"scf.for" root in
+        let _tiles, _points = Transform.Build.loop_tile rw ~sizes:[ 8; 8 ] loop in
+        ())
+  in
+  (match Transform.Interp.apply ctx ~script ~payload:md with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "transform failed: %s" (Transform.Terror.to_string e));
+  check_verifies "tiled" md;
+  match Workloads.Matmul.run_matmul ~ir_ctx:ctx ~m ~n ~k md with
+  | Error e -> Alcotest.failf "run failed: %s" e
+  | Ok (a, b, c_init, c_out, _) ->
+    let expected = Workloads.Matmul.reference ~m ~n ~k a b c_init in
+    Alcotest.(check bool)
+      "tiled results match" true
+      (Workloads.Matmul.max_abs_diff expected c_out < 1e-4)
+
+let test_split_tile_library () =
+  (* scaled-down Case Study 4 *)
+  let m, n, k = (20, 16, 8) in
+  (* i = 20 split by 16 -> main 16 + rest 4 *)
+  let md = Workloads.Matmul.build_module ~m ~n ~k () in
+  let script =
+    Transform.Build.script (fun rw root ->
+        let loop = Transform.Build.match_op rw ~select:"first" ~name:"scf.for" root in
+        let main, rest = Transform.Build.loop_split rw ~div_by:16 loop in
+        let _tiles, points = Transform.Build.loop_tile rw ~sizes:[ 16; 16 ] main in
+        Transform.Build.alternatives rw
+          [
+            (fun brw -> Transform.Build.to_library brw ~library:"libxsmm" points);
+            (fun _ -> ());
+          ];
+        Transform.Build.loop_unroll_full rw rest)
+  in
+  (match Transform.Interp.apply ctx ~script ~payload:md with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "transform failed: %s" (Transform.Terror.to_string e));
+  check_verifies "libraryized" md;
+  (* the nest should now contain a func.call to libxsmm_gemm *)
+  let calls = Symbol.collect_ops ~op_name:"func.call" md in
+  Alcotest.(check bool) "library call present" true (calls <> []);
+  match Workloads.Matmul.run_matmul ~ir_ctx:ctx ~m ~n ~k md with
+  | Error e -> Alcotest.failf "run failed: %s" e
+  | Ok (a, b, c_init, c_out, _) ->
+    let expected = Workloads.Matmul.reference ~m ~n ~k a b c_init in
+    Alcotest.(check bool)
+      "microkernel results match" true
+      (Workloads.Matmul.max_abs_diff expected c_out < 1e-3)
+
+let test_scf_to_cf_execution () =
+  let m, n, k = (8, 8, 4) in
+  let md = Workloads.Matmul.build_module ~m ~n ~k () in
+  let pass = Passes.Pass.lookup_exn "convert-scf-to-cf" in
+  (match pass.Passes.Pass.run ctx md with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "pass failed: %s" e);
+  check_verifies "cfg form" md;
+  Alcotest.(check bool)
+    "no scf left" true
+    (Symbol.collect md ~f:(fun o -> Ircore.op_dialect o = "scf") = []);
+  match Workloads.Matmul.run_matmul ~ir_ctx:ctx ~m ~n ~k md with
+  | Error e -> Alcotest.failf "run failed: %s" e
+  | Ok (a, b, c_init, c_out, _) ->
+    let expected = Workloads.Matmul.reference ~m ~n ~k a b c_init in
+    Alcotest.(check bool)
+      "CFG execution matches" true
+      (Workloads.Matmul.max_abs_diff expected c_out < 1e-4)
+
+let () =
+  Alcotest.run "integration"
+    [
+      ( "integration",
+        [
+          Alcotest.test_case "matmul baseline executes" `Quick
+            test_matmul_baseline;
+          Alcotest.test_case "tile preserves semantics" `Quick
+            test_transform_tile_preserves_semantics;
+          Alcotest.test_case "split+tile+to_library" `Quick
+            test_split_tile_library;
+          Alcotest.test_case "scf-to-cf then execute" `Quick
+            test_scf_to_cf_execution;
+        ] );
+    ]

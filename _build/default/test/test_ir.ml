@@ -1,0 +1,362 @@
+(* IR core: values, use-def chains, op/block/region structure, cloning. *)
+
+open Ir
+
+let check = Alcotest.check
+let cb = Alcotest.bool
+let ci = Alcotest.int
+
+let mkop ?operands ?result_types ?attrs ?regions name =
+  Ircore.create ?operands ?result_types ?attrs ?regions name
+
+(* ------------------------------------------------------------------ *)
+(* values and uses                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_results_and_uses () =
+  let a = mkop ~result_types:[ Typ.i32 ] "t.a" in
+  let b = mkop ~result_types:[ Typ.i32 ] "t.b" in
+  let add =
+    mkop ~operands:[ Ircore.result a; Ircore.result b ] ~result_types:[ Typ.i32 ]
+      "t.add"
+  in
+  check ci "a has one use" 1 (Ircore.num_uses (Ircore.result a));
+  check ci "add has two operands" 2 (Ircore.num_operands add);
+  check cb "use points back at add" true
+    (List.exists
+       (fun u -> u.Ircore.u_op == add)
+       (Ircore.value_uses (Ircore.result a)))
+
+let test_set_operand_updates_uses () =
+  let a = mkop ~result_types:[ Typ.i32 ] "t.a" in
+  let b = mkop ~result_types:[ Typ.i32 ] "t.b" in
+  let use = mkop ~operands:[ Ircore.result a ] "t.use" in
+  Ircore.set_operand use 0 (Ircore.result b);
+  check ci "a now unused" 0 (Ircore.num_uses (Ircore.result a));
+  check ci "b now used" 1 (Ircore.num_uses (Ircore.result b))
+
+let test_same_value_twice () =
+  let a = mkop ~result_types:[ Typ.i32 ] "t.a" in
+  let v = Ircore.result a in
+  let use = mkop ~operands:[ v; v ] "t.use2" in
+  check ci "two uses recorded" 2 (Ircore.num_uses v);
+  Ircore.set_operand use 0 v;
+  check ci "idempotent set keeps both" 2 (Ircore.num_uses v)
+
+let test_rauw () =
+  let a = mkop ~result_types:[ Typ.i32 ] "t.a" in
+  let b = mkop ~result_types:[ Typ.i32 ] "t.b" in
+  let u1 = mkop ~operands:[ Ircore.result a ] "t.u1" in
+  let u2 = mkop ~operands:[ Ircore.result a; Ircore.result a ] "t.u2" in
+  Ircore.replace_all_uses_with (Ircore.result a) ~with_:(Ircore.result b);
+  check ci "a unused" 0 (Ircore.num_uses (Ircore.result a));
+  check ci "b has 3 uses" 3 (Ircore.num_uses (Ircore.result b));
+  check cb "u1 rewired" true (Ircore.operand u1 == Ircore.result b);
+  check cb "u2 rewired" true (Ircore.operand ~index:1 u2 == Ircore.result b)
+
+(* ------------------------------------------------------------------ *)
+(* block linkage                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let ops_names b = List.map (fun o -> o.Ircore.op_name) (Ircore.block_ops b)
+
+let test_insert_order () =
+  let b = Ircore.create_block () in
+  let o1 = mkop "t.o1" and o2 = mkop "t.o2" and o3 = mkop "t.o3" in
+  Ircore.insert_at_end b o1;
+  Ircore.insert_at_end b o3;
+  Ircore.insert_before ~anchor:o3 o2;
+  check (Alcotest.list Alcotest.string) "order" [ "t.o1"; "t.o2"; "t.o3" ]
+    (ops_names b);
+  check ci "num_ops" 3 (Ircore.block_num_ops b)
+
+let test_insert_after_and_start () =
+  let b = Ircore.create_block () in
+  let o2 = mkop "t.o2" in
+  Ircore.insert_at_end b o2;
+  let o1 = mkop "t.o1" in
+  Ircore.insert_at_start b o1;
+  let o3 = mkop "t.o3" in
+  Ircore.insert_after ~anchor:o2 o3;
+  check (Alcotest.list Alcotest.string) "order" [ "t.o1"; "t.o2"; "t.o3" ]
+    (ops_names b)
+
+let test_detach_and_move () =
+  let b = Ircore.create_block () in
+  let o1 = mkop "t.o1" and o2 = mkop "t.o2" and o3 = mkop "t.o3" in
+  List.iter (Ircore.insert_at_end b) [ o1; o2; o3 ];
+  Ircore.move_before ~anchor:o1 o3;
+  check (Alcotest.list Alcotest.string) "moved" [ "t.o3"; "t.o1"; "t.o2" ]
+    (ops_names b);
+  Ircore.detach o1;
+  check (Alcotest.list Alcotest.string) "detached" [ "t.o3"; "t.o2" ]
+    (ops_names b);
+  check cb "o1 unparented" true (Ircore.op_parent o1 = None)
+
+let test_is_before () =
+  let b = Ircore.create_block () in
+  let o1 = mkop "t.o1" and o2 = mkop "t.o2" in
+  Ircore.insert_at_end b o1;
+  Ircore.insert_at_end b o2;
+  check cb "o1 before o2" true (Ircore.is_before_in_block o1 o2);
+  check cb "o2 not before o1" false (Ircore.is_before_in_block o2 o1)
+
+let test_double_attach_rejected () =
+  let b = Ircore.create_block () in
+  let o = mkop "t.o" in
+  Ircore.insert_at_end b o;
+  Alcotest.check_raises "double attach"
+    (Invalid_argument "op t.o is already attached to a block") (fun () ->
+      Ircore.insert_at_end b o)
+
+(* ------------------------------------------------------------------ *)
+(* erasure                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_erase_simple () =
+  let b = Ircore.create_block () in
+  let a = mkop ~result_types:[ Typ.i32 ] "t.a" in
+  Ircore.insert_at_end b a;
+  let use = mkop ~operands:[ Ircore.result a ] "t.use" in
+  Ircore.insert_at_end b use;
+  Ircore.erase use;
+  check ci "a unused after erasing its user" 0 (Ircore.num_uses (Ircore.result a));
+  check ci "one op left" 1 (Ircore.block_num_ops b)
+
+let test_erase_with_live_uses_raises () =
+  let b = Ircore.create_block () in
+  let a = mkop ~result_types:[ Typ.i32 ] "t.a" in
+  Ircore.insert_at_end b a;
+  let use = mkop ~operands:[ Ircore.result a ] "t.use" in
+  Ircore.insert_at_end b use;
+  (match Ircore.erase a with
+  | () -> Alcotest.fail "expected Has_live_uses"
+  | exception Ircore.Has_live_uses _ -> ());
+  check ci "nothing erased" 2 (Ircore.block_num_ops b)
+
+let test_erase_region_drops_nested_uses () =
+  let outer_def = mkop ~result_types:[ Typ.i32 ] "t.def" in
+  let inner_block = Ircore.create_block () in
+  let user = mkop ~operands:[ Ircore.result outer_def ] "t.inner_use" in
+  Ircore.insert_at_end inner_block user;
+  let region_op =
+    mkop ~regions:[ Ircore.region_with_block inner_block ] "t.region"
+  in
+  check ci "one use through region" 1 (Ircore.num_uses (Ircore.result outer_def));
+  Ircore.erase region_op;
+  check ci "nested use dropped" 0 (Ircore.num_uses (Ircore.result outer_def))
+
+let test_replace () =
+  let b = Ircore.create_block () in
+  let a = mkop ~result_types:[ Typ.i32 ] "t.a" in
+  let a2 = mkop ~result_types:[ Typ.i32 ] "t.a2" in
+  Ircore.insert_at_end b a;
+  Ircore.insert_at_end b a2;
+  let use = mkop ~operands:[ Ircore.result a ] "t.use" in
+  Ircore.insert_at_end b use;
+  Ircore.replace a ~with_:[ Ircore.result a2 ];
+  check cb "use rewired to a2" true (Ircore.operand use == Ircore.result a2);
+  check ci "two ops left" 2 (Ircore.block_num_ops b)
+
+(* ------------------------------------------------------------------ *)
+(* regions and walking                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let nested_module () =
+  let inner = Ircore.create_block () in
+  Ircore.insert_at_end inner (mkop "t.leaf1");
+  Ircore.insert_at_end inner (mkop "t.leaf2");
+  let mid = mkop ~regions:[ Ircore.region_with_block inner ] "t.mid" in
+  let outer_block = Ircore.create_block () in
+  Ircore.insert_at_end outer_block mid;
+  Ircore.insert_at_end outer_block (mkop "t.leaf3");
+  mkop ~regions:[ Ircore.region_with_block outer_block ] "t.top"
+
+let test_walk_pre_post () =
+  let top = nested_module () in
+  let pre = ref [] and post = ref [] in
+  Ircore.walk_op top
+    ~pre:(fun o -> pre := o.Ircore.op_name :: !pre)
+    ~post:(fun o -> post := o.Ircore.op_name :: !post);
+  check (Alcotest.list Alcotest.string) "pre-order"
+    [ "t.top"; "t.mid"; "t.leaf1"; "t.leaf2"; "t.leaf3" ]
+    (List.rev !pre);
+  check (Alcotest.list Alcotest.string) "post-order"
+    [ "t.leaf1"; "t.leaf2"; "t.mid"; "t.leaf3"; "t.top" ]
+    (List.rev !post)
+
+let test_parent_and_ancestor () =
+  let top = nested_module () in
+  let leaf1 = List.hd (Symbol.collect_ops ~op_name:"t.leaf1" top) in
+  let mid = List.hd (Symbol.collect_ops ~op_name:"t.mid" top) in
+  check cb "parent of leaf1 is mid" true
+    (match Ircore.parent_op leaf1 with Some p -> p == mid | None -> false);
+  check cb "top ancestor of leaf1" true (Ircore.is_ancestor ~ancestor:top leaf1);
+  check cb "leaf1 not ancestor of mid" false
+    (Ircore.is_ancestor ~ancestor:leaf1 mid)
+
+let test_value_defined_within () =
+  let inner = Ircore.create_block ~args:[ Typ.i32 ] () in
+  let mid = mkop ~regions:[ Ircore.region_with_block inner ] "t.mid" in
+  check cb "block arg defined within region op" true
+    (Ircore.value_defined_within ~ancestor:mid (Ircore.block_arg inner 0));
+  let free = mkop ~result_types:[ Typ.i32 ] "t.free" in
+  check cb "free value not within" false
+    (Ircore.value_defined_within ~ancestor:mid (Ircore.result free))
+
+(* ------------------------------------------------------------------ *)
+(* cloning                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_clone_remaps_internal_uses () =
+  let b = Ircore.create_block () in
+  let a = mkop ~result_types:[ Typ.i32 ] "t.a" in
+  Ircore.insert_at_end b a;
+  let u = mkop ~operands:[ Ircore.result a ] ~result_types:[ Typ.i32 ] "t.u" in
+  Ircore.insert_at_end b u;
+  let top = mkop ~regions:[ Ircore.region_with_block b ] "t.top" in
+  let cloned = Ircore.clone_op top in
+  let orig_a = List.hd (Symbol.collect_ops ~op_name:"t.a" top) in
+  let new_u = List.hd (Symbol.collect_ops ~op_name:"t.u" cloned) in
+  check cb "cloned use points at cloned def" true
+    (not (Ircore.operand new_u == Ircore.result orig_a));
+  check ci "original def uses unchanged" 1 (Ircore.num_uses (Ircore.result orig_a))
+
+let test_clone_keeps_external_uses () =
+  let ext = mkop ~result_types:[ Typ.i32 ] "t.ext" in
+  let b = Ircore.create_block () in
+  Ircore.insert_at_end b (mkop ~operands:[ Ircore.result ext ] "t.use");
+  let top = mkop ~regions:[ Ircore.region_with_block b ] "t.top" in
+  let cloned = Ircore.clone_op top in
+  let new_use = List.hd (Symbol.collect_ops ~op_name:"t.use" cloned) in
+  check cb "external operand preserved" true
+    (Ircore.operand new_use == Ircore.result ext);
+  check ci "ext now has two uses" 2 (Ircore.num_uses (Ircore.result ext))
+
+let test_clone_with_mapping () =
+  let a = mkop ~result_types:[ Typ.i32 ] "t.a" in
+  let b = mkop ~result_types:[ Typ.i32 ] "t.b" in
+  let u = mkop ~operands:[ Ircore.result a ] "t.u" in
+  let mapping = Ircore.Mapping.create () in
+  Ircore.Mapping.map_value mapping ~from:(Ircore.result a) ~to_:(Ircore.result b);
+  let u' = Ircore.clone_op ~mapping u in
+  check cb "mapped operand" true (Ircore.operand u' == Ircore.result b)
+
+(* ------------------------------------------------------------------ *)
+(* attributes                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_attrs () =
+  let o = mkop ~attrs:[ ("x", Attr.int 1) ] "t.o" in
+  check cb "has x" true (Ircore.has_attr o "x");
+  Ircore.set_attr o "y" (Attr.str "hello");
+  check cb "get y" true (Ircore.attr o "y" = Some (Attr.str "hello"));
+  Ircore.set_attr o "x" (Attr.int 2);
+  check cb "overwrite x" true (Ircore.attr o "x" = Some (Attr.int 2));
+  Ircore.remove_attr o "x";
+  check cb "removed" false (Ircore.has_attr o "x")
+
+(* ------------------------------------------------------------------ *)
+(* Univ maps                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_univ () =
+  let k1 : int Util.Univ.key = Util.Univ.create_key "k1" in
+  let k2 : string Util.Univ.key = Util.Univ.create_key "k2" in
+  let m = Util.Univ.(empty |> add k1 42 |> add k2 "x") in
+  check (Alcotest.option ci) "k1" (Some 42) (Util.Univ.find k1 m);
+  check (Alcotest.option Alcotest.string) "k2" (Some "x") (Util.Univ.find k2 m);
+  let k3 : int Util.Univ.key = Util.Univ.create_key "k1" in
+  check cb "same-name distinct key misses" true (Util.Univ.find k3 m = None)
+
+(* ------------------------------------------------------------------ *)
+(* property: random op soup keeps use-def consistent                   *)
+(* ------------------------------------------------------------------ *)
+
+let prop_use_def_consistent =
+  QCheck.Test.make ~count:100 ~name:"random mutations keep use-def consistent"
+    QCheck.(list (pair small_nat small_nat))
+    (fun moves ->
+      let b = Ircore.create_block () in
+      let defs = Array.init 8 (fun i -> mkop ~result_types:[ Typ.i32 ] (Fmt.str "t.d%d" i)) in
+      Array.iter (Ircore.insert_at_end b) defs;
+      let users =
+        Array.init 8 (fun i ->
+            let o =
+              mkop ~operands:[ Ircore.result defs.(i) ] (Fmt.str "t.u%d" i)
+            in
+            Ircore.insert_at_end b o;
+            o)
+      in
+      List.iter
+        (fun (ui, di) ->
+          Ircore.set_operand users.(ui mod 8) 0 (Ircore.result defs.(di mod 8)))
+        moves;
+      (* every operand appears in its value's use list and vice versa *)
+      Array.for_all
+        (fun u ->
+          let v = Ircore.operand u in
+          List.exists (fun use -> use.Ircore.u_op == u) (Ircore.value_uses v))
+        users
+      && Array.for_all
+           (fun d ->
+             List.for_all
+               (fun use ->
+                 Ircore.operand ~index:use.Ircore.u_index use.Ircore.u_op
+                 == Ircore.result d)
+               (Ircore.value_uses (Ircore.result d)))
+           defs)
+
+let () =
+  Alcotest.run "ir-core"
+    [
+      ( "values",
+        [
+          Alcotest.test_case "results and uses" `Quick test_results_and_uses;
+          Alcotest.test_case "set_operand updates uses" `Quick
+            test_set_operand_updates_uses;
+          Alcotest.test_case "same value used twice" `Quick test_same_value_twice;
+          Alcotest.test_case "replace_all_uses_with" `Quick test_rauw;
+        ] );
+      ( "blocks",
+        [
+          Alcotest.test_case "insert order" `Quick test_insert_order;
+          Alcotest.test_case "insert after/start" `Quick
+            test_insert_after_and_start;
+          Alcotest.test_case "detach and move" `Quick test_detach_and_move;
+          Alcotest.test_case "is_before_in_block" `Quick test_is_before;
+          Alcotest.test_case "double attach rejected" `Quick
+            test_double_attach_rejected;
+        ] );
+      ( "erasure",
+        [
+          Alcotest.test_case "erase drops operand uses" `Quick test_erase_simple;
+          Alcotest.test_case "erase with live uses raises" `Quick
+            test_erase_with_live_uses_raises;
+          Alcotest.test_case "erase region drops nested uses" `Quick
+            test_erase_region_drops_nested_uses;
+          Alcotest.test_case "replace" `Quick test_replace;
+        ] );
+      ( "structure",
+        [
+          Alcotest.test_case "walk pre/post order" `Quick test_walk_pre_post;
+          Alcotest.test_case "parent and ancestor" `Quick
+            test_parent_and_ancestor;
+          Alcotest.test_case "value_defined_within" `Quick
+            test_value_defined_within;
+        ] );
+      ( "clone",
+        [
+          Alcotest.test_case "remaps internal uses" `Quick
+            test_clone_remaps_internal_uses;
+          Alcotest.test_case "keeps external uses" `Quick
+            test_clone_keeps_external_uses;
+          Alcotest.test_case "explicit mapping" `Quick test_clone_with_mapping;
+        ] );
+      ( "attrs+univ",
+        [
+          Alcotest.test_case "attribute dict" `Quick test_attrs;
+          Alcotest.test_case "univ map" `Quick test_univ;
+        ] );
+      ("props", [ QCheck_alcotest.to_alcotest prop_use_def_consistent ]);
+    ]

@@ -1,0 +1,97 @@
+(* Pretty (custom-assembly) printing. Output-only sugar: these tests check
+   the rendered text and that the generic printer still round-trips. *)
+
+open Ir
+
+let ctx = Transform.Register.full_context ()
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let check_has s what sub =
+  Alcotest.(check bool) (what ^ ": " ^ sub) true (contains s sub)
+
+let check_not s what sub =
+  Alcotest.(check bool) (what ^ " lacks " ^ sub) false (contains s sub)
+
+let test_matmul_pretty () =
+  let md = Workloads.Matmul.build_module ~m:8 ~n:8 ~k:4 () in
+  let s = Pretty.to_string md in
+  check_has s "module" "module {";
+  check_has s "func header" "func.func @matmul(";
+  check_has s "for" "scf.for ";
+  check_has s "step" " step ";
+  check_has s "load" "memref.load ";
+  check_has s "store" "memref.store ";
+  check_has s "mulf" " = arith.mulf ";
+  check_has s "return" "return";
+  (* sugar must not leak generic syntax for the sugared ops *)
+  check_not s "pretty" "\"scf.for\"";
+  check_not s "pretty" "\"arith.mulf\"";
+  (* empty yields elided *)
+  check_not s "pretty" "scf.yield"
+
+let test_iter_args_rendered () =
+  let open Dialects in
+  let md = Builtin.create_module () in
+  let f, entry = Func.create ~name:"k" ~arg_types:[] ~result_types:[ Typ.f32 ] () in
+  Ircore.insert_at_end (Builtin.body_block md) f;
+  let rw = Dutil.rw_at_end entry in
+  let zero = Dutil.const_int rw 0 in
+  let one = Dutil.const_int rw 1 in
+  let ub = Dutil.const_int rw 4 in
+  let init = Dutil.const_float rw 0.0 in
+  let loop =
+    Scf.build_for rw ~lb:zero ~ub ~step:one ~iter_args:[ init ]
+      (fun brw _ iters -> [ Arith.addf brw (List.hd iters) (List.hd iters) ])
+  in
+  Func.return rw ~operands:[ Ircore.result loop ] ();
+  let s = Pretty.to_string md in
+  check_has s "iter_args" "iter_args(";
+  check_has s "loop results bound" " = scf.for ";
+  check_has s "yield with operands" "scf.yield "
+
+let test_unknown_ops_fall_back_to_generic () =
+  let md =
+    match
+      Parser.parse_module
+        {|"test.unknown"() {x = 1 : i64} : () -> ()|}
+    with
+    | Ok m -> m
+    | Error e -> Alcotest.fail e
+  in
+  let s = Pretty.to_string md in
+  check_has s "generic fallback" "\"test.unknown\"()"
+
+let test_cfg_blocks_labeled () =
+  let md = Workloads.Matmul.build_module ~m:4 ~n:4 ~k:2 () in
+  (match (Passes.Pass.lookup_exn "convert-scf-to-cf").Passes.Pass.run ctx md with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  let s = Pretty.to_string md in
+  check_has s "block labels" "^bb";
+  check_has s "branch sugar" "cf.br ^"
+
+let test_pretty_does_not_mutate () =
+  let md = Workloads.Matmul.build_module ~m:4 ~n:4 ~k:2 () in
+  let generic_before = Printer.op_to_string md in
+  ignore (Pretty.to_string md);
+  Alcotest.(check string) "generic unchanged" generic_before
+    (Printer.op_to_string md)
+
+let () =
+  Alcotest.run "pretty"
+    [
+      ( "rendering",
+        [
+          Alcotest.test_case "matmul module" `Quick test_matmul_pretty;
+          Alcotest.test_case "iter_args" `Quick test_iter_args_rendered;
+          Alcotest.test_case "generic fallback" `Quick
+            test_unknown_ops_fall_back_to_generic;
+          Alcotest.test_case "CFG blocks" `Quick test_cfg_blocks_labeled;
+          Alcotest.test_case "printing is pure" `Quick
+            test_pretty_does_not_mutate;
+        ] );
+    ]

@@ -1,0 +1,220 @@
+(* Structured (linalg-level) transforms: tiling into subview nests,
+   microkernel replacement, lowering to loops — and their composition
+   through the transform interpreter. *)
+
+open Ir
+module T = Transform
+
+let ctx = T.Register.full_context ()
+let check = Alcotest.check
+let cb = Alcotest.bool
+let ci = Alcotest.int
+
+let count name md = List.length (Symbol.collect_ops ~op_name:name md)
+
+let check_matmul ~m ~n ~k md =
+  Verifier.verify_or_fail ctx md;
+  match Workloads.Matmul.run_matmul ~ir_ctx:ctx ~m ~n ~k md with
+  | Error e -> Alcotest.failf "run: %s" e
+  | Ok (a, b, c_init, c_out, report) ->
+    let expected = Workloads.Matmul.reference ~m ~n ~k a b c_init in
+    check cb "matmul result correct" true
+      (Workloads.Matmul.max_abs_diff expected c_out < 1e-3);
+    report
+
+let the_matmul md = List.hd (Symbol.collect_ops ~op_name:"linalg.matmul" md)
+
+(* ------------------------------------------------------------------ *)
+(* direct API                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_tile_structure () =
+  let md = Workloads.Matmul.build_linalg_module ~m:16 ~n:16 ~k:8 () in
+  let rw = Rewriter.create () in
+  (match Passes.Structured.tile_matmul rw (the_matmul md) ~sizes:[ 8; 8; 0 ] with
+  | Ok (loops, inner) ->
+    check ci "two tile loops" 2 (List.length loops);
+    check cb "inner is a matmul" true (inner.Ircore.op_name = "linalg.matmul");
+    check cb "inner operands are subviews" true
+      (List.for_all
+         (fun v ->
+           match Ircore.defining_op v with
+           | Some d -> d.Ircore.op_name = "memref.subview"
+           | None -> false)
+         (Ircore.operands inner))
+  | Error e -> Alcotest.fail e);
+  check ci "subviews created" 3 (count "memref.subview" md)
+
+let test_tile_rejects_indivisible () =
+  let md = Workloads.Matmul.build_linalg_module ~m:10 ~n:16 ~k:8 () in
+  let rw = Rewriter.create () in
+  match Passes.Structured.tile_matmul rw (the_matmul md) ~sizes:[ 8; 8; 0 ] with
+  | Ok _ -> Alcotest.fail "expected failure"
+  | Error _ -> check ci "payload unchanged" 1 (count "linalg.matmul" md)
+
+let test_tile_then_lower_executes () =
+  let m, n, k = (16, 16, 8) in
+  let md = Workloads.Matmul.build_linalg_module ~m ~n ~k () in
+  let rw = Rewriter.create () in
+  (match Passes.Structured.tile_matmul rw (the_matmul md) ~sizes:[ 8; 8; 8 ] with
+  | Ok (_, inner) -> (
+    match Passes.Structured.matmul_to_loops rw inner with
+    | Ok () -> ()
+    | Error e -> Alcotest.fail e)
+  | Error e -> Alcotest.fail e);
+  check ci "no linalg left" 0 (count "linalg.matmul" md);
+  ignore (check_matmul ~m ~n ~k md)
+
+let test_to_library_executes () =
+  let m, n, k = (32, 32, 16) in
+  let md = Workloads.Matmul.build_linalg_module ~m ~n ~k () in
+  let rw = Rewriter.create () in
+  (match
+     Passes.Structured.matmul_to_library rw (the_matmul md) ~library:"libxsmm"
+   with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e);
+  check ci "call present" 1 (count "func.call" md);
+  ignore (check_matmul ~m ~n ~k md)
+
+let test_to_library_rejects_large () =
+  let md = Workloads.Matmul.build_linalg_module ~m:100 ~n:32 ~k:16 () in
+  let rw = Rewriter.create () in
+  match
+    Passes.Structured.matmul_to_library rw (the_matmul md) ~library:"libxsmm"
+  with
+  | Ok _ -> Alcotest.fail "expected failure for m=100"
+  | Error _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* through the transform interpreter                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_transform_tile_to_library () =
+  (* the structured version of Case Study 4: tile, then replace the inner
+     tile with the microkernel — with lowering-to-loops as the alternative *)
+  let m, n, k = (128, 96, 64) in
+  let md = Workloads.Matmul.build_linalg_module ~m ~n ~k () in
+  let script =
+    T.Build.script (fun rw root ->
+        let mm = T.Build.match_op rw ~name:"linalg.matmul" root in
+        let _loops, inner = T.Build.structured_tile rw ~sizes:[ 32; 32; 0 ] mm in
+        T.Build.alternatives rw
+          [
+            (fun brw -> T.Build.structured_to_library brw ~library:"libxsmm" inner);
+            (fun brw -> T.Build.structured_to_loops brw inner);
+          ])
+  in
+  (match T.Interp.apply ctx ~script ~payload:md with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail (T.Terror.to_string e));
+  check cb "library call present" true (count "func.call" md >= 1);
+  ignore (check_matmul ~m ~n ~k md)
+
+let test_transform_alternative_falls_back_to_loops () =
+  (* tile sizes outside libxsmm support: the alternative lowers to loops *)
+  let m, n, k = (132, 96, 64) in
+  (* 132 % 66 = 0 but 66 > 64: unsupported *)
+  let md = Workloads.Matmul.build_linalg_module ~m ~n ~k () in
+  let script =
+    T.Build.script (fun rw root ->
+        let mm = T.Build.match_op rw ~name:"linalg.matmul" root in
+        let _loops, inner = T.Build.structured_tile rw ~sizes:[ 66; 32; 0 ] mm in
+        T.Build.alternatives rw
+          [
+            (fun brw -> T.Build.structured_to_library brw ~library:"libxsmm" inner);
+            (fun brw -> T.Build.structured_to_loops brw inner);
+          ])
+  in
+  (match T.Interp.apply ctx ~script ~payload:md with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail (T.Terror.to_string e));
+  check ci "no library call (fell back)" 0 (count "func.call" md);
+  check ci "lowered to loops instead" 0 (count "linalg.matmul" md);
+  ignore (check_matmul ~m ~n ~k md)
+
+let test_microkernel_beats_loops () =
+  (* the structured pipeline also reproduces the CS4 performance shape *)
+  let m, n, k = (128, 96, 64) in
+  let run use_library =
+    let md = Workloads.Matmul.build_linalg_module ~m ~n ~k () in
+    let script =
+      T.Build.script (fun rw root ->
+          let mm = T.Build.match_op rw ~name:"linalg.matmul" root in
+          let _loops, inner = T.Build.structured_tile rw ~sizes:[ 32; 32; 0 ] mm in
+          if use_library then
+            T.Build.structured_to_library rw ~library:"libxsmm" inner
+          else T.Build.structured_to_loops rw inner)
+    in
+    (match T.Interp.apply ctx ~script ~payload:md with
+    | Ok _ -> ()
+    | Error e -> Alcotest.fail (T.Terror.to_string e));
+    (check_matmul ~m ~n ~k md).Interp.Machine.r_seconds
+  in
+  let loops_t = run false in
+  let lib_t = run true in
+  check cb
+    (Fmt.str "microkernel >10x faster (got %.1fx)" (loops_t /. lib_t))
+    true
+    (loops_t /. lib_t > 10.0)
+
+let test_structured_tile_sizes_zero_is_noop_dim () =
+  let m, n, k = (16, 16, 8) in
+  let md = Workloads.Matmul.build_linalg_module ~m ~n ~k () in
+  let rw = Rewriter.create () in
+  match Passes.Structured.tile_matmul rw (the_matmul md) ~sizes:[ 0; 0; 0 ] with
+  | Ok (loops, inner) ->
+    check ci "no loops" 0 (List.length loops);
+    check cb "inner is the original op" true (inner == the_matmul md)
+  | Error e -> Alcotest.fail e
+
+(* property: the microkernel replacement is semantics-preserving across the
+   supported size range *)
+let prop_to_library_preserves_semantics =
+  QCheck.Test.make ~count:15
+    ~name:"to_library preserves semantics across supported sizes"
+    QCheck.(triple (int_range 1 16) (int_range 1 16) (int_range 1 32))
+    (fun (mq, nq, kq) ->
+      let m = mq * 2 and n = nq * 4 and k = kq * 2 in
+      let md = Workloads.Matmul.build_linalg_module ~m ~n ~k () in
+      let rw = Rewriter.create () in
+      match
+        Passes.Structured.matmul_to_library rw (the_matmul md)
+          ~library:"libxsmm"
+      with
+      | Error _ -> m > 64 || n > 64 (* only out-of-range sizes may fail *)
+      | Ok _ -> (
+        match Workloads.Matmul.run_matmul ~ir_ctx:ctx ~m ~n ~k md with
+        | Error _ -> false
+        | Ok (a, b, c_init, c_out, _) ->
+          let expected = Workloads.Matmul.reference ~m ~n ~k a b c_init in
+          Workloads.Matmul.max_abs_diff expected c_out < 1e-3))
+
+let () =
+  Alcotest.run "structured"
+    [
+      ( "api",
+        [
+          Alcotest.test_case "tile structure" `Quick test_tile_structure;
+          Alcotest.test_case "tile rejects indivisible" `Quick
+            test_tile_rejects_indivisible;
+          Alcotest.test_case "tile + lower executes" `Quick
+            test_tile_then_lower_executes;
+          Alcotest.test_case "to_library executes" `Quick
+            test_to_library_executes;
+          Alcotest.test_case "to_library rejects large" `Quick
+            test_to_library_rejects_large;
+          Alcotest.test_case "all-zero sizes are a no-op" `Quick
+            test_structured_tile_sizes_zero_is_noop_dim;
+        ] );
+      ( "transform",
+        [
+          Alcotest.test_case "tile then to_library" `Quick
+            test_transform_tile_to_library;
+          Alcotest.test_case "alternatives fall back to loops" `Quick
+            test_transform_alternative_falls_back_to_loops;
+          Alcotest.test_case "microkernel beats loops" `Quick
+            test_microkernel_beats_loops;
+          QCheck_alcotest.to_alcotest prop_to_library_preserves_semantics;
+        ] );
+    ]

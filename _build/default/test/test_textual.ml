@@ -1,0 +1,136 @@
+(* Textual transform scripts: the parse-script / parse-payload / interpret
+   flow used by otd-opt, exercised on in-tree strings and the shipped .mlir
+   assets. *)
+
+open Ir
+module T = Transform
+
+let ctx = T.Register.full_context ()
+let check = Alcotest.check
+let cb = Alcotest.bool
+let ci = Alcotest.int
+
+let parse src =
+  match Parser.parse_module src with
+  | Ok m -> m
+  | Error e -> Alcotest.failf "parse: %s" e
+
+let payload_src =
+  {|"builtin.module"() ({
+  "func.func"() ({
+  ^bb0(%out: memref<24xf32>):
+    %c0 = "arith.constant"() {value = 0 : index} : () -> index
+    %c1 = "arith.constant"() {value = 1 : index} : () -> index
+    %n = "arith.constant"() {value = 24 : index} : () -> index
+    %v = "arith.constant"() {value = 0x1p+1 : f32} : () -> f32
+    "scf.for"(%c0, %n, %c1) ({
+    ^bb1(%i: index):
+      "memref.store"(%v, %out, %i) : (f32, memref<24xf32>, index) -> ()
+      "scf.yield"() : () -> ()
+    }) : (index, index, index) -> ()
+    "func.return"() : () -> ()
+  }) {sym_name = "k", function_type = (memref<24xf32>) -> ()} : () -> ()
+}) : () -> ()|}
+
+let script_src =
+  {|"builtin.module"() ({
+  "transform.named_sequence"() ({
+  ^bb0(%root: !transform.any_op):
+    %loop = "transform.match_op"(%root) {op_name = "scf.for", select = "first"} : (!transform.any_op) -> !transform.any_op
+    %t:2 = "transform.loop_tile"(%loop) {tile_sizes = array<i64: 8>} : (!transform.any_op) -> (!transform.any_op, !transform.any_op)
+    "transform.loop_unroll"(%t#1) {factor = 2 : i64} : (!transform.any_op) -> ()
+    "transform.yield"() : () -> ()
+  }) {sym_name = "__transform_main"} : () -> ()
+}) : () -> ()|}
+
+let test_textual_script_applies () =
+  let payload = parse payload_src in
+  let script = parse script_src in
+  Verifier.verify_or_fail ctx script;
+  (match T.Interp.apply ctx ~script ~payload with
+  | Ok steps -> check ci "3 transforms" 3 steps
+  | Error e -> Alcotest.fail (T.Terror.to_string e));
+  Verifier.verify_or_fail ctx payload;
+  check ci "tile+point loops" 2
+    (List.length (Symbol.collect_ops ~op_name:"scf.for" payload));
+  (* unroll by 2: two stores in the point loop body *)
+  check ci "unrolled stores" 2
+    (List.length (Symbol.collect_ops ~op_name:"memref.store" payload))
+
+let test_textual_script_roundtrips () =
+  let script = parse script_src in
+  let s1 = Printer.op_to_string script in
+  let script2 = parse s1 in
+  check Alcotest.string "fixpoint" s1 (Printer.op_to_string script2)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* locate the shipped assets relative to the dune workspace root *)
+let asset name =
+  let rec find dir =
+    let candidate = Filename.concat dir (Filename.concat "examples/scripts" name) in
+    if Sys.file_exists candidate then Some candidate
+    else
+      let parent = Filename.dirname dir in
+      if parent = dir then None else find parent
+  in
+  find (Sys.getcwd ())
+
+let test_shipped_assets () =
+  match (asset "payload_matmul.mlir", asset "tile_and_unroll.mlir") with
+  | Some p, Some s ->
+    let payload = parse (read_file p) in
+    let script = parse (read_file s) in
+    Verifier.verify_or_fail ctx payload;
+    Verifier.verify_or_fail ctx script;
+    (match T.Interp.apply ctx ~script ~payload with
+    | Ok _ -> ()
+    | Error e -> Alcotest.fail (T.Terror.to_string e));
+    Verifier.verify_or_fail ctx payload;
+    (* split(24 % 8 = 0) leaves an empty rest loop; tile adds one level *)
+    check cb "more loops than before" true
+      (List.length (Symbol.collect_ops ~op_name:"scf.for" payload) >= 4);
+    (* and the transformed payload still computes a correct matmul *)
+    (match Workloads.Matmul.run_matmul ~ir_ctx:ctx ~m:24 ~n:16 ~k:8 payload with
+    | Ok (a, b, c_init, c_out, _) ->
+      let expected = Workloads.Matmul.reference ~m:24 ~n:16 ~k:8 a b c_init in
+      check cb "still a correct matmul" true
+        (Workloads.Matmul.max_abs_diff expected c_out < 1e-4)
+    | Error e -> Alcotest.fail e)
+  | _ -> Alcotest.fail "shipped .mlir assets not found"
+
+let test_bad_script_reports () =
+  let payload = parse payload_src in
+  let bad =
+    parse
+      {|"builtin.module"() ({
+  "transform.named_sequence"() ({
+  ^bb0(%root: !transform.any_op):
+    "transform.no_such_op"(%root) : (!transform.any_op) -> ()
+    "transform.yield"() : () -> ()
+  }) {sym_name = "__transform_main"} : () -> ()
+}) : () -> ()|}
+  in
+  match T.Interp.apply ctx ~script:bad ~payload with
+  | Ok _ -> Alcotest.fail "expected unknown-transform error"
+  | Error (T.Terror.Definite m) ->
+    check cb "mentions the op" true (String.length m > 0)
+  | Error (T.Terror.Silenceable _) -> Alcotest.fail "expected definite"
+
+let () =
+  Alcotest.run "textual"
+    [
+      ( "scripts",
+        [
+          Alcotest.test_case "textual script applies" `Quick
+            test_textual_script_applies;
+          Alcotest.test_case "script round-trips" `Quick
+            test_textual_script_roundtrips;
+          Alcotest.test_case "shipped .mlir assets" `Quick test_shipped_assets;
+          Alcotest.test_case "bad script reports" `Quick test_bad_script_reports;
+        ] );
+    ]

@@ -1,0 +1,228 @@
+(* Verifier: structural invariants, dominance, terminators, symbols. *)
+
+open Ir
+open Dialects
+
+let ctx = Transform.Register.full_context ()
+
+let expect_ok m =
+  match Verifier.verify ctx m with
+  | Ok () -> ()
+  | Error ds ->
+    Alcotest.failf "unexpected diagnostics: %a"
+      (Fmt.list ~sep:Fmt.comma Verifier.pp_diagnostic)
+      ds
+
+let expect_error ~containing m =
+  match Verifier.verify ctx m with
+  | Ok () -> Alcotest.failf "expected error containing %S" containing
+  | Error ds ->
+    let all = Fmt.str "%a" (Fmt.list ~sep:Fmt.comma Verifier.pp_diagnostic) ds in
+    let contains s sub =
+      let n = String.length s and m = String.length sub in
+      let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+      m = 0 || go 0
+    in
+    if not (contains all containing) then
+      Alcotest.failf "diagnostics %S do not mention %S" all containing
+
+let parse src =
+  match Parser.parse_module src with
+  | Ok m -> m
+  | Error e -> Alcotest.failf "parse: %s" e
+
+let test_valid_module () =
+  expect_ok
+    (parse
+       {|"func.func"() ({
+^bb0(%a: i32):
+  %0 = "arith.addi"(%a, %a) : (i32, i32) -> i32
+  "func.return"(%0) : (i32) -> ()
+}) {sym_name = "f", function_type = (i32) -> i32} : () -> ()|})
+
+let test_missing_terminator () =
+  expect_error ~containing:"terminator"
+    (parse
+       {|"func.func"() ({
+^bb0(%a: i32):
+  %0 = "arith.addi"(%a, %a) : (i32, i32) -> i32
+}) {sym_name = "f", function_type = (i32) -> i32} : () -> ()|})
+
+let test_terminator_in_middle () =
+  (* build directly: return before another op *)
+  let f, entry = Func.create ~name:"f" ~arg_types:[] ~result_types:[] () in
+  let rw = Dutil.rw_at_end entry in
+  Func.return rw ();
+  ignore (Dutil.const_int rw 1);
+  let md = Builtin.create_module () in
+  Ircore.insert_at_end (Builtin.body_block md) f;
+  expect_error ~containing:"terminator" md
+
+let test_wrong_operand_count () =
+  expect_error ~containing:"expected 2 operands"
+    (parse
+       {|"func.func"() ({
+^bb0(%a: i32):
+  %0 = "arith.addi"(%a) : (i32) -> i32
+  "func.return"(%0) : (i32) -> ()
+}) {sym_name = "f", function_type = (i32) -> i32} : () -> ()|})
+
+let test_same_type_trait () =
+  expect_error ~containing:"same type"
+    (parse
+       {|"func.func"() ({
+^bb0(%a: i32, %b: f32):
+  %0 = "arith.addi"(%a, %b) : (i32, f32) -> i32
+  "func.return"(%0) : (i32) -> ()
+}) {sym_name = "f", function_type = (i32, f32) -> i32} : () -> ()|})
+
+let test_missing_attr () =
+  expect_error ~containing:"missing required attribute"
+    (parse
+       {|"func.func"() ({
+^bb0(%a: i32):
+  %0 = "arith.cmpi"(%a, %a) : (i32, i32) -> i1
+  "func.return"() : () -> ()
+}) {sym_name = "f", function_type = (i32) -> ()} : () -> ()|})
+
+let test_unregistered_rejected () =
+  let strict = Dialects.Registry.context () in
+  let m = parse {|"nosuch.op"() : () -> ()|} in
+  (match Verifier.verify strict m with
+  | Ok () -> Alcotest.fail "expected unregistered error"
+  | Error _ -> ());
+  let lax = Dialects.Registry.context ~allow_unregistered:true () in
+  match Verifier.verify lax m with
+  | Ok () -> ()
+  | Error ds ->
+    Alcotest.failf "lax context rejected: %a"
+      (Fmt.list ~sep:Fmt.comma Verifier.pp_diagnostic)
+      ds
+
+let test_dominance_straightline () =
+  (* use before def in the same block *)
+  let b = Ircore.create_block () in
+  let def = Ircore.create ~result_types:[ Typ.i32 ] "arith.constant" in
+  Ircore.set_attr def "value" (Attr.int 1);
+  let use =
+    Ircore.create ~operands:[ Ircore.result def ] ~result_types:[ Typ.i32 ]
+      "arith.addi"
+  in
+  Ircore.set_operands use [ Ircore.result def; Ircore.result def ];
+  Ircore.insert_at_end b use;
+  Ircore.insert_at_end b def;
+  Ircore.insert_at_end b (Ircore.create "func.return");
+  let f =
+    Ircore.create
+      ~regions:[ Ircore.region_with_block b ]
+      ~attrs:
+        [
+          ("sym_name", Attr.str "f");
+          ("function_type", Attr.typ (Typ.Func ([], [])));
+        ]
+      "func.func"
+  in
+  let md = Builtin.create_module () in
+  Ircore.insert_at_end (Builtin.body_block md) f;
+  expect_error ~containing:"dominate" md
+
+let test_dominance_cfg () =
+  (* value defined in one successor used in the sibling branch *)
+  expect_error ~containing:"dominate"
+    (parse
+       {|"func.func"() ({
+^bb0(%c: i1):
+  "cf.cond_br"(%c)[^bb1, ^bb2] : (i1) -> ()
+^bb1:
+  %x = "arith.constant"() {value = 1 : i32} : () -> i32
+  "cf.br"()[^bb3] : () -> ()
+^bb2:
+  %y = "arith.addi"(%x, %x) : (i32, i32) -> i32
+  "cf.br"()[^bb3] : () -> ()
+^bb3:
+  "func.return"() : () -> ()
+}) {sym_name = "f", function_type = (i1) -> ()} : () -> ()|})
+
+let test_dominance_cfg_ok () =
+  (* def dominates both uses through a diamond *)
+  expect_ok
+    (parse
+       {|"func.func"() ({
+^bb0(%c: i1):
+  %x = "arith.constant"() {value = 1 : i32} : () -> i32
+  "cf.cond_br"(%c)[^bb1, ^bb2] : (i1) -> ()
+^bb1:
+  %a = "arith.addi"(%x, %x) : (i32, i32) -> i32
+  "cf.br"()[^bb3] : () -> ()
+^bb2:
+  %b = "arith.addi"(%x, %x) : (i32, i32) -> i32
+  "cf.br"()[^bb3] : () -> ()
+^bb3:
+  "func.return"() : () -> ()
+}) {sym_name = "f", function_type = (i1) -> ()} : () -> ()|})
+
+let test_nested_region_uses_outer () =
+  (* outer value used in a nested loop body: fine *)
+  expect_ok
+    (parse
+       {|"func.func"() ({
+^bb0:
+  %c0 = "arith.constant"() {value = 0 : index} : () -> index
+  %c4 = "arith.constant"() {value = 4 : index} : () -> index
+  %c1 = "arith.constant"() {value = 1 : index} : () -> index
+  "scf.for"(%c0, %c4, %c1) ({
+  ^bb1(%i: index):
+    %s = "arith.addi"(%i, %c1) : (index, index) -> index
+    "scf.yield"() : () -> ()
+  }) : (index, index, index) -> ()
+  "func.return"() : () -> ()
+}) {sym_name = "f", function_type = () -> ()} : () -> ()|})
+
+let test_symbol_redefinition () =
+  let md = Builtin.create_module () in
+  let f1, e1 = Func.create ~name:"dup" ~arg_types:[] ~result_types:[] () in
+  Func.return (Dutil.rw_at_end e1) ();
+  let f2, e2 = Func.create ~name:"dup" ~arg_types:[] ~result_types:[] () in
+  Func.return (Dutil.rw_at_end e2) ();
+  Ircore.insert_at_end (Builtin.body_block md) f1;
+  Ircore.insert_at_end (Builtin.body_block md) f2;
+  expect_error ~containing:"redefinition of symbol" md
+
+let test_successor_on_non_terminator () =
+  expect_error ~containing:"terminator"
+    (parse
+       {|"func.func"() ({
+^bb0:
+  "arith.constant"()[^bb1] {value = 1 : i32} : () -> ()
+^bb1:
+  "func.return"() : () -> ()
+}) {sym_name = "f", function_type = () -> ()} : () -> ()|})
+
+let () =
+  Alcotest.run "verifier"
+    [
+      ( "structure",
+        [
+          Alcotest.test_case "valid module" `Quick test_valid_module;
+          Alcotest.test_case "missing terminator" `Quick test_missing_terminator;
+          Alcotest.test_case "terminator not last" `Quick
+            test_terminator_in_middle;
+          Alcotest.test_case "wrong operand count" `Quick
+            test_wrong_operand_count;
+          Alcotest.test_case "same-type trait" `Quick test_same_type_trait;
+          Alcotest.test_case "missing attribute" `Quick test_missing_attr;
+          Alcotest.test_case "unregistered ops" `Quick test_unregistered_rejected;
+          Alcotest.test_case "successors need terminators" `Quick
+            test_successor_on_non_terminator;
+        ] );
+      ( "dominance",
+        [
+          Alcotest.test_case "use before def" `Quick test_dominance_straightline;
+          Alcotest.test_case "sibling branch use" `Quick test_dominance_cfg;
+          Alcotest.test_case "diamond ok" `Quick test_dominance_cfg_ok;
+          Alcotest.test_case "nested region uses outer" `Quick
+            test_nested_region_uses_outer;
+        ] );
+      ( "symbols",
+        [ Alcotest.test_case "redefinition" `Quick test_symbol_redefinition ] );
+    ]

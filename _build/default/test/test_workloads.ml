@@ -1,0 +1,133 @@
+(* Workload generators: model op counts, LLM structure, CS2 kernels. *)
+
+open Ir
+
+let ctx = Transform.Register.full_context ()
+let check = Alcotest.check
+let cb = Alcotest.bool
+let ci = Alcotest.int
+
+let test_model_op_counts_exact () =
+  List.iter
+    (fun spec ->
+      let md = Workloads.Models.build spec in
+      check ci
+        (Fmt.str "%s op count" spec.Workloads.Models.sp_name)
+        spec.Workloads.Models.sp_ops
+        (Workloads.Models.count_ops md))
+    Workloads.Models.paper_models
+
+let test_models_verify () =
+  List.iter
+    (fun spec ->
+      let md = Workloads.Models.build spec in
+      match Verifier.verify ctx md with
+      | Ok () -> ()
+      | Error ds ->
+        Alcotest.failf "%s: %a" spec.Workloads.Models.sp_name
+          (Fmt.list ~sep:Fmt.comma Verifier.pp_diagnostic)
+          ds)
+    Workloads.Models.paper_models
+
+let test_models_use_realistic_op_mix () =
+  let md =
+    Workloads.Models.build
+      (List.find
+         (fun s -> s.Workloads.Models.sp_name = "gpt2")
+         Workloads.Models.paper_models)
+  in
+  let has name = Symbol.collect_ops ~op_name:name md <> [] in
+  check cb "matmuls" true (has "tosa.matmul");
+  check cb "softmax exp" true (has "tosa.exp");
+  check cb "layernorm rsqrt" true (has "tosa.rsqrt");
+  check cb "fully_connected" true (has "tosa.fully_connected");
+  let md2 =
+    Workloads.Models.build
+      (List.find
+         (fun s -> s.Workloads.Models.sp_name = "squeezenet")
+         Workloads.Models.paper_models)
+  in
+  check cb "convs in squeezenet" true
+    (Symbol.collect_ops ~op_name:"tosa.conv2d" md2 <> [])
+
+let test_llm_structure () =
+  let md = Workloads.Llm.build ~layers:3 () in
+  (match Verifier.verify ctx md with
+  | Ok () -> ()
+  | Error ds ->
+    Alcotest.failf "%a" (Fmt.list ~sep:Fmt.comma Verifier.pp_diagnostic) ds);
+  let count name = List.length (Symbol.collect_ops ~op_name:name md) in
+  check ci "one pad per layer" 3 (count "shlo.pad");
+  check cb "dots present" true (count "shlo.dot_general" >= 3 * 4);
+  check ci "two reduces per layer (softmax + stat)" 6 (count "shlo.reduce");
+  check cb "transposes present" true (count "shlo.transpose" > 0)
+
+let test_subview_kernels_verify () =
+  List.iter
+    (fun v ->
+      let md = Workloads.Subview_kernel.build v in
+      match Verifier.verify ctx md with
+      | Ok () -> ()
+      | Error ds ->
+        Alcotest.failf "%a" (Fmt.list ~sep:Fmt.comma Verifier.pp_diagnostic) ds)
+    [ Workloads.Subview_kernel.Static_offset; Workloads.Subview_kernel.Dynamic_offset ]
+
+let test_matmul_reference () =
+  (* 2x2 identity sanity *)
+  let machine = Interp.Machine.create () in
+  let a = Workloads.Matmul.make_matrix machine ~rows:2 ~cols:2 ~seed:1 in
+  a.Interp.Rvalue.buf.Interp.Rvalue.data.(0) <- 1.0;
+  a.Interp.Rvalue.buf.Interp.Rvalue.data.(1) <- 0.0;
+  a.Interp.Rvalue.buf.Interp.Rvalue.data.(2) <- 0.0;
+  a.Interp.Rvalue.buf.Interp.Rvalue.data.(3) <- 1.0;
+  let b = Workloads.Matmul.make_matrix machine ~rows:2 ~cols:2 ~seed:2 in
+  let c0 = [| 0.0; 0.0; 0.0; 0.0 |] in
+  let r = Workloads.Matmul.reference ~m:2 ~n:2 ~k:2 a b c0 in
+  check cb "identity matmul" true
+    (Workloads.Matmul.max_abs_diff r b.Interp.Rvalue.buf.Interp.Rvalue.data < 1e-9)
+
+let test_matmul_orders_agree () =
+  let m, n, k = (6, 8, 4) in
+  let run order =
+    let md = Workloads.Matmul.build_module ~order ~m ~n ~k () in
+    match Workloads.Matmul.run_matmul ~ir_ctx:ctx ~m ~n ~k md with
+    | Ok (_, _, _, c_out, _) -> Array.copy c_out
+    | Error e -> Alcotest.fail e
+  in
+  let ijk = run Workloads.Matmul.Ijk in
+  let ikj = run Workloads.Matmul.Ikj in
+  check cb "loop orders agree" true
+    (Workloads.Matmul.max_abs_diff ijk ikj < 1e-4)
+
+let test_deterministic_fill () =
+  let a = Array.make 16 0.0 and b = Array.make 16 0.0 in
+  Workloads.Matmul.fill_deterministic a ~seed:9;
+  Workloads.Matmul.fill_deterministic b ~seed:9;
+  check cb "same seed same data" true (a = b);
+  Workloads.Matmul.fill_deterministic b ~seed:10;
+  check cb "different seed differs" true (a <> b);
+  check cb "values bounded" true
+    (Array.for_all (fun x -> x >= -1.0 && x <= 1.0) a)
+
+let () =
+  Alcotest.run "workloads"
+    [
+      ( "models",
+        [
+          Alcotest.test_case "exact op counts (Table 1)" `Quick
+            test_model_op_counts_exact;
+          Alcotest.test_case "verify" `Quick test_models_verify;
+          Alcotest.test_case "realistic op mix" `Quick
+            test_models_use_realistic_op_mix;
+        ] );
+      ( "llm",
+        [ Alcotest.test_case "structure + motifs" `Quick test_llm_structure ] );
+      ( "subview",
+        [ Alcotest.test_case "kernels verify" `Quick test_subview_kernels_verify ] );
+      ( "matmul",
+        [
+          Alcotest.test_case "reference sanity" `Quick test_matmul_reference;
+          Alcotest.test_case "loop orders agree" `Quick test_matmul_orders_agree;
+          Alcotest.test_case "deterministic fill" `Quick test_deterministic_fill;
+        ] );
+    ]
