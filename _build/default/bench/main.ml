@@ -101,7 +101,7 @@ let micro () =
   let passes =
     match Passes.Pass.parse_pipeline Workloads.Models.tosa_pipeline_str with
     | Ok ps -> ps
-    | Error e -> failwith e
+    | Error e -> failwith (Ir.Diag.to_string e)
   in
   let tests =
     [

@@ -19,7 +19,7 @@ let run pipeline script_file initial final =
     match (pipeline, script_file) with
     | Some str, _ -> (
       match Passes.Pass.parse_pipeline str with
-      | Error e -> Error e
+      | Error d -> Error (Ir.Diag.to_string d)
       | Ok passes ->
         Ok (Transform.Conditions.check_passes ~initial ~final passes))
     | None, Some f -> (

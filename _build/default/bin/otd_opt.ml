@@ -3,7 +3,19 @@
     Reads a module in generic textual form, optionally verifies it, runs a
     comma-separated pass pipeline and/or a Transform script (from a separate
     file or embedded in the same module as a [@__transform_main] named
-    sequence), and prints the result. *)
+    sequence), and prints the result.
+
+    Observability flags:
+    - [--timing] prints the hierarchical timing tree and per-pass op-count
+      deltas;
+    - [--print-ir-after-all] dumps the IR after every pass (stderr);
+    - [--trace] prints the execution trace (transform ops with handle
+      payload sizes, suppressed silenceable errors, greedy-driver stats,
+      per-pass events);
+    - [--diagnostics=json] replaces the textual module on stdout with one
+      JSON object carrying diagnostics, trace, timing and the final IR;
+    - [--reproducer PATH] writes a crash reproducer on pass failure; a
+      reproducer file fed back to otd-opt replays its embedded pipeline. *)
 
 open Cmdliner
 
@@ -13,7 +25,33 @@ let read_file path =
     ~finally:(fun () -> close_in ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
-let run input pipeline transform_file no_verify list_passes print_steps pretty =
+(** Extract the pipeline embedded in a crash-reproducer header, if any. *)
+let reproducer_pipeline src =
+  let marker = "// configuration: --pass-pipeline=" in
+  let rec scan lines =
+    match lines with
+    | [] -> None
+    | line :: rest ->
+      let line = String.trim line in
+      if String.length line >= String.length marker
+         && String.sub line 0 (String.length marker) = marker
+      then
+        Some
+          (String.sub line (String.length marker)
+             (String.length line - String.length marker))
+      else if String.length line >= 2 && String.sub line 0 2 = "//" then
+        scan rest
+      else None
+  in
+  scan (String.split_on_char '\n' src)
+
+type json_report = {
+  mutable j_diagnostics : Ir.Diag.t list;
+  mutable j_ir_after : (string * string) list;  (** pass name, IR text *)
+}
+
+let run input pipeline transform_file no_verify list_passes timing
+    print_ir_after_all trace diagnostics_format reproducer_path pretty =
   let ctx = Transform.Register.full_context () in
   if list_passes then begin
     List.iter
@@ -26,64 +64,201 @@ let run input pipeline transform_file no_verify list_passes print_steps pretty =
     match input with
     | None -> `Error (false, "missing input file")
     | Some path -> (
-      let src = if path = "-" then In_channel.input_all stdin else read_file path in
+      match
+        if path = "-" then In_channel.input_all stdin else read_file path
+      with
+      | exception Sys_error e -> `Error (false, e)
+      | src ->
+      (
+      let json_mode = diagnostics_format = "json" in
+      let report = { j_diagnostics = []; j_ir_after = [] } in
+      let emit_diag d =
+        report.j_diagnostics <- report.j_diagnostics @ [ d ];
+        if not json_mode then Fmt.epr "%a@." Ir.Diag.pp d
+      in
+      (* route context-emitted diagnostics through the same collector *)
+      Ir.Diag.push_handler (Ir.Context.diag_engine ctx) emit_diag;
+      (* a reproducer input replays its embedded pipeline *)
+      let pipeline =
+        match (pipeline, reproducer_pipeline src) with
+        | Some p, _ -> Some p
+        | None, Some embedded ->
+          emit_diag
+            (Ir.Diag.remark "replaying reproducer pipeline: %s" embedded);
+          Some embedded
+        | None, None -> None
+      in
       match Ir.Parser.parse_module src with
       | Error e -> `Error (false, Fmt.str "parse error: %s" e)
-      | Ok m -> (
+      | Ok m ->
+        let timing_tree = ref None in
+        let op_count_instr, op_deltas = Passes.Pass.op_count_deltas () in
+        let snapshot_instr =
+          (* capture per-pass IR snapshots for the JSON report *)
+          Passes.Pass.instrumentation "json-ir-snapshots"
+            ~after_pass:(fun p op ->
+              report.j_ir_after <-
+                report.j_ir_after
+                @ [ (p.Passes.Pass.name, Fmt.str "%a" Ir.Printer.pp_op op) ])
+        in
+        let instrumentations =
+          (if print_ir_after_all && not json_mode then
+             [ Passes.Pass.print_ir_after_all () ]
+           else [])
+          @ (if print_ir_after_all && json_mode then [ snapshot_instr ]
+             else [])
+          @ (if timing then [ op_count_instr ] else [])
+          @
+          match reproducer_path with
+          | Some rp -> [ Passes.Pass.reproducer ~path:rp ]
+          | None -> []
+        in
         let verify () =
           if no_verify then Ok ()
           else
             match Ir.Verifier.verify ctx m with
             | Ok () -> Ok ()
             | Error diags ->
+              List.iter emit_diag diags;
               Error
-                (Fmt.str "%a"
-                   (Fmt.list ~sep:Fmt.cut Ir.Verifier.pp_diagnostic)
-                   diags)
+                (Fmt.str "verification failed with %d diagnostics"
+                   (List.length diags))
         in
         let apply_pipeline () =
           match pipeline with
           | None -> Ok ()
           | Some str -> (
             match Passes.Pass.parse_pipeline str with
-            | Error e -> Error e
+            | Error d ->
+              emit_diag d;
+              Error "invalid pass pipeline"
             | Ok passes -> (
-              try
-                let result = Passes.Pass.run_pipeline ctx passes m in
-                if print_steps then
-                  List.iter
-                    (fun t ->
-                      Fmt.epr "// pass %s: %.2f ms@." t.Passes.Pass.t_pass
-                        (t.Passes.Pass.t_seconds *. 1000.))
-                    result.Passes.Pass.timings;
+              match
+                Passes.Pass.run_pipeline ~instrumentations ctx passes m
+              with
+              | Ok result ->
+                timing_tree := Some result.Passes.Pass.timing;
                 Ok ()
-              with Passes.Pass.Pass_error (p, msg) ->
-                Error (Fmt.str "pass %s failed: %s" p msg)))
+              | Error d ->
+                emit_diag d;
+                Error "pass pipeline failed"))
         in
         let apply_transform () =
           match transform_file with
           | None -> Ok ()
           | Some tf -> (
             match Ir.Parser.parse_module (read_file tf) with
+            | exception Sys_error e -> Error e
             | Error e -> Error (Fmt.str "transform script parse error: %s" e)
             | Ok script -> (
+              let t0 = Unix.gettimeofday () in
               match Transform.Interp.apply ctx ~script ~payload:m with
               | Ok steps ->
-                if print_steps then
-                  Fmt.epr "// transform interpreter: %d steps@." steps;
+                if timing then begin
+                  let seconds = Unix.gettimeofday () -. t0 in
+                  let node =
+                    {
+                      Passes.Pass.t_name =
+                        Fmt.str "transform-interpreter (%d steps)" steps;
+                      t_seconds = seconds;
+                      t_children = [];
+                    }
+                  in
+                  timing_tree :=
+                    Some
+                      (match !timing_tree with
+                      | None -> node
+                      | Some t ->
+                        {
+                          t with
+                          Passes.Pass.t_children =
+                            t.Passes.Pass.t_children @ [ node ];
+                          t_seconds = t.Passes.Pass.t_seconds +. seconds;
+                        })
+                end;
                 Ok ()
-              | Error e -> Error (Transform.Terror.to_string e)))
+              | Error e ->
+                emit_diag (Transform.Terror.diag e);
+                Error
+                  (Fmt.str "transform interpretation failed (%s)"
+                     (if Transform.Terror.is_silenceable e then "silenceable"
+                      else "definite"))))
         in
-        match
-          Result.bind (verify ()) (fun () ->
-              Result.bind (apply_pipeline ()) (fun () ->
-                  Result.bind (apply_transform ()) verify))
-        with
-        | Error e -> `Error (false, e)
-        | Ok () ->
-          if pretty then Fmt.pr "%a@." Ir.Pretty.pp m
-          else Fmt.pr "%a@." Ir.Printer.pp_op m;
-          `Ok ()))
+        let sink = Ir.Trace.create () in
+        let outcome =
+          Ir.Trace.with_sink sink (fun () ->
+              Result.bind (verify ()) (fun () ->
+                  Result.bind (apply_pipeline ()) (fun () ->
+                      Result.bind (apply_transform ()) verify)))
+        in
+        (* human-readable reports on stderr *)
+        if not json_mode then begin
+          (match (timing, !timing_tree) with
+          | true, Some t ->
+            Fmt.epr "// -----// timing //----- //@.%a@." Passes.Pass.pp_timing
+              t;
+            let deltas = op_deltas () in
+            if List.exists (fun (_, d) -> d <> []) deltas then
+              Fmt.epr "// -----// op-count deltas //----- //@.%a@."
+                Passes.Pass.pp_op_deltas deltas
+          | _ -> ());
+          if trace then
+            Fmt.epr "// -----// trace //----- //@.%a@." Ir.Trace.pp sink
+        end;
+        let finish result =
+          if json_mode then begin
+            let json =
+              Ir.Json.Obj
+                ([
+                   ("success", Ir.Json.Bool (Result.is_ok result));
+                   ( "diagnostics",
+                     Ir.Json.List
+                       (List.map Ir.Diag.to_json report.j_diagnostics) );
+                   ("trace", Ir.Trace.to_json sink);
+                 ]
+                @ (match !timing_tree with
+                  | Some t when timing ->
+                    [ ("timing", Passes.Pass.timing_to_json t) ]
+                  | _ -> [])
+                @ (if timing then
+                     [
+                       ( "op_count_deltas",
+                         Passes.Pass.op_deltas_to_json (op_deltas ()) );
+                     ]
+                   else [])
+                @ (match report.j_ir_after with
+                  | [] -> []
+                  | snaps ->
+                    [
+                      ( "ir_after",
+                        Ir.Json.List
+                          (List.map
+                             (fun (p, ir) ->
+                               Ir.Json.Obj
+                                 [
+                                   ("pass", Ir.Json.String p);
+                                   ("ir", Ir.Json.String ir);
+                                 ])
+                             snaps) );
+                    ])
+                @ [
+                    ( "output",
+                      match result with
+                      | Ok () -> Ir.Json.String (Fmt.str "%a" Ir.Printer.pp_op m)
+                      | Error _ -> Ir.Json.Null );
+                  ])
+            in
+            Fmt.pr "%a@." Ir.Json.pp json
+          end;
+          match result with
+          | Error e -> `Error (false, e)
+          | Ok () ->
+            if not json_mode then
+              if pretty then Fmt.pr "%a@." Ir.Pretty.pp m
+              else Fmt.pr "%a@." Ir.Printer.pp_op m;
+            `Ok ()
+        in
+        finish outcome))
 
 let input =
   Arg.(value & pos 0 (some string) None & info [] ~docv:"FILE" ~doc:"Input module ('-' for stdin).")
@@ -108,8 +283,40 @@ let no_verify =
 let list_passes =
   Arg.(value & flag & info [ "list-passes" ] ~doc:"List registered passes.")
 
-let print_steps =
-  Arg.(value & flag & info [ "timing" ] ~doc:"Print per-pass timing / interpreter steps.")
+let timing =
+  Arg.(
+    value & flag
+    & info [ "timing" ]
+        ~doc:"Print the hierarchical timing tree and per-pass op-count deltas.")
+
+let print_ir_after_all =
+  Arg.(
+    value & flag
+    & info [ "print-ir-after-all" ] ~doc:"Print the IR after each pass.")
+
+let trace =
+  Arg.(
+    value & flag
+    & info [ "trace" ]
+        ~doc:"Print the execution trace (transform ops, suppressed errors, \
+              greedy-driver statistics, per-pass events).")
+
+let diagnostics_format =
+  Arg.(
+    value
+    & opt (enum [ ("text", "text"); ("json", "json") ]) "text"
+    & info [ "diagnostics" ] ~docv:"FORMAT"
+        ~doc:"Diagnostics output format. With $(b,json), stdout carries a \
+              single JSON object with diagnostics, trace, timing and the \
+              final IR.")
+
+let reproducer_path =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "reproducer" ] ~docv:"PATH"
+        ~doc:"On pass failure, write a crash reproducer (pre-pass IR plus \
+              the remaining pipeline) to $(docv).")
 
 let pretty =
   Arg.(
@@ -124,7 +331,8 @@ let cmd =
     (Cmd.info "otd-opt" ~doc)
     Term.(
       ret
-        (const run $ input $ pipeline $ transform_file $ no_verify $ list_passes
-       $ print_steps $ pretty))
+        (const run $ input $ pipeline $ transform_file $ no_verify
+       $ list_passes $ timing $ print_ir_after_all $ trace
+       $ diagnostics_format $ reproducer_path $ pretty))
 
 let () = exit (Cmd.eval cmd)

@@ -1,1 +1,1 @@
-lib/core/interp.ml: Attr Fmt Hashtbl Ir Ircore Irdl List Loc Ops Opset Result State Symbol Terror Treg Verifier
+lib/core/interp.ml: Attr Diag Fmt Hashtbl Ir Ircore Irdl List Ops Opset Result State Symbol Terror Trace Treg Verifier

@@ -1,1 +1,1 @@
-lib/core/ops.ml: Attr Context Dialects Dutil Fmt Greedy Ir Ircore List Opset Option Passes Pattern Printer Result State String Symbol Terror Treg Typ Verifier
+lib/core/ops.ml: Attr Context Diag Dialects Dutil Fmt Greedy Ir Ircore List Opset Option Passes Pattern Printer Result State String Symbol Terror Treg Typ Verifier

@@ -1,1 +1,1 @@
-lib/core/terror.ml: Fmt
+lib/core/terror.ml: Diag Fmt Ir Stdlib

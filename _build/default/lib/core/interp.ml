@@ -61,7 +61,11 @@ and run_op st (op : Ircore.op) : (unit, Terror.t) result =
           | _ -> false
         in
         (match result with
-        | Error (Terror.Silenceable _) when suppress -> Ok ()
+        | Error (Terror.Silenceable d) when suppress ->
+          Trace.record
+            (Trace.Suppressed
+               { su_construct = "transform.sequence"; su_diag = d });
+          Ok ()
         | r -> r))
     | _ -> Terror.definite "transform.sequence must have one region")
   | "transform.named_sequence" ->
@@ -105,18 +109,31 @@ and run_op st (op : Ircore.op) : (unit, Terror.t) result =
       in
       (* attach the failing transform op (and its source location, when the
          script came from text) to the error *)
-      let with_context msg =
-        match op.Ircore.op_loc with
-        | Loc.Unknown -> Fmt.str "while applying %s: %s" name msg
-        | l -> Fmt.str "while applying %s at %a: %s" name Loc.pp l msg
+      let with_context d =
+        Diag.add_note
+          (Diag.with_loc_if_unknown d op.Ircore.op_loc)
+          (Diag.note "while applying %s" name)
+      in
+      let handle_sizes values =
+        List.filter_map (fun v -> State.handle_size st v) values
+      in
+      let in_sizes =
+        if Trace.tracing () then handle_sizes (Ircore.operands op) else []
       in
       let* () =
         match def.Treg.t_apply st op with
         | Ok () -> Ok ()
-        | Error (Terror.Silenceable m) ->
-          Error (Terror.Silenceable (with_context m))
-        | Error (Terror.Definite m) -> Error (Terror.Definite (with_context m))
+        | Error e -> Error (Terror.map_diag with_context e)
       in
+      if Trace.tracing () then
+        Trace.record
+          (Trace.Transform
+             {
+               tr_op = name;
+               tr_loc = op.Ircore.op_loc;
+               tr_in = in_sizes;
+               tr_out = handle_sizes (Ircore.results op);
+             });
       (match snapshot with
       | Some snap -> State.commit_consumption st ~by:name snap
       | None -> ());
@@ -131,7 +148,7 @@ and run_op st (op : Ircore.op) : (unit, Terror.t) result =
           | Ok () -> Ok ()
           | Error diags ->
             Terror.definite "payload verification failed after %s: %a" name
-              (Fmt.list ~sep:Fmt.comma Verifier.pp_diagnostic)
+              (Fmt.list ~sep:Fmt.comma Diag.pp)
               diags
         else Ok ()
       in
@@ -302,7 +319,11 @@ and run_alternatives st op =
     | r :: rest -> (
       match run_region st r with
       | Ok () -> Ok ()
-      | Error (Terror.Silenceable _) -> try_regions rest
+      | Error (Terror.Silenceable d) ->
+        Trace.record
+          (Trace.Suppressed
+             { su_construct = "transform.alternatives"; su_diag = d });
+        try_regions rest
       | Error (Terror.Definite _) as e -> e)
   in
   match op.Ircore.regions with
@@ -360,7 +381,8 @@ let apply ?(config = State.default_config) ctx ~script ~payload =
   | None ->
     Error
       (Terror.Definite
-         "no transform entry point (sequence or @__transform_main) found")
+         (Diag.error
+            "no transform entry point (sequence or @__transform_main) found"))
   | Some entry ->
     let st = State.create ~config ctx payload in
     let result =

@@ -177,7 +177,7 @@ let over_payload st op ~index f =
 
 let as_silenceable = function
   | Ok v -> Ok v
-  | Error msg -> Error (Terror.Silenceable msg)
+  | Error msg -> Terror.silenceable "%s" msg
 
 (* ------------------------------------------------------------------ *)
 (* Treg registrations                                                  *)
@@ -567,8 +567,10 @@ let register_impls () =
           | target :: rest -> (
             match pass.Passes.Pass.run st.State.ctx target with
             | Ok () -> go rest
-            | Error msg ->
-              Error (Terror.Silenceable (Fmt.str "pass %s: %s" pass_name msg)))
+            | Error d ->
+              Terror.silenceable_diag
+                (Diag.add_note d
+                   (Diag.note "in registered pass '%s'" pass_name)))
         in
         let* () = go targets in
         State.prune st;

@@ -124,6 +124,16 @@ let lookup_handle t (v : Ircore.value) : (Ircore.op list, Terror.t) result =
           "use of a handle whose payload was invalidated by transform '%s'" by
       | None -> Ok ops))
 
+(** Non-failing peek at the payload size of a handle or parameter value,
+    for tracing: does not check consumption and never errors. *)
+let handle_size t (v : Ircore.value) =
+  match Hashtbl.find_opt t.handles v.Ircore.v_id with
+  | Some ops -> Some (List.length ops)
+  | None -> (
+    match Hashtbl.find_opt t.params v.Ircore.v_id with
+    | Some attrs -> Some (List.length attrs)
+    | None -> None)
+
 let lookup_params t (v : Ircore.value) : (Attr.t list, Terror.t) result =
   match Hashtbl.find_opt t.params v.Ircore.v_id with
   | None -> Terror.definite "use of an undefined parameter"

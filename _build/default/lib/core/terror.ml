@@ -3,20 +3,39 @@
     - a {e silenceable} error signals a failed pre-condition; the payload has
       not been modified irreversibly and an enclosing construct (e.g.
       [transform.alternatives]) may suppress it;
-    - a {e definite} error aborts interpretation immediately. *)
+    - a {e definite} error aborts interpretation immediately.
+
+    Both carry a structured {!Ir.Diag.t} payload (severity, source location,
+    attached notes) rather than a bare string, so interpreter failures flow
+    through the same observability channel as pass and verifier failures. *)
+
+open Ir
 
 type t =
-  | Silenceable of string
-  | Definite of string
+  | Silenceable of Diag.t
+  | Definite of Diag.t
 
-let silenceable fmt = Fmt.kstr (fun m -> Error (Silenceable m)) fmt
-let definite fmt = Fmt.kstr (fun m -> Error (Definite m)) fmt
+let silenceable ?loc fmt =
+  Fmt.kstr (fun m -> Stdlib.Error (Silenceable (Diag.error ?loc "%s" m))) fmt
 
-let message = function Silenceable m | Definite m -> m
+let definite ?loc fmt =
+  Fmt.kstr (fun m -> Stdlib.Error (Definite (Diag.error ?loc "%s" m))) fmt
+
+let silenceable_diag d = Stdlib.Error (Silenceable d)
+let definite_diag d = Stdlib.Error (Definite d)
+
+let diag = function Silenceable d | Definite d -> d
+let message e = Diag.message (diag e)
 let is_silenceable = function Silenceable _ -> true | Definite _ -> false
 
+(** Rebuild the error with its diagnostic payload transformed, preserving
+    the silenceable/definite distinction. *)
+let map_diag f = function
+  | Silenceable d -> Silenceable (f d)
+  | Definite d -> Definite (f d)
+
 let pp fmt = function
-  | Silenceable m -> Fmt.pf fmt "silenceable error: %s" m
-  | Definite m -> Fmt.pf fmt "definite error: %s" m
+  | Silenceable d -> Fmt.pf fmt "silenceable error: %a" Diag.pp d
+  | Definite d -> Fmt.pf fmt "definite error: %a" Diag.pp d
 
 let to_string e = Fmt.str "%a" pp e

@@ -74,7 +74,7 @@ let dynamic_check_overhead ctx =
   let passes =
     match Passes.Pass.parse_pipeline Workloads.Models.tosa_pipeline_str with
     | Ok ps -> ps
-    | Error e -> failwith e
+    | Error e -> failwith (Ir.Diag.to_string e)
   in
   let compile ~checks =
     let md = Workloads.Models.build spec in

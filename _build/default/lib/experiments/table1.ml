@@ -31,7 +31,7 @@ let run_model ?(reps = 5) ctx spec =
   let passes =
     match Passes.Pass.parse_pipeline Workloads.Models.tosa_pipeline_str with
     | Ok ps -> ps
-    | Error e -> failwith e
+    | Error e -> failwith (Ir.Diag.to_string e)
   in
   let pm_times = ref [] and tf_times = ref [] in
   let num_ops = ref 0 in
@@ -40,7 +40,10 @@ let run_model ?(reps = 5) ctx spec =
     num_ops := Workloads.Models.count_ops md;
     Gc.major ();
     let (_ : Passes.Pass.run_result), t =
-      time (fun () -> Passes.Pass.run_pipeline ctx passes md)
+      time (fun () ->
+          match Passes.Pass.run_pipeline ctx passes md with
+          | Ok r -> r
+          | Error d -> failwith (Ir.Diag.to_string d))
     in
     (t, md)
   in

@@ -1,1 +1,1 @@
-lib/ir/context.ml: Attr Hashtbl Ircore List Util
+lib/ir/context.ml: Attr Diag Hashtbl Ircore List Util

@@ -1,0 +1,1 @@
+lib/ir/diag.ml: Fmt Fun Json List Loc Stdlib

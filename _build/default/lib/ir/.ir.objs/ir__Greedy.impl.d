@@ -1,1 +1,1 @@
-lib/ir/greedy.ml: Attr Builder Context Hashtbl Ircore List Option Pattern Rewriter Typ
+lib/ir/greedy.ml: Attr Builder Context Hashtbl Ircore List Option Pattern Rewriter Trace Typ

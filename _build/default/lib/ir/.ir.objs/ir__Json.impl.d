@@ -1,0 +1,1 @@
+lib/ir/json.ml: Buffer Char Float Fmt List Printf String

@@ -1,0 +1,1 @@
+lib/ir/trace.ml: Diag Fmt Fun Json List Loc

@@ -1,1 +1,1 @@
-lib/ir/verifier.ml: Array Attr Context Dominance Fmt Hashtbl Ircore List Loc Result Typ
+lib/ir/verifier.ml: Array Attr Context Diag Dominance Fmt Hashtbl Ircore List Result Typ

@@ -38,13 +38,35 @@ type t = {
   ops : (string, op_def) Hashtbl.t;
   dialects : (string, dialect) Hashtbl.t;
   mutable allow_unregistered : bool;
+  diags : Diag.engine;  (** per-context diagnostic handler stack *)
 }
 
 let create ?(allow_unregistered = false) () =
-  { ops = Hashtbl.create 256; dialects = Hashtbl.create 16; allow_unregistered }
+  {
+    ops = Hashtbl.create 256;
+    dialects = Hashtbl.create 16;
+    allow_unregistered;
+    diags = Diag.engine ();
+  }
 
 let allow_unregistered ctx b = ctx.allow_unregistered <- b
 let allows_unregistered ctx = ctx.allow_unregistered
+
+(* ------------------------------------------------------------------ *)
+(* Diagnostics                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let diag_engine ctx = ctx.diags
+
+(** Emit a diagnostic to the context's innermost handler (stderr when no
+    handler is installed). *)
+let emit_diag ctx d = Diag.emit ctx.diags d
+
+(** Run [f] with [h] installed as the context's innermost handler. *)
+let with_diag_handler ctx h f = Diag.with_handler ctx.diags h f
+
+(** Run [f] capturing every diagnostic emitted against this context. *)
+let capture_diags ctx f = Diag.capture ctx.diags f
 
 let get_or_create_dialect ctx name =
   match Hashtbl.find_opt ctx.dialects name with

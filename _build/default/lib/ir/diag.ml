@@ -1,0 +1,131 @@
+(** Structured compiler diagnostics, mirroring MLIR's diagnostics engine.
+
+    A diagnostic carries a severity, a source {!Loc.t}, a primary message and
+    a list of attached notes (themselves diagnostics). Diagnostics flow to a
+    per-context {!engine} holding a stack of handlers; the innermost handler
+    receives each emitted diagnostic, so a scoped handler (see {!capture})
+    can observe everything the compiler reports during a region of code —
+    the mechanism behind [--diagnostics=json] and the expect-diagnostic
+    style of testing. *)
+
+type severity = Error | Warning | Remark | Note
+
+type t = {
+  severity : severity;
+  loc : Loc.t;
+  message : string;
+  notes : t list;
+}
+
+let severity_to_string = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Remark -> "remark"
+  | Note -> "note"
+
+(* ------------------------------------------------------------------ *)
+(* Construction                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let make ?(loc = Loc.Unknown) ?(notes = []) severity message =
+  { severity; loc; message; notes }
+
+let error ?loc ?notes fmt =
+  Fmt.kstr (fun m -> make ?loc ?notes Error m) fmt
+
+let warning ?loc ?notes fmt =
+  Fmt.kstr (fun m -> make ?loc ?notes Warning m) fmt
+
+let remark ?loc ?notes fmt =
+  Fmt.kstr (fun m -> make ?loc ?notes Remark m) fmt
+
+let note ?loc fmt = Fmt.kstr (fun m -> make ?loc Note m) fmt
+
+(** Build an [Error _] result directly — the common shape for pass and
+    verifier failures. *)
+let fail ?loc ?notes fmt =
+  Fmt.kstr (fun m -> Stdlib.Error (make ?loc ?notes Error m)) fmt
+
+let add_note d n = { d with notes = d.notes @ [ n ] }
+let add_notes d ns = { d with notes = d.notes @ ns }
+let with_loc d loc = { d with loc }
+
+(** Attach [loc] only when the diagnostic does not already carry one. *)
+let with_loc_if_unknown d loc =
+  match d.loc with Loc.Unknown -> { d with loc } | _ -> d
+
+(* ------------------------------------------------------------------ *)
+(* Accessors                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let severity d = d.severity
+let loc d = d.loc
+let message d = d.message
+let notes d = d.notes
+let is_error d = d.severity = Error
+
+(* ------------------------------------------------------------------ *)
+(* Rendering                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let pp_headline fmt d =
+  (match d.loc with
+  | Loc.Unknown -> ()
+  | l -> Fmt.pf fmt "%a: " Loc.pp l);
+  Fmt.pf fmt "%s: %s" (severity_to_string d.severity) d.message
+
+(** Multi-line rendering: headline plus indented notes. *)
+let rec pp fmt d =
+  pp_headline fmt d;
+  List.iter (fun n -> Fmt.pf fmt "@,  %a" pp n) d.notes
+
+let pp fmt d = Fmt.pf fmt "@[<v>%a@]" pp d
+let to_string d = Fmt.str "%a" pp d
+
+let rec to_json d =
+  let fields =
+    [ ("severity", Json.String (severity_to_string d.severity)) ]
+    @ (match d.loc with
+      | Loc.Unknown -> []
+      | l -> [ ("loc", Json.String (Loc.to_string l)) ])
+    @ [ ("message", Json.String d.message) ]
+    @
+    match d.notes with
+    | [] -> []
+    | ns -> [ ("notes", Json.List (List.map to_json ns)) ]
+  in
+  Json.Obj fields
+
+(* ------------------------------------------------------------------ *)
+(* Handler engine                                                      *)
+(* ------------------------------------------------------------------ *)
+
+type handler = t -> unit
+
+type engine = { mutable handlers : handler list }
+
+let engine () = { handlers = [] }
+
+(** Fallback when no handler is installed: print to stderr. *)
+let default_handler d = Fmt.epr "%a@." pp d
+
+let emit eng d =
+  match eng.handlers with h :: _ -> h d | [] -> default_handler d
+
+let push_handler eng h = eng.handlers <- h :: eng.handlers
+
+let pop_handler eng =
+  match eng.handlers with [] -> () | _ :: rest -> eng.handlers <- rest
+
+(** Run [f] with [h] installed as the innermost handler. *)
+let with_handler eng h f =
+  push_handler eng h;
+  Fun.protect ~finally:(fun () -> pop_handler eng) f
+
+(** Scoped capture: run [f] collecting every diagnostic emitted to [eng]
+    while it executes; returns [f]'s result and the diagnostics in emission
+    order. *)
+let capture eng f =
+  let acc = ref [] in
+  let result = with_handler eng (fun d -> acc := d :: !acc) f in
+  (result, List.rev !acc)

@@ -140,4 +140,16 @@ let apply ?(config = default_config) ?stats ?rewriter ctx ~patterns root =
       worklist
   done;
   stats.iterations <- !iterations;
-  not !changed_overall
+  let converged = not !changed_overall in
+  (* report through the ambient trace channel (no-op when not tracing) *)
+  Trace.record
+    (Trace.Greedy
+       {
+         gr_root = root.Ircore.op_name;
+         gr_rewrites = stats.rewrites;
+         gr_folds = stats.folds;
+         gr_dce = stats.dce;
+         gr_iterations = stats.iterations;
+         gr_converged = converged;
+       });
+  converged

@@ -1,0 +1,124 @@
+(** Execution tracing for the three engines: the transform interpreter, the
+    pass manager and the greedy pattern driver all report what they did
+    through a single event channel, consumable as text or JSON.
+
+    A {!sink} accumulates events; {!with_sink} installs one as the ambient
+    sink for a dynamic extent so that deeply nested components (a greedy
+    rewrite inside a canonicalize pass inside a transform script) can report
+    without the sink being threaded through every signature. *)
+
+type event =
+  | Transform of {
+      tr_op : string;  (** transform op name, e.g. [transform.loop_tile] *)
+      tr_loc : Loc.t;
+      tr_in : int list;  (** payload sizes of operand handles *)
+      tr_out : int list;  (** payload sizes of result handles *)
+    }
+  | Suppressed of {
+      su_construct : string;  (** e.g. [transform.alternatives] *)
+      su_diag : Diag.t;  (** the silenceable error that was suppressed *)
+    }
+  | Greedy of {
+      gr_root : string;  (** op the driver ran on *)
+      gr_rewrites : int;
+      gr_folds : int;
+      gr_dce : int;
+      gr_iterations : int;
+      gr_converged : bool;
+    }
+  | Pass of { pa_name : string; pa_seconds : float }
+
+type sink = { mutable rev_events : event list }
+
+let create () = { rev_events = [] }
+let emit sink e = sink.rev_events <- e :: sink.rev_events
+let events sink = List.rev sink.rev_events
+let clear sink = sink.rev_events <- []
+
+(* ------------------------------------------------------------------ *)
+(* Ambient sink                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let current : sink option ref = ref None
+
+(** Install [sink] as the ambient sink while [f] runs. *)
+let with_sink sink f =
+  let saved = !current in
+  current := Some sink;
+  Fun.protect ~finally:(fun () -> current := saved) f
+
+(** Emit to the ambient sink, if one is installed. Cheap no-op otherwise. *)
+let record e = match !current with Some s -> emit s e | None -> ()
+
+let tracing () = !current <> None
+
+(* ------------------------------------------------------------------ *)
+(* Rendering                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* no break hints: an event must stay on one line even inside a vbox *)
+let pp_sizes fmt sizes =
+  Fmt.pf fmt "[%a]" (Fmt.list ~sep:(Fmt.any ",") Fmt.int) sizes
+
+let pp_event fmt = function
+  | Transform { tr_op; tr_loc; tr_in; tr_out } ->
+    Fmt.pf fmt "transform %s in=%a out=%a" tr_op pp_sizes tr_in pp_sizes
+      tr_out;
+    (match tr_loc with
+    | Loc.Unknown -> ()
+    | l -> Fmt.pf fmt " at %a" Loc.pp l)
+  | Suppressed { su_construct; su_diag } ->
+    Fmt.pf fmt "suppressed by %s: %s" su_construct (Diag.message su_diag)
+  | Greedy { gr_root; gr_rewrites; gr_folds; gr_dce; gr_iterations;
+             gr_converged } ->
+    Fmt.pf fmt
+      "greedy on %s: %d rewrites, %d folds, %d dce, %d iterations%s" gr_root
+      gr_rewrites gr_folds gr_dce gr_iterations
+      (if gr_converged then "" else " (no fixpoint)")
+  | Pass { pa_name; pa_seconds } ->
+    Fmt.pf fmt "pass %s: %.3f ms" pa_name (pa_seconds *. 1000.)
+
+let pp fmt sink =
+  List.iter (fun e -> Fmt.pf fmt "// trace: %a@," pp_event e) (events sink)
+
+let pp fmt sink = Fmt.pf fmt "@[<v>%a@]" pp sink
+
+let event_to_json = function
+  | Transform { tr_op; tr_loc; tr_in; tr_out } ->
+    Json.Obj
+      ([ ("kind", Json.String "transform"); ("op", Json.String tr_op) ]
+      @ (match tr_loc with
+        | Loc.Unknown -> []
+        | l -> [ ("loc", Json.String (Loc.to_string l)) ])
+      @ [
+          ("in_sizes", Json.List (List.map (fun n -> Json.Int n) tr_in));
+          ("out_sizes", Json.List (List.map (fun n -> Json.Int n) tr_out));
+        ])
+  | Suppressed { su_construct; su_diag } ->
+    Json.Obj
+      [
+        ("kind", Json.String "suppressed");
+        ("construct", Json.String su_construct);
+        ("diagnostic", Diag.to_json su_diag);
+      ]
+  | Greedy { gr_root; gr_rewrites; gr_folds; gr_dce; gr_iterations;
+             gr_converged } ->
+    Json.Obj
+      [
+        ("kind", Json.String "greedy");
+        ("root", Json.String gr_root);
+        ("rewrites", Json.Int gr_rewrites);
+        ("folds", Json.Int gr_folds);
+        ("dce", Json.Int gr_dce);
+        ("iterations", Json.Int gr_iterations);
+        ("converged", Json.Bool gr_converged);
+      ]
+  | Pass { pa_name; pa_seconds } ->
+    Json.Obj
+      [
+        ("kind", Json.String "pass");
+        ("pass", Json.String pa_name);
+        ("seconds", Json.Float pa_seconds);
+      ]
+
+let to_json sink = Json.List (List.map event_to_json (events sink))

@@ -4,15 +4,10 @@
 
 open Ircore
 
-type diagnostic = { d_op : op; d_message : string }
-
-let pp_diagnostic fmt d =
-  (match d.d_op.op_loc with
-  | Loc.Unknown -> ()
-  | l -> Fmt.pf fmt "%a: " Loc.pp l);
-  Fmt.pf fmt "error: '%s': %s" d.d_op.op_name d.d_message
-
-let diag op fmt = Fmt.kstr (fun m -> { d_op = op; d_message = m }) fmt
+let diag op fmt =
+  Fmt.kstr
+    (fun m -> Diag.error ~loc:op.op_loc "'%s': %s" op.op_name m)
+    fmt
 
 let verify_op_structure ctx op errors =
   (* registration *)
@@ -133,7 +128,7 @@ let verify_symbols ctx op errors =
       op.regions
   end
 
-let verify ctx top : (unit, diagnostic list) result =
+let verify ctx top : (unit, Diag.t list) result =
   let errors = ref [] in
   verify_use_def_consistency top errors;
   walk_op top ~pre:(fun op ->
@@ -154,10 +149,19 @@ let verify_or_fail ctx top =
   | Error errs ->
     let msg =
       Fmt.str "@[<v>verification failed:@,%a@]"
-        (Fmt.list ~sep:Fmt.cut pp_diagnostic)
+        (Fmt.list ~sep:Fmt.cut Diag.pp)
         errs
     in
     failwith msg
+
+(** Verify and report failures through the context's diagnostic handler;
+    returns [true] when the IR is valid. *)
+let verify_and_emit ctx top =
+  match verify ctx top with
+  | Ok () -> true
+  | Error errs ->
+    List.iter (Context.emit_diag ctx) errs;
+    false
 
 (* ------------------------------------------------------------------ *)
 (* Reusable per-op verification helpers for dialect definitions        *)

@@ -1,1 +1,1 @@
-lib/passes/conversions.ml: Affine Affine_ops Arith Array Attr Builder Builtin Cf Dialects Dutil Fmt Func Ir Ircore List Llvm Memref Opset Option Pass Result Rewriter Scf Symbol Typ
+lib/passes/conversions.ml: Affine Affine_ops Arith Array Attr Builder Builtin Cf Diag Dialects Dutil Func Ir Ircore List Llvm Memref Opset Option Pass Result Rewriter Scf Symbol Typ

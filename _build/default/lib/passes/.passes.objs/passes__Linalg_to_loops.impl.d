@@ -1,1 +1,1 @@
-lib/passes/linalg_to_loops.ml: Arith Builder Dialects Dutil Ir Ircore Linalg List Memref Opset Pass Rewriter Scf Typ
+lib/passes/linalg_to_loops.ml: Arith Builder Diag Dialects Dutil Ir Ircore Linalg List Memref Opset Pass Rewriter Scf Typ

@@ -1,1 +1,1 @@
-lib/passes/pass.ml: Context Fmt Hashtbl Ir Ircore List Opset String Symbol Unix Verifier
+lib/passes/pass.ml: Context Diag Fmt Fun Hashtbl Ir Ircore Json List Opset Option Printer Printf Stdlib String Symbol Trace Unix Verifier

@@ -830,13 +830,18 @@ let run_reconcile_unrealized_casts _ctx top =
         end)
   done;
   let remaining = Symbol.collect_ops ~op_name:Builtin.cast_op top in
-  if remaining = [] then Ok ()
-  else
-    Error
-      (Fmt.str
-         "failed to legalize operation 'builtin.unrealized_conversion_cast' \
-          that was explicitly marked illegal (%d remaining)"
-         (List.length remaining))
+  match remaining with
+  | [] -> Ok ()
+  | first :: _ ->
+    Diag.fail ~loc:first.Ircore.op_loc
+      ~notes:
+        (List.map
+           (fun (op : Ircore.op) ->
+             Diag.note ~loc:op.Ircore.op_loc "unresolved cast here")
+           remaining)
+      "failed to legalize operation 'builtin.unrealized_conversion_cast' \
+       that was explicitly marked illegal (%d remaining)"
+      (List.length remaining)
 
 (* ------------------------------------------------------------------ *)
 (* lower-affine                                                        *)

@@ -117,7 +117,7 @@ let run _ctx top =
       record (lower_fill rw op));
   Pass.for_each_op ~op_name:Linalg.copy_op top (fun op ->
       record (lower_copy rw op));
-  match !first_error with None -> Ok () | Some e -> Error e
+  match !first_error with None -> Ok () | Some e -> Diag.fail "%s" e
 
 let register () =
   Pass.register

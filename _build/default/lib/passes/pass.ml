@@ -3,7 +3,14 @@
     A pass is a named IR transformation with declared pre-/post-conditions
     (the op kinds it consumes and introduces — Section 3.3 of the paper).
     The registry makes passes available both to classic pass-manager
-    pipelines and to [transform.apply_registered_pass]. *)
+    pipelines and to [transform.apply_registered_pass].
+
+    The pass manager is instrumented: an {!instrumentation} record exposes
+    [before_pass]/[after_pass]/[on_failure] hooks, with built-in
+    instrumentations for IR printing after each pass, per-pass op-count
+    deltas, and a crash reproducer. Failures are structured {!Ir.Diag.t}
+    diagnostics rather than strings or exceptions, and timing is reported as
+    a hierarchical tree. *)
 
 open Ir
 
@@ -12,7 +19,7 @@ type t = {
   summary : string;
   pre : Opset.t;  (** op kinds consumed/removed by this pass *)
   post : Opset.t;  (** op kinds (potentially) introduced by this pass *)
-  run : Context.t -> Ircore.op -> (unit, string) result;
+  run : Context.t -> Ircore.op -> (unit, Diag.t) result;
       (** runs on any op (module or function); must be idempotent on IR that
           contains none of [pre] *)
 }
@@ -42,63 +49,294 @@ let all_registered () =
   Hashtbl.fold (fun _ p acc -> p :: acc) registry []
   |> List.sort (fun a b -> compare a.name b.name)
 
+let pipeline_str passes = String.concat "," (List.map (fun p -> p.name) passes)
+
+(* ------------------------------------------------------------------ *)
+(* Hierarchical timing                                                 *)
+(* ------------------------------------------------------------------ *)
+
+type timing = {
+  t_name : string;
+  t_seconds : float;
+  t_children : timing list;
+}
+
+let rec pp_timing_at ~total ~depth fmt t =
+  Fmt.pf fmt "%s%8.3f ms (%5.1f%%)  %s@,"
+    (String.make (2 * depth) ' ')
+    (t.t_seconds *. 1000.)
+    (if total > 0. then 100. *. t.t_seconds /. total else 100.)
+    t.t_name;
+  List.iter (pp_timing_at ~total ~depth:(depth + 1) fmt) t.t_children
+
+let pp_timing fmt t =
+  Fmt.pf fmt "@[<v>%a@]" (fun fmt -> pp_timing_at ~total:t.t_seconds ~depth:0 fmt) t
+
+let rec timing_to_json t =
+  Json.Obj
+    ([
+       ("name", Json.String t.t_name);
+       ("seconds", Json.Float t.t_seconds);
+     ]
+    @
+    match t.t_children with
+    | [] -> []
+    | cs -> [ ("children", Json.List (List.map timing_to_json cs)) ])
+
+(* ------------------------------------------------------------------ *)
+(* Instrumentation                                                     *)
+(* ------------------------------------------------------------------ *)
+
+type instrumentation = {
+  i_name : string;
+  i_before_pass : t -> Ircore.op -> unit;
+  i_after_pass : t -> Ircore.op -> unit;
+  i_on_failure : t -> Ircore.op -> remaining:t list -> Diag.t -> unit;
+      (** [remaining] is the failing pass followed by the passes that did
+          not run — exactly the pipeline suffix a reproducer must re-run *)
+}
+
+let nop2 _ _ = ()
+let nop_failure _ _ ~remaining:_ _ = ()
+
+let instrumentation ?(before_pass = nop2) ?(after_pass = nop2)
+    ?(on_failure = nop_failure) name =
+  {
+    i_name = name;
+    i_before_pass = before_pass;
+    i_after_pass = after_pass;
+    i_on_failure = on_failure;
+  }
+
+(** Print the IR after each pass (mlir-opt's [-print-ir-after-all]). *)
+let print_ir_after_all ?(ppf = Fmt.stderr) () =
+  instrumentation "print-ir-after-all"
+    ~after_pass:(fun p op ->
+      Fmt.pf ppf "// -----// IR dump after pass '%s' //----- //@.%a@." p.name
+        Printer.pp_op op)
+
+let count_ops_by_name op =
+  let counts = Hashtbl.create 64 in
+  Ircore.walk_op op ~pre:(fun o ->
+      Hashtbl.replace counts o.Ircore.op_name
+        (1 + Option.value ~default:0 (Hashtbl.find_opt counts o.Ircore.op_name)));
+  counts
+
+(** Per-pass op-count deltas: returns the instrumentation plus a getter
+    yielding, per executed pass in order, the op kinds whose population
+    changed (op name, signed delta). *)
+let op_count_deltas () =
+  let before = ref (Hashtbl.create 0) in
+  let deltas = ref [] in
+  let record p op =
+    let after = count_ops_by_name op in
+    let delta = ref [] in
+    Hashtbl.iter
+      (fun name n ->
+        let was = Option.value ~default:0 (Hashtbl.find_opt !before name) in
+        if n <> was then delta := (name, n - was) :: !delta)
+      after;
+    Hashtbl.iter
+      (fun name was ->
+        if not (Hashtbl.mem after name) then delta := (name, -was) :: !delta)
+      !before;
+    deltas := (p.name, List.sort compare !delta) :: !deltas
+  in
+  let instr =
+    instrumentation "op-count-deltas"
+      ~before_pass:(fun _ op -> before := count_ops_by_name op)
+      ~after_pass:record
+      ~on_failure:(fun p op ~remaining:_ _ -> record p op)
+  in
+  (instr, fun () -> List.rev !deltas)
+
+let pp_op_deltas fmt deltas =
+  List.iter
+    (fun (pass, delta) ->
+      match delta with
+      | [] -> ()
+      | _ ->
+        Fmt.pf fmt "// pass %s:%a@," pass
+          (fun fmt ->
+            List.iter (fun (name, d) -> Fmt.pf fmt " %s%+d" name d))
+          delta)
+    deltas
+
+let pp_op_deltas fmt deltas = Fmt.pf fmt "@[<v>%a@]" pp_op_deltas deltas
+
+let op_deltas_to_json deltas =
+  Json.List
+    (List.map
+       (fun (pass, delta) ->
+         Json.Obj
+           [
+             ("pass", Json.String pass);
+             ( "deltas",
+               Json.Obj (List.map (fun (n, d) -> (n, Json.Int d)) delta) );
+           ])
+       deltas)
+
+(** Crash reproducer: snapshots the IR before each pass; when a pass fails,
+    dumps the pre-pass IR and the remaining pipeline to [path] so that
+    [otd-opt <path>] replays the failure. *)
+let reproducer ~path =
+  let last_ir = ref None in
+  instrumentation "crash-reproducer"
+    ~before_pass:(fun _ op -> last_ir := Some (Fmt.str "%a" Printer.pp_op op))
+    ~on_failure:(fun p _op ~remaining d ->
+      match !last_ir with
+      | None -> ()
+      | Some ir ->
+        let oneline s =
+          String.map (function '\n' | '\r' -> ' ' | c -> c) s
+        in
+        let oc = open_out path in
+        Fun.protect
+          ~finally:(fun () -> close_out oc)
+          (fun () ->
+            Printf.fprintf oc
+              "// otd-opt crash reproducer\n\
+               // failing pass: %s\n\
+               // diagnostic: %s\n\
+               // configuration: --pass-pipeline=%s\n\
+               %s\n"
+              p.name
+              (oneline (Diag.to_string d))
+              (pipeline_str remaining) ir))
+
 (* ------------------------------------------------------------------ *)
 (* Pass manager                                                        *)
 (* ------------------------------------------------------------------ *)
 
-type timing = { t_pass : string; t_seconds : float }
-
 type run_result = {
-  timings : timing list;
+  timing : timing;  (** root node spans the whole pipeline *)
   total_seconds : float;
 }
 
-exception Pass_error of string * string  (** pass name, message *)
-
-(** Run a pipeline of passes over [op], timing each pass. Raises
-    {!Pass_error} on the first failing pass. *)
-let run_pipeline ?(verify_each = false) ctx passes op =
+(** Run a pipeline of passes over [op], timing each pass, driving the given
+    instrumentations, and reporting per-pass events to the ambient
+    {!Ir.Trace} sink. Returns the first failure as a structured diagnostic
+    (with a note naming the failing pass). *)
+let run_pipeline ?(verify_each = false) ?(instrumentations = []) ctx passes op
+    =
   let t_start = Unix.gettimeofday () in
-  let timings =
-    List.map
-      (fun p ->
-        let t0 = Unix.gettimeofday () in
-        (match p.run ctx op with
-        | Ok () -> ()
-        | Error msg -> raise (Pass_error (p.name, msg)));
-        if verify_each then begin
-          match Verifier.verify ctx op with
-          | Ok () -> ()
-          | Error diags ->
-            raise
-              (Pass_error
-                 ( p.name,
-                   Fmt.str "verification failed after pass: %a"
-                     (Fmt.list ~sep:Fmt.comma Verifier.pp_diagnostic)
-                     diags ))
-        end;
-        { t_pass = p.name; t_seconds = Unix.gettimeofday () -. t0 })
-      passes
+  let fail p remaining d =
+    let d = Diag.add_note d (Diag.note "while running pass '%s'" p.name) in
+    List.iter (fun i -> i.i_on_failure p op ~remaining d) instrumentations;
+    Stdlib.Error d
   in
-  { timings; total_seconds = Unix.gettimeofday () -. t_start }
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | p :: rest -> (
+      List.iter (fun i -> i.i_before_pass p op) instrumentations;
+      let t0 = Unix.gettimeofday () in
+      match p.run ctx op with
+      | Error d -> fail p (p :: rest) d
+      | Ok () -> (
+        let t_run = Unix.gettimeofday () -. t0 in
+        let verify_result =
+          if not verify_each then Ok []
+          else
+            match Verifier.verify ctx op with
+            | Ok () ->
+              Ok
+                [
+                  {
+                    t_name = "verify";
+                    t_seconds = Unix.gettimeofday () -. t0 -. t_run;
+                    t_children = [];
+                  };
+                ]
+            | Error diags ->
+              Stdlib.Error
+                (Diag.error
+                   ~notes:(List.map (fun d -> Diag.{ d with severity = Note }) diags)
+                   "verification failed after pass '%s'" p.name)
+        in
+        match verify_result with
+        | Error d -> fail p (p :: rest) d
+        | Ok verify_children ->
+          List.iter (fun i -> i.i_after_pass p op) instrumentations;
+          let t_total = Unix.gettimeofday () -. t0 in
+          Trace.record (Trace.Pass { pa_name = p.name; pa_seconds = t_total });
+          let children =
+            if verify_each then
+              { t_name = "run"; t_seconds = t_run; t_children = [] }
+              :: verify_children
+            else []
+          in
+          go
+            ({ t_name = p.name; t_seconds = t_total; t_children = children }
+            :: acc)
+            rest))
+  in
+  match go [] passes with
+  | Error d -> Stdlib.Error d
+  | Ok children ->
+    let total = Unix.gettimeofday () -. t_start in
+    Ok
+      {
+        timing =
+          { t_name = "pipeline"; t_seconds = total; t_children = children };
+        total_seconds = total;
+      }
 
 (** Parse a comma-separated pipeline string, e.g.
-    ["convert-scf-to-cf,convert-arith-to-llvm"]. *)
+    ["convert-scf-to-cf,convert-arith-to-llvm"]. Unknown pass names are all
+    accumulated into a single diagnostic carrying one note per bad segment
+    with its position in the string. *)
 let parse_pipeline str =
-  String.split_on_char ',' str
-  |> List.map String.trim
-  |> List.filter (fun s -> s <> "")
-  |> List.map (fun name ->
-         match lookup name with
-         | Some p -> Ok p
-         | None -> Error (Fmt.str "unknown pass '%s'" name))
-  |> List.fold_left
-       (fun acc r ->
-         match (acc, r) with
-         | Ok ps, Ok p -> Ok (ps @ [ p ])
-         | Error e, _ -> Error e
-         | _, Error e -> Error e)
-       (Ok [])
+  (* split on ',' keeping the offset of each trimmed segment *)
+  let segments =
+    let out = ref [] in
+    let seg_start = ref 0 in
+    let flush stop =
+      let raw = String.sub str !seg_start (stop - !seg_start) in
+      let trimmed = String.trim raw in
+      if trimmed <> "" then begin
+        (* offset of the trimmed name within [str] *)
+        let lead = ref 0 in
+        while
+          !lead < String.length raw
+          && (raw.[!lead] = ' ' || raw.[!lead] = '\t')
+        do
+          incr lead
+        done;
+        out := (trimmed, !seg_start + !lead) :: !out
+      end;
+      seg_start := stop + 1
+    in
+    String.iteri (fun i c -> if c = ',' then flush i) str;
+    flush (String.length str);
+    List.rev !out
+  in
+  let resolved =
+    List.map
+      (fun (name, off) ->
+        match lookup name with
+        | Some p -> Ok p
+        | None -> Stdlib.Error (name, off))
+      segments
+  in
+  let unknown =
+    List.filter_map
+      (function Stdlib.Error bad -> Some bad | Ok _ -> None)
+      resolved
+  in
+  match unknown with
+  | [] ->
+    Ok (List.filter_map (function Ok p -> Some p | Error _ -> None) resolved)
+  | bad ->
+    Stdlib.Error
+      (Diag.error
+         ~notes:
+           (List.map
+              (fun (name, off) ->
+                Diag.note "unknown pass '%s' at position %d" name off)
+              bad)
+         "pipeline contains %d unknown pass%s: %s" (List.length bad)
+         (if List.length bad = 1 then "" else "es")
+         (String.concat ", " (List.map fst bad)))
 
 (* ------------------------------------------------------------------ *)
 (* Helpers for writing conversion passes                               *)

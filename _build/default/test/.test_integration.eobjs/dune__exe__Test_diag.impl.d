@@ -1,0 +1,1 @@
+test/test_diag.ml: Alcotest Context Diag Dialects Filename Fun Ir Ircore Json List Loc Option Passes Stdlib String Sys Trace Transform Verifier Workloads

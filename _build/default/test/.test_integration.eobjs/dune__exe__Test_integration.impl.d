@@ -1,1 +1,1 @@
-test/test_integration.ml: Alcotest Fmt Ir Ircore Passes Symbol Transform Verifier Workloads
+test/test_integration.ml: Alcotest Diag Fmt Ir Ircore Passes Symbol Transform Verifier Workloads

@@ -1,1 +1,1 @@
-test/test_irdl.ml: Alcotest Attr Builder Dialects Dutil Fmt Ir Ircore Irdl List Memref Opset Option Passes Rewriter String Symbol Transform Typ Workloads
+test/test_irdl.ml: Alcotest Attr Builder Diag Dialects Dutil Fmt Ir Ircore Irdl List Memref Opset Option Passes Rewriter String Symbol Transform Typ Workloads

@@ -1,1 +1,1 @@
-test/test_pretty.ml: Alcotest Arith Builtin Dialects Dutil Func Ir Ircore List Parser Passes Pretty Printer Scf String Transform Typ Workloads
+test/test_pretty.ml: Alcotest Arith Builtin Diag Dialects Dutil Func Ir Ircore List Parser Passes Pretty Printer Scf String Transform Typ Workloads

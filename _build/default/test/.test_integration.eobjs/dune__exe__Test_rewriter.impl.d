@@ -1,1 +1,1 @@
-test/test_rewriter.ml: Alcotest Arith Attr Builder Builtin Dialects Dutil Func Greedy Ir Ircore List Memref Passes Pattern Rewriter Symbol Transform Typ
+test/test_rewriter.ml: Alcotest Arith Attr Builder Builtin Diag Dialects Dutil Func Greedy Ir Ircore List Memref Passes Pattern Rewriter Symbol Transform Typ

@@ -1,1 +1,1 @@
-test/test_textual.ml: Alcotest Filename Fun Ir List Parser Printer String Symbol Sys Transform Verifier Workloads
+test/test_textual.ml: Alcotest Diag Filename Fun Ir List Parser Printer String Symbol Sys Transform Verifier Workloads

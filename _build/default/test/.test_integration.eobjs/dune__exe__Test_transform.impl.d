@@ -1,1 +1,1 @@
-test/test_transform.ml: Alcotest Attr Builder Builtin Dialects Dutil Func Ir Ircore List Rewriter Shlo String Symbol Transform Typ Verifier Workloads
+test/test_transform.ml: Alcotest Attr Builder Builtin Diag Dialects Dutil Func Ir Ircore List Rewriter Shlo String Symbol Transform Typ Verifier Workloads

@@ -1,1 +1,1 @@
-test/test_verifier.ml: Alcotest Attr Builtin Dialects Dutil Fmt Func Ir Ircore Parser String Transform Typ Verifier
+test/test_verifier.ml: Alcotest Attr Builtin Diag Dialects Dutil Fmt Func Ir Ircore Parser String Transform Typ Verifier

@@ -1,1 +1,1 @@
-test/test_workloads.ml: Alcotest Array Fmt Interp Ir List Symbol Transform Verifier Workloads
+test/test_workloads.ml: Alcotest Array Diag Fmt Interp Ir List Symbol Transform Verifier Workloads

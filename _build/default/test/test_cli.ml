@@ -1,0 +1,177 @@
+(* End-to-end tests of the otd-opt executable: the observability flags
+   (--timing --print-ir-after-all --trace --diagnostics=json) produce a
+   parseable JSON report, and a crash reproducer written on pass failure
+   reproduces the same failure when fed back in. *)
+
+open Ir
+
+let check = Alcotest.check
+let cb = Alcotest.bool
+let cs = Alcotest.string
+
+(* tests run from _build/default/test *)
+let otd_opt = Filename.concat ".." (Filename.concat "bin" "otd_opt.exe")
+
+let payload =
+  Filename.concat ".."
+    (Filename.concat "examples" (Filename.concat "scripts" "payload_matmul.mlir"))
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(** Run [otd_opt args], returning (exit code, stdout, stderr). *)
+let run_otd_opt args =
+  let out = Filename.temp_file "otd_out" ".txt" in
+  let err = Filename.temp_file "otd_err" ".txt" in
+  let cmd =
+    Fmt.str "%s %s > %s 2> %s" (Filename.quote otd_opt)
+      (String.concat " " (List.map Filename.quote args))
+      (Filename.quote out) (Filename.quote err)
+  in
+  let code = Sys.command cmd in
+  let stdout = read_file out and stderr = read_file err in
+  Sys.remove out;
+  Sys.remove err;
+  (code, stdout, stderr)
+
+let member_exn key j =
+  match Json.member key j with
+  | Some v -> v
+  | None -> Alcotest.failf "JSON report lacks key %S" key
+
+let test_json_report () =
+  let code, stdout, stderr =
+    run_otd_opt
+      [
+        payload; "-p"; "canonicalize,cse"; "--timing"; "--print-ir-after-all";
+        "--trace"; "--diagnostics=json";
+      ]
+  in
+  check Alcotest.int "exit code" 0 code;
+  match Json.parse (String.trim stdout) with
+  | Error e -> Alcotest.failf "stdout is not valid JSON: %s\n%s" e stderr
+  | Ok j ->
+    check cb "success" true (Json.member "success" j = Some (Json.Bool true));
+    check cb "diagnostics list" true
+      (Option.is_some (Json.to_list (member_exn "diagnostics" j)));
+    (* trace has one pass event per pass *)
+    let trace = Option.get (Json.to_list (member_exn "trace" j)) in
+    let pass_events =
+      List.filter_map
+        (fun e ->
+          match Json.member "kind" e with
+          | Some (Json.String "pass") ->
+            Option.bind (Json.member "pass" e) Json.to_string_opt
+          | _ -> None)
+        trace
+    in
+    check
+      Alcotest.(list string)
+      "trace pass events" [ "canonicalize"; "cse" ] pass_events;
+    (* timing tree root spans the pipeline with one child per pass *)
+    let timing = member_exn "timing" j in
+    check cs "timing root" "pipeline"
+      (Option.get (Option.bind (Json.member "name" timing) Json.to_string_opt));
+    check Alcotest.int "timing children" 2
+      (List.length (Option.get (Json.to_list (member_exn "children" timing))));
+    (* --print-ir-after-all in JSON mode captures per-pass IR snapshots *)
+    let ir_after = Option.get (Json.to_list (member_exn "ir_after" j)) in
+    check Alcotest.int "one snapshot per pass" 2 (List.length ir_after);
+    (* the final module rides along and still parses as IR *)
+    let output =
+      Option.get (Json.to_string_opt (member_exn "output" j))
+    in
+    (match Ir.Parser.parse_module output with
+    | Ok _ -> ()
+    | Error e -> Alcotest.failf "output IR does not parse: %s" e);
+    ignore (member_exn "op_count_deltas" j)
+
+let test_json_failure_report () =
+  let code, stdout, _ =
+    run_otd_opt
+      [
+        payload; "-p";
+        "finalize-memref-to-llvm,reconcile-unrealized-casts";
+        "--diagnostics=json";
+      ]
+  in
+  check cb "nonzero exit" true (code <> 0);
+  match Json.parse (String.trim stdout) with
+  | Error e -> Alcotest.failf "stdout is not valid JSON: %s" e
+  | Ok j ->
+    check cb "success false" true
+      (Json.member "success" j = Some (Json.Bool false));
+    check cb "null output on failure" true
+      (Json.member "output" j = Some Json.Null);
+    let diags = Option.get (Json.to_list (member_exn "diagnostics" j)) in
+    check cb "error diagnostic present" true
+      (List.exists
+         (fun d ->
+           Json.member "severity" d = Some (Json.String "error")
+           && (match Json.member "message" d with
+              | Some (Json.String m) -> contains m "failed to legalize"
+              | _ -> false))
+         diags)
+
+let test_reproducer_roundtrip () =
+  let repro = Filename.temp_file "otd_repro" ".mlir" in
+  (* induce a failure: leftover unrealized casts are illegal *)
+  let code, _, stderr =
+    run_otd_opt
+      [
+        payload; "-p";
+        "finalize-memref-to-llvm,reconcile-unrealized-casts";
+        "--reproducer"; repro;
+      ]
+  in
+  check cb "pipeline fails" true (code <> 0);
+  check cb "failure diagnosed" true
+    (contains stderr "failed to legalize");
+  let content = read_file repro in
+  check cb "reproducer names pass" true
+    (contains content "// failing pass: reconcile-unrealized-casts");
+  check cb "reproducer embeds pipeline" true
+    (contains content
+       "// configuration: --pass-pipeline=reconcile-unrealized-casts");
+  (* feeding the reproducer back (no -p) replays the embedded pipeline and
+     reproduces the same failure *)
+  let code', _, stderr' = run_otd_opt [ repro ] in
+  Sys.remove repro;
+  check cb "replay fails too" true (code' <> 0);
+  check cb "replay announced" true
+    (contains stderr' "replaying reproducer pipeline");
+  check cb "same failure reproduced" true
+    (contains stderr' "failed to legalize")
+
+let test_text_reports_on_stderr () =
+  let code, stdout, stderr =
+    run_otd_opt [ payload; "-p"; "canonicalize"; "--timing"; "--trace" ]
+  in
+  check Alcotest.int "exit code" 0 code;
+  (* stdout carries only the module *)
+  check cb "module on stdout" true (contains stdout "builtin.module");
+  check cb "no report on stdout" false (contains stdout "// trace:");
+  (* reports go to stderr *)
+  check cb "timing header" true (contains stderr "// -----// timing //----- //");
+  check cb "trace lines" true (contains stderr "// trace: pass canonicalize")
+
+let () =
+  Alcotest.run "cli"
+    [
+      ( "otd-opt",
+        [
+          Alcotest.test_case "json-report" `Quick test_json_report;
+          Alcotest.test_case "json-failure" `Quick test_json_failure_report;
+          Alcotest.test_case "reproducer-roundtrip" `Quick
+            test_reproducer_roundtrip;
+          Alcotest.test_case "text-reports" `Quick test_text_reports_on_stderr;
+        ] );
+    ]

@@ -9,7 +9,7 @@ let check_verifies what m =
   | Ok () -> ()
   | Error diags ->
     Alcotest.failf "%s: verification failed: %a" what
-      (Fmt.list ~sep:Fmt.comma Verifier.pp_diagnostic)
+      (Fmt.list ~sep:Fmt.comma Diag.pp)
       diags
 
 let test_matmul_baseline () =
@@ -82,7 +82,7 @@ let test_scf_to_cf_execution () =
   let pass = Passes.Pass.lookup_exn "convert-scf-to-cf" in
   (match pass.Passes.Pass.run ctx md with
   | Ok () -> ()
-  | Error e -> Alcotest.failf "pass failed: %s" e);
+  | Error e -> Alcotest.failf "pass failed: %s" (Diag.to_string e));
   check_verifies "cfg form" md;
   Alcotest.(check bool)
     "no scf left" true

@@ -198,9 +198,9 @@ let test_dynamic_check_catches_buggy_pass () =
   (match T.Interp.apply ~config ctx ~script ~payload:md with
   | Ok _ -> Alcotest.fail "buggy pass not caught"
   | Error (T.Terror.Definite m) ->
-    check cb "post-condition violation reported" true (String.length m > 0)
+    check cb "post-condition violation reported" true (String.length (Diag.message m) > 0)
   | Error (T.Terror.Silenceable m) ->
-    Alcotest.failf "expected definite, got silenceable: %s" m);
+    Alcotest.failf "expected definite, got silenceable: %s" (Diag.to_string m));
   (* without dynamic checks the same script is accepted *)
   let md2 = Workloads.Matmul.build_module ~m:4 ~n:4 ~k:2 () in
   let script2 =

@@ -61,7 +61,7 @@ let check_1d ?(n = 23) transform =
   | Ok () -> ()
   | Error ds ->
     Alcotest.failf "verify: %a"
-      (Fmt.list ~sep:Fmt.comma Verifier.pp_diagnostic)
+      (Fmt.list ~sep:Fmt.comma Diag.pp)
       ds);
   let got = run_1d n md in
   check cb "results preserved" true (got = expected_1d n);

@@ -12,14 +12,14 @@ let ci = Alcotest.int
 let run_pass name md =
   match (Passes.Pass.lookup_exn name).Passes.Pass.run ctx md with
   | Ok () -> ()
-  | Error e -> Alcotest.failf "pass %s: %s" name e
+  | Error e -> Alcotest.failf "pass %s: %s" name (Diag.to_string e)
 
 let run_pipeline names md =
-  try
-    ignore
-      (Passes.Pass.run_pipeline ctx (List.map Passes.Pass.lookup_exn names) md);
-    Ok ()
-  with Passes.Pass.Pass_error (p, m) -> Error (Fmt.str "%s: %s" p m)
+  match
+    Passes.Pass.run_pipeline ctx (List.map Passes.Pass.lookup_exn names) md
+  with
+  | Ok (_ : Passes.Pass.run_result) -> Ok ()
+  | Error d -> Error (Diag.to_string d)
 
 let count name md = List.length (Symbol.collect_ops ~op_name:name md)
 
@@ -298,8 +298,11 @@ let test_tosa_pipeline_eliminates_tosa () =
       { Workloads.Models.sp_name = "tiny"; sp_ops = 60; sp_style = Workloads.Models.Transformer }
   in
   (match Passes.Pass.parse_pipeline Workloads.Models.tosa_pipeline_str with
-  | Ok passes -> ignore (Passes.Pass.run_pipeline ctx passes md)
-  | Error e -> Alcotest.fail e);
+  | Ok passes -> (
+    match Passes.Pass.run_pipeline ctx passes md with
+    | Ok _ -> ()
+    | Error d -> Alcotest.fail (Diag.to_string d))
+  | Error e -> Alcotest.fail (Diag.to_string e));
   check cb "tosa gone" true (dialect_gone "tosa" md);
   check cb "linalg present" true
     (Symbol.collect md ~f:(fun o -> Ircore.op_dialect o = "linalg") <> [])
@@ -459,7 +462,7 @@ let test_canonicalize_constant_if () =
 let test_pipeline_parse () =
   (match Passes.Pass.parse_pipeline "canonicalize, cse" with
   | Ok ps -> check ci "two passes" 2 (List.length ps)
-  | Error e -> Alcotest.fail e);
+  | Error e -> Alcotest.fail (Diag.to_string e));
   match Passes.Pass.parse_pipeline "no-such-pass" with
   | Ok _ -> Alcotest.fail "expected unknown pass error"
   | Error _ -> ()

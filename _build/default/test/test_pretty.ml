@@ -69,7 +69,7 @@ let test_cfg_blocks_labeled () =
   let md = Workloads.Matmul.build_module ~m:4 ~n:4 ~k:2 () in
   (match (Passes.Pass.lookup_exn "convert-scf-to-cf").Passes.Pass.run ctx md with
   | Ok () -> ()
-  | Error e -> Alcotest.fail e);
+  | Error e -> Alcotest.fail (Diag.to_string e));
   let s = Pretty.to_string md in
   check_has s "block labels" "^bb";
   check_has s "branch sugar" "cf.br ^"

@@ -186,7 +186,7 @@ let test_greedy_converges_flag () =
 let run_pass name md =
   match (Passes.Pass.lookup_exn name).Passes.Pass.run ctx md with
   | Ok () -> ()
-  | Error e -> Alcotest.failf "pass %s: %s" name e
+  | Error e -> Alcotest.failf "pass %s: %s" name (Diag.to_string e)
 
 let test_cse_merges () =
   let md =

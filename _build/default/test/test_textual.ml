@@ -118,7 +118,7 @@ let test_bad_script_reports () =
   match T.Interp.apply ctx ~script:bad ~payload with
   | Ok _ -> Alcotest.fail "expected unknown-transform error"
   | Error (T.Terror.Definite m) ->
-    check cb "mentions the op" true (String.length m > 0)
+    check cb "mentions the op" true (String.length (Diag.message m) > 0)
   | Error (T.Terror.Silenceable _) -> Alcotest.fail "expected definite"
 
 let () =

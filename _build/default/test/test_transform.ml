@@ -67,7 +67,7 @@ let test_match_missing_is_silenceable () =
   in
   match apply_err script md with
   | T.Terror.Silenceable _ -> ()
-  | T.Terror.Definite m -> Alcotest.failf "expected silenceable, got definite %s" m
+  | T.Terror.Definite m -> Alcotest.failf "expected silenceable, got definite %s" (Diag.to_string m)
 
 let test_match_missing_all_is_empty_ok () =
   let md = matmul () in
@@ -122,7 +122,7 @@ let test_match_without_criteria_is_definite () =
   in
   match apply_err script md with
   | T.Terror.Definite _ -> ()
-  | T.Terror.Silenceable m -> Alcotest.failf "expected definite: %s" m
+  | T.Terror.Silenceable m -> Alcotest.failf "expected definite: %s" (Diag.to_string m)
 
 let test_get_parent () =
   let md = matmul () in
@@ -191,7 +191,7 @@ let test_use_after_consume_definite () =
   match apply_err script md with
   | T.Terror.Definite m ->
     check cb "mentions invalidation" true
-      (String.length m > 0)
+      (String.length (Diag.message m) > 0)
   | T.Terror.Silenceable _ -> Alcotest.fail "expected definite error"
 
 let test_consume_invalidates_nested_handles () =
@@ -207,7 +207,7 @@ let test_consume_invalidates_nested_handles () =
   match apply_err script md with
   | T.Terror.Definite _ -> ()
   | T.Terror.Silenceable m ->
-    Alcotest.failf "expected definite invalidation, got silenceable %s" m
+    Alcotest.failf "expected definite invalidation, got silenceable %s" (Diag.to_string m)
 
 let test_failed_transform_does_not_consume () =
   (* a silenceable failure must leave the handle usable *)
@@ -275,7 +275,7 @@ let test_alternatives_all_fail_is_silenceable () =
   in
   match apply_err script md with
   | T.Terror.Silenceable _ -> ()
-  | T.Terror.Definite m -> Alcotest.failf "expected silenceable: %s" m
+  | T.Terror.Definite m -> Alcotest.failf "expected silenceable: %s" (Diag.to_string m)
 
 let test_foreach () =
   let md = matmul () in
@@ -466,7 +466,7 @@ let test_split_handle_arity_mismatch () =
   in
   match apply_err script md with
   | T.Terror.Silenceable _ -> ()
-  | T.Terror.Definite m -> Alcotest.failf "expected silenceable: %s" m
+  | T.Terror.Definite m -> Alcotest.failf "expected silenceable: %s" (Diag.to_string m)
 
 let test_error_context_names_transform () =
   let md = Workloads.Matmul.build_module ~m:7 ~n:8 ~k:4 () in
@@ -483,8 +483,8 @@ let test_error_context_names_transform () =
   match apply_err script md with
   | T.Terror.Silenceable m ->
     check cb "error names the failing transform" true
-      (contains m "transform.loop_unroll")
-  | T.Terror.Definite m -> Alcotest.failf "expected silenceable: %s" m
+      (contains (Diag.to_string m) "transform.loop_unroll")
+  | T.Terror.Definite m -> Alcotest.failf "expected silenceable: %s" (Diag.to_string m)
 
 (* dynamic pre-condition checking (Section 3.3) *)
 let test_dynamic_precondition_check () =
@@ -503,9 +503,9 @@ let test_dynamic_precondition_check () =
   match apply ~config script md with
   | Ok _ -> Alcotest.fail "expected pre-condition failure"
   | Error (T.Terror.Silenceable m) ->
-    check cb "mentions pre-condition" true (String.length m > 0)
+    check cb "mentions pre-condition" true (String.length (Diag.message m) > 0)
   | Error (T.Terror.Definite m) ->
-    Alcotest.failf "expected silenceable, got %s" m
+    Alcotest.failf "expected silenceable, got %s" (Diag.to_string m)
 
 let () =
   Alcotest.run "transform"

@@ -10,14 +10,14 @@ let expect_ok m =
   | Ok () -> ()
   | Error ds ->
     Alcotest.failf "unexpected diagnostics: %a"
-      (Fmt.list ~sep:Fmt.comma Verifier.pp_diagnostic)
+      (Fmt.list ~sep:Fmt.comma Diag.pp)
       ds
 
 let expect_error ~containing m =
   match Verifier.verify ctx m with
   | Ok () -> Alcotest.failf "expected error containing %S" containing
   | Error ds ->
-    let all = Fmt.str "%a" (Fmt.list ~sep:Fmt.comma Verifier.pp_diagnostic) ds in
+    let all = Fmt.str "%a" (Fmt.list ~sep:Fmt.comma Diag.pp) ds in
     let contains s sub =
       let n = String.length s and m = String.length sub in
       let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
@@ -96,7 +96,7 @@ let test_unregistered_rejected () =
   | Ok () -> ()
   | Error ds ->
     Alcotest.failf "lax context rejected: %a"
-      (Fmt.list ~sep:Fmt.comma Verifier.pp_diagnostic)
+      (Fmt.list ~sep:Fmt.comma Diag.pp)
       ds
 
 let test_dominance_straightline () =

@@ -25,7 +25,7 @@ let test_models_verify () =
       | Ok () -> ()
       | Error ds ->
         Alcotest.failf "%s: %a" spec.Workloads.Models.sp_name
-          (Fmt.list ~sep:Fmt.comma Verifier.pp_diagnostic)
+          (Fmt.list ~sep:Fmt.comma Diag.pp)
           ds)
     Workloads.Models.paper_models
 
@@ -55,7 +55,7 @@ let test_llm_structure () =
   (match Verifier.verify ctx md with
   | Ok () -> ()
   | Error ds ->
-    Alcotest.failf "%a" (Fmt.list ~sep:Fmt.comma Verifier.pp_diagnostic) ds);
+    Alcotest.failf "%a" (Fmt.list ~sep:Fmt.comma Diag.pp) ds);
   let count name = List.length (Symbol.collect_ops ~op_name:name md) in
   check ci "one pad per layer" 3 (count "shlo.pad");
   check cb "dots present" true (count "shlo.dot_general" >= 3 * 4);
@@ -69,7 +69,7 @@ let test_subview_kernels_verify () =
       match Verifier.verify ctx md with
       | Ok () -> ()
       | Error ds ->
-        Alcotest.failf "%a" (Fmt.list ~sep:Fmt.comma Verifier.pp_diagnostic) ds)
+        Alcotest.failf "%a" (Fmt.list ~sep:Fmt.comma Diag.pp) ds)
     [ Workloads.Subview_kernel.Static_offset; Workloads.Subview_kernel.Dynamic_offset ]
 
 let test_matmul_reference () =

@@ -33,13 +33,9 @@ let passes_of names = List.map Passes.Pass.lookup_exn names
 (** Run a pipeline dynamically on the given payload variant. *)
 let run_dynamic ctx names variant =
   let md = Workloads.Subview_kernel.build variant in
-  try
-    let (_ : Passes.Pass.run_result) =
-      Passes.Pass.run_pipeline ctx (passes_of names) md
-    in
-    Ok ()
-  with Passes.Pass.Pass_error (pass, msg) ->
-    Error (Fmt.str "pass %s: %s" pass msg)
+  match Passes.Pass.run_pipeline ctx (passes_of names) md with
+  | Ok (_ : Passes.Pass.run_result) -> Ok ()
+  | Error d -> Error (Ir.Diag.to_string d)
 
 let run ctx =
   let naive = passes_of Workloads.Subview_kernel.naive_pipeline in
