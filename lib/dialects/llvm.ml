@@ -25,7 +25,7 @@ let binary_ops =
     "llvm.add"; "llvm.sub"; "llvm.mul"; "llvm.sdiv"; "llvm.udiv"; "llvm.srem";
     "llvm.urem"; "llvm.and"; "llvm.or"; "llvm.xor"; "llvm.shl"; "llvm.ashr";
     "llvm.lshr"; "llvm.fadd"; "llvm.fsub"; "llvm.fmul"; "llvm.fdiv";
-    "llvm.fmax"; "llvm.fmin";
+    "llvm.fmax"; "llvm.fmin"; "llvm.smax"; "llvm.smin";
   ]
 
 let register ctx =
@@ -81,6 +81,15 @@ let register ctx =
          ]);
   Context.register_op ctx "llvm.fcmp" ~traits:[ Context.Pure ]
     ~verify:(Verifier.expect_operands 2);
+  Context.register_op ctx "llvm.select" ~traits:[ Context.Pure ]
+    ~verify:
+      (Verifier.all [ Verifier.expect_operands 3; Verifier.expect_results 1 ]);
+  List.iter
+    (fun name ->
+      Context.register_op ctx name ~traits:[ Context.Pure ]
+        ~verify:
+          (Verifier.all [ Verifier.expect_operands 1; Verifier.expect_results 1 ]))
+    [ "llvm.sitofp"; "llvm.fptosi"; "llvm.fpext"; "llvm.fptrunc" ];
   List.iter
     (fun name ->
       Context.register_op ctx name ~traits:[ Context.Pure ]

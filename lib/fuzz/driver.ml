@@ -1,0 +1,113 @@
+(** Fuzzing campaign driver: generate → check oracles → shrink → report.
+
+    Each case derives its own [Random.State] from (seed, case index), so
+    campaigns are reproducible case-by-case: a failure at case 3127 of seed
+    9 can be re-run alone. Failures are minimized and emitted both as
+    structured {!Ir.Diag} diagnostics (through the context's engine, so
+    [--diagnostics=json] consumers see them) and as crash-reproducer
+    [.mlir] files in the same header format the pass manager's reproducer
+    uses — a differential reproducer replays under
+    [otd_opt --pass-pipeline=...]. *)
+
+open Ir
+
+type failure_report = {
+  r_seed : int;
+  r_case : int;
+  r_failure : Oracle.failure;
+  r_minimized : string;  (** printed minimized module *)
+  r_path : string option;  (** reproducer file, when written *)
+}
+
+type stats = {
+  s_cases : int;
+  s_failures : failure_report list;  (** in case order *)
+  s_seconds : float;
+}
+
+let case_rng ~seed ~case = Random.State.make [| 0x07d; seed; case |]
+
+(** Generate the module for one (seed, case) pair — the exact module the
+    campaign would test. *)
+let module_for ?config ~seed ~case () =
+  Gen.generate ?config (case_rng ~seed ~case)
+
+let reproducer_text ~seed ~case (f : Oracle.failure) minimized =
+  let oneline s = String.map (function '\n' | '\r' -> ' ' | c -> c) s in
+  let config_line =
+    match f.Oracle.f_pipeline with
+    | Some p -> Fmt.str "// configuration: --pass-pipeline=%s\n" p
+    | None -> ""
+  in
+  Fmt.str
+    "// otd-fuzz crash reproducer\n\
+     // oracle: %s\n\
+     // seed: %d case: %d\n\
+     // detail: %s\n\
+     %s%s\n"
+    f.Oracle.f_oracle seed case
+    (oneline f.Oracle.f_detail)
+    config_line minimized
+
+let write_reproducer ~dir ~seed ~case f minimized =
+  let path =
+    Filename.concat dir
+      (Fmt.str "fuzz-seed%d-case%d-%s.mlir" seed case f.Oracle.f_oracle)
+  in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (reproducer_text ~seed ~case f minimized));
+  path
+
+(** Run [cases] cases from [seed]. [on_case] is a progress hook (case
+    index, failed?). Failures are emitted as diagnostics on [ctx]'s engine
+    and, when [out_dir] is given, written as reproducer files. *)
+let run ?config ?(pipelines = Oracle.default_pipelines) ?(shrink = true)
+    ?out_dir ?(max_failures = 10) ?(on_case = fun _ ~failed:_ -> ()) ctx
+    ~seed ~cases () =
+  let t0 = Unix.gettimeofday () in
+  let failures = ref [] in
+  let case = ref 0 in
+  while !case < cases && List.length !failures < max_failures do
+    let i = !case in
+    let m = module_for ?config ~seed ~case:i () in
+    (match Oracle.run_all ctx ~pipelines m with
+    | Ok () -> on_case i ~failed:false
+    | Error f ->
+      let minimized_module =
+        if shrink then
+          Shrink.shrink m ~still_fails:(fun c ->
+              Option.is_some (Oracle.recheck ctx ~pipelines ~witness:f c))
+        else m
+      in
+      let minimized = Printer.op_to_string minimized_module in
+      let path =
+        Option.map
+          (fun dir -> write_reproducer ~dir ~seed ~case:i f minimized)
+          out_dir
+      in
+      Diag.emit (Context.diag_engine ctx)
+        (Diag.error
+           ~notes:
+             ([ Diag.note "seed %d, case %d" seed i ]
+             @ (match f.Oracle.f_pipeline with
+               | Some p -> [ Diag.note "pipeline: %s" p ]
+               | None -> [])
+             @
+             match path with
+             | Some p -> [ Diag.note "reproducer written to %s" p ]
+             | None -> [])
+           "fuzz oracle '%s' failed: %s" f.Oracle.f_oracle f.Oracle.f_detail);
+      failures :=
+        { r_seed = seed; r_case = i; r_failure = f; r_minimized = minimized;
+          r_path = path }
+        :: !failures;
+      on_case i ~failed:true);
+    incr case
+  done;
+  {
+    s_cases = !case;
+    s_failures = List.rev !failures;
+    s_seconds = Unix.gettimeofday () -. t0;
+  }

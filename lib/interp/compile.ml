@@ -269,25 +269,28 @@ and compile_op cctx slots (op : Ircore.op) : Machine.t -> env -> unit =
       Machine.int_op machine;
       env.(rs.(0)) <- rv)
   (* ---------------- integer/float binary ---------------- *)
-  | "arith.addi" | "index.add" -> int_binop os rs ( + )
-  | "arith.subi" | "index.sub" -> int_binop os rs ( - )
-  | "arith.muli" | "index.mul" -> int_binop os rs ( * )
-  | "arith.divsi" | "arith.divui" -> int_binop os rs ( / )
-  | "arith.remsi" | "arith.remui" -> int_binop os rs Int.rem
-  | "arith.andi" -> int_binop os rs ( land )
-  | "arith.ori" -> int_binop os rs ( lor )
-  | "arith.xori" -> int_binop os rs ( lxor )
-  | "arith.maxsi" -> int_binop os rs max
-  | "arith.minsi" -> int_binop os rs min
-  | "arith.shli" -> int_binop os rs (fun a b -> a lsl b)
-  | "arith.shrsi" -> int_binop os rs (fun a b -> a asr b)
-  | "arith.addf" -> float_binop op os rs ( +. )
-  | "arith.subf" -> float_binop op os rs ( -. )
-  | "arith.mulf" -> float_binop op os rs ( *. )
-  | "arith.divf" -> float_binop op os rs ( /. )
-  | "arith.maximumf" -> float_binop op os rs Float.max
-  | "arith.minimumf" -> float_binop op os rs Float.min
-  | "arith.cmpi" | "index.cmp" -> (
+  | "arith.addi" | "index.add" | "llvm.add" -> int_binop os rs ( + )
+  | "arith.subi" | "index.sub" | "llvm.sub" -> int_binop os rs ( - )
+  | "arith.muli" | "index.mul" | "llvm.mul" -> int_binop os rs ( * )
+  | "arith.divsi" | "arith.divui" | "llvm.sdiv" | "llvm.udiv" ->
+    int_binop os rs ( / )
+  | "arith.remsi" | "arith.remui" | "llvm.srem" | "llvm.urem" ->
+    int_binop os rs Int.rem
+  | "arith.andi" | "llvm.and" -> int_binop os rs ( land )
+  | "arith.ori" | "llvm.or" -> int_binop os rs ( lor )
+  | "arith.xori" | "llvm.xor" -> int_binop os rs ( lxor )
+  | "arith.maxsi" | "llvm.smax" -> int_binop os rs max
+  | "arith.minsi" | "llvm.smin" -> int_binop os rs min
+  | "arith.shli" | "llvm.shl" -> int_binop os rs (fun a b -> a lsl b)
+  | "arith.shrsi" | "llvm.ashr" -> int_binop os rs (fun a b -> a asr b)
+  | "llvm.lshr" -> int_binop os rs (fun a b -> a lsr b)
+  | "arith.addf" | "llvm.fadd" -> float_binop op os rs ( +. )
+  | "arith.subf" | "llvm.fsub" -> float_binop op os rs ( -. )
+  | "arith.mulf" | "llvm.fmul" -> float_binop op os rs ( *. )
+  | "arith.divf" | "llvm.fdiv" -> float_binop op os rs ( /. )
+  | "arith.maximumf" | "llvm.fmax" -> float_binop op os rs Float.max
+  | "arith.minimumf" | "llvm.fmin" -> float_binop op os rs Float.min
+  | "arith.cmpi" | "index.cmp" | "llvm.icmp" -> (
     let pred =
       match Dutil.str_attr_of op "predicate" with
       | Some p -> (
@@ -300,7 +303,7 @@ and compile_op cctx slots (op : Ircore.op) : Machine.t -> env -> unit =
     fun machine env ->
       Machine.int_op machine;
       env.(rs.(0)) <- R.Bool (Arith.eval_ipred pred (geti env a) (geti env b)))
-  | "arith.cmpf" -> (
+  | "arith.cmpf" | "llvm.fcmp" -> (
     let pred =
       Option.value ~default:"oeq" (Dutil.str_attr_of op "predicate")
     in
@@ -318,7 +321,7 @@ and compile_op cctx slots (op : Ircore.op) : Machine.t -> env -> unit =
     fun machine env ->
       Machine.float_op machine;
       env.(rs.(0)) <- R.Bool (f (getf env a) (getf env b)))
-  | "arith.select" -> (
+  | "arith.select" | "llvm.select" -> (
     let c = os.(0) and a = os.(1) and b = os.(2) in
     fun machine env ->
       Machine.int_op machine;
@@ -329,17 +332,18 @@ and compile_op cctx slots (op : Ircore.op) : Machine.t -> env -> unit =
     fun machine env ->
       Machine.int_op machine;
       env.(rs.(0)) <- R.Int (geti env a))
-  | "arith.sitofp" -> (
+  | "arith.sitofp" | "llvm.sitofp" -> (
     let a = os.(0) in
     fun machine env ->
       Machine.float_op machine;
       env.(rs.(0)) <- R.Float (float_of_int (geti env a)))
-  | "arith.fptosi" -> (
+  | "arith.fptosi" | "llvm.fptosi" -> (
     let a = os.(0) in
     fun machine env ->
       Machine.float_op machine;
       env.(rs.(0)) <- R.Int (int_of_float (getf env a)))
-  | "arith.extf" | "arith.truncf" | "arith.bitcast" -> (
+  | "arith.extf" | "arith.truncf" | "arith.bitcast" | "llvm.bitcast"
+  | "llvm.fpext" | "llvm.fptrunc" -> (
     let a = os.(0) in
     fun machine env ->
       Machine.int_op machine;
@@ -410,6 +414,60 @@ and compile_op cctx slots (op : Ircore.op) : Machine.t -> env -> unit =
         (R.byte_address view !li)
         view.R.buf.elt_bytes;
       view.R.buf.data.(!li) <- R.as_float env.(v))
+  (* ---------------- llvm memory (post finalize-memref-to-llvm) ------ *)
+  | "llvm.alloca" -> (
+    let bytes_per =
+      match Ircore.attr op "elem_bytes" with
+      | Some (Attr.Int (n, _)) -> n
+      | _ -> 8
+    in
+    fun machine env ->
+      let n = if Array.length os > 0 then max 1 (geti env os.(0)) else 1 in
+      let base = Machine.alloc_address machine (n * bytes_per) in
+      let buf = { R.data = Array.make n 0.0; base; elt_bytes = bytes_per } in
+      Machine.add_cycles machine 20.0;
+      env.(rs.(0)) <-
+        R.Memref { R.buf; offset = 0; sizes = [| n |]; strides = [| 1 |] })
+  | "llvm.getelementptr" -> (
+    let idx_slots = Array.sub os 1 (Array.length os - 1) in
+    fun _machine env ->
+      let view = R.as_view env.(os.(0)) in
+      let li = ref view.R.offset in
+      Array.iteri
+        (fun i s ->
+          let stride =
+            if i < Array.length view.R.strides then view.R.strides.(i) else 1
+          in
+          li := !li + (geti env s * stride))
+        idx_slots;
+      env.(rs.(0)) <- R.Memref { view with R.offset = !li })
+  | "llvm.load" -> (
+    let is_f = is_float_typ (result_typ 0) in
+    fun machine env ->
+      let view = R.as_view env.(os.(0)) in
+      let li = view.R.offset in
+      Machine.memory_access machine ~is_store:false
+        (R.byte_address view li)
+        view.R.buf.elt_bytes;
+      let x = view.R.buf.data.(li) in
+      env.(rs.(0)) <- (if is_f then R.Float x else R.Int (int_of_float x)))
+  | "llvm.store" -> (
+    fun machine env ->
+      let view = R.as_view env.(os.(1)) in
+      let li = view.R.offset in
+      Machine.memory_access machine ~is_store:true
+        (R.byte_address view li)
+        view.R.buf.elt_bytes;
+      let x =
+        match env.(os.(0)) with
+        | R.Bool b -> if b then 1.0 else 0.0
+        | v -> R.as_float v
+      in
+      view.R.buf.data.(li) <- x)
+  | "llvm.ptrtoint" -> (
+    fun _machine env ->
+      let view = R.as_view env.(os.(0)) in
+      env.(rs.(0)) <- R.Int (R.byte_address view view.R.offset))
   | "memref.subview" -> (
     let static_offsets = Array.of_list (Memref.static_offsets op) in
     let static_sizes = Array.of_list (Memref.static_sizes op) in

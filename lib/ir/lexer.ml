@@ -116,6 +116,10 @@ let scan_suffix_id src pos =
 
 let scan_number src pos =
   let n = String.length src in
+  (* [pos] may sit on a '-' sign: the sign must be part of the literal so
+     that min_int (the memref dynamic-dim sentinel) round-trips — its
+     magnitude alone does not fit in an OCaml int *)
+  let dstart = if pos < n && src.[pos] = '-' then pos + 1 else pos in
   let int_tok stop =
     match int_of_string_opt (String.sub src pos (stop - pos)) with
     | Some v -> (INT v, stop)
@@ -126,11 +130,14 @@ let scan_number src pos =
     | Some v -> (FLOATLIT v, stop)
     | None -> raise (Error ("invalid numeric literal", pos))
   in
-  if pos + 1 < n && src.[pos] = '0' && (src.[pos + 1] = 'x' || src.[pos + 1] = 'X')
+  if
+    dstart + 1 < n
+    && src.[dstart] = '0'
+    && (src.[dstart + 1] = 'x' || src.[dstart + 1] = 'X')
   then begin
     (* hex integer or hex float *)
     let rec hexrun p = if p < n && is_hex src.[p] then hexrun (p + 1) else p in
-    let p1 = hexrun (pos + 2) in
+    let p1 = hexrun (dstart + 2) in
     let is_float =
       (p1 < n && src.[p1] = '.')
       || (p1 < n && (src.[p1] = 'p' || src.[p1] = 'P'))
@@ -154,7 +161,7 @@ let scan_number src pos =
   end
   else begin
     let rec digits p = if p < n && is_digit src.[p] then digits (p + 1) else p in
-    let p1 = digits pos in
+    let p1 = digits dstart in
     let has_frac = p1 < n && src.[p1] = '.' && p1 + 1 < n && is_digit src.[p1 + 1] in
     let p2 = if has_frac then digits (p1 + 1) else p1 in
     let p3 =
@@ -224,6 +231,11 @@ let scan_token src pos =
       else (COLON, pos + 1)
     | '-' ->
       if pos + 1 < n && src.[pos + 1] = '>' then (ARROW, pos + 2)
+      else if
+        pos + 1 < n
+        && (is_digit src.[pos + 1]
+           || (pos + 2 < n && src.[pos + 1] = '.' && is_digit src.[pos + 2]))
+      then scan_number src pos
       else (MINUS, pos + 1)
     | '"' ->
       let s, p = scan_string src (pos + 1) in

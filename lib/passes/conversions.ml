@@ -293,8 +293,15 @@ let arith_to_llvm_name = function
   | "arith.divf" -> Some "llvm.fdiv"
   | "arith.maximumf" -> Some "llvm.fmax"
   | "arith.minimumf" -> Some "llvm.fmin"
+  | "arith.maxsi" -> Some "llvm.smax"
+  | "arith.minsi" -> Some "llvm.smin"
   | "arith.cmpi" -> Some "llvm.icmp"
   | "arith.cmpf" -> Some "llvm.fcmp"
+  | "arith.select" -> Some "llvm.select"
+  | "arith.sitofp" -> Some "llvm.sitofp"
+  | "arith.fptosi" -> Some "llvm.fptosi"
+  | "arith.extf" -> Some "llvm.fpext"
+  | "arith.truncf" -> Some "llvm.fptrunc"
   | "arith.index_cast" | "arith.extsi" | "arith.extui" | "arith.trunci"
   | "arith.bitcast" ->
     Some "llvm.bitcast"
@@ -673,10 +680,49 @@ let run_finalize_memref_to_llvm _ctx top =
     (fun op ->
       match op.Ircore.op_name with
       | "memref.alloc" | "memref.alloca" ->
-        let tys = List.map (fun _ -> Typ.i64) (Ircore.operands op) in
-        ignore
-          (convert_op rw op ~name:Llvm.alloca_op ~operand_types:tys
-             ~result_types:[ ptr ] ())
+        (* llvm.alloca takes an explicit element count: the product of the
+           static extents times any dynamic-extent operands. The element
+           width rides along as an attribute so downstream consumers (the
+           interpreter, the cache model) know the allocation size. *)
+        Rewriter.set_ip rw (Builder.Before op);
+        let res = Ircore.result op in
+        let static_count, elt =
+          match Ircore.value_typ res with
+          | Typ.Memref (dims, elt, _) ->
+            ( List.fold_left
+                (fun acc d ->
+                  match d with Typ.Static n -> acc * n | Typ.Dynamic -> acc)
+                1 dims,
+              elt )
+          | _ -> (1, Typ.i64)
+        in
+        let size =
+          Rewriter.build1 rw ~result_types:[ Typ.i64 ]
+            ~attrs:[ ("value", Attr.Int (static_count, Typ.i64)) ]
+            Llvm.constant_op
+        in
+        let size =
+          List.fold_left
+            (fun acc v ->
+              Rewriter.build1 rw
+                ~operands:[ acc; adapt rw v Typ.i64 ]
+                ~result_types:[ Typ.i64 ] "llvm.mul")
+            size (Ircore.operands op)
+        in
+        let elem_bytes =
+          match elt with
+          | Typ.Float Typ.F64 | Typ.Index -> 8
+          | Typ.Float _ -> 4
+          | Typ.Integer n -> max 1 (n / 8)
+          | _ -> 8
+        in
+        let a =
+          Rewriter.build1 rw ~operands:[ size ]
+            ~attrs:[ ("elem_bytes", Attr.Int (elem_bytes, Typ.i64)) ]
+            ~result_types:[ ptr ] Llvm.alloca_op
+        in
+        let back = adapt rw a (Ircore.value_typ res) in
+        Rewriter.replace_op rw op ~with_:[ back ]
       | "memref.dealloc" ->
         Rewriter.set_ip rw (Builder.Before op);
         let m = adapt rw (Ircore.operand ~index:0 op) ptr in
@@ -935,7 +981,9 @@ let register () =
            o "llvm.udiv"; o "llvm.srem"; o "llvm.urem"; o "llvm.and";
            o "llvm.or"; o "llvm.xor"; o "llvm.shl"; o "llvm.ashr";
            o "llvm.fadd"; o "llvm.fsub"; o "llvm.fmul"; o "llvm.fdiv";
-           o "llvm.fmax"; o "llvm.fmin"; o "llvm.icmp"; o "llvm.fcmp";
+           o "llvm.fmax"; o "llvm.fmin"; o "llvm.smax"; o "llvm.smin";
+           o "llvm.icmp"; o "llvm.fcmp"; o "llvm.select"; o "llvm.sitofp";
+           o "llvm.fptosi"; o "llvm.fpext"; o "llvm.fptrunc";
            o "llvm.bitcast"; o "llvm.mlir.constant"; cast_elem;
          ]
        run_arith_to_llvm);
@@ -985,7 +1033,7 @@ let register () =
          [
            o "llvm.alloca"; o "llvm.call"; o "llvm.load"; o "llvm.store";
            o "llvm.getelementptr"; o "llvm.ptrtoint"; o "llvm.mlir.constant";
-           cast_elem;
+           o "llvm.mul"; cast_elem;
          ]
        run_finalize_memref_to_llvm);
   Pass.register

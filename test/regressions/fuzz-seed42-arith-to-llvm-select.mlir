@@ -1,0 +1,17 @@
+// otd-fuzz crash reproducer
+// oracle: differential
+// seed: 42 case: 2
+// detail: pipeline failed on valid IR: pass reconcile-unrealized-casts: failed to legalize operation 'builtin.unrealized_conversion_cast' (1 remaining) — convert-arith-to-llvm left arith.select/arith.maxsi/arith.minsi/arith.sitofp unconverted, so the casts feeding them could not be cancelled
+// configuration: --pass-pipeline=convert-scf-to-cf,convert-arith-to-llvm,convert-cf-to-llvm,convert-func-to-llvm,expand-strided-metadata,finalize-memref-to-llvm,reconcile-unrealized-casts
+"builtin.module"() ({
+  "func.func"() ({
+    %0 = "arith.constant"() {value = 3 : i64} : () -> i64
+    %1 = "arith.constant"() {value = -5 : i64} : () -> i64
+    %2 = "arith.maxsi"(%0, %1) : (i64, i64) -> i64
+    %3 = "arith.minsi"(%0, %1) : (i64, i64) -> i64
+    %4 = "arith.cmpi"(%2, %3) {predicate = "slt"} : (i64, i64) -> i1
+    %5 = "arith.select"(%4, %2, %3) : (i1, i64, i64) -> i64
+    %6 = "arith.sitofp"(%5) : (i64) -> f64
+    "func.return"(%5, %6) : (i64, f64) -> ()
+  }) {sym_name = "main", function_type = () -> (i64, f64)} : () -> ()
+}) : () -> ()

@@ -1,0 +1,15 @@
+// otd-fuzz crash reproducer
+// oracle: differential
+// seed: 42 case: 5
+// detail: execution failed after pipeline: interpreter: cannot execute op llvm.icmp — the interpreter knew the branch/call subset of the llvm dialect but none of the compute ops the arith lowering produces (llvm.add/llvm.icmp/llvm.select/...), so lowered modules could not be differentially executed at all
+// configuration: --pass-pipeline=convert-scf-to-cf,convert-arith-to-llvm,convert-cf-to-llvm,convert-func-to-llvm,expand-strided-metadata,finalize-memref-to-llvm,reconcile-unrealized-casts
+"builtin.module"() ({
+  "func.func"() ({
+    %0 = "arith.constant"() {value = 7 : i64} : () -> i64
+    %1 = "arith.constant"() {value = 9 : i64} : () -> i64
+    %2 = "arith.addi"(%0, %1) : (i64, i64) -> i64
+    %3 = "arith.muli"(%2, %0) : (i64, i64) -> i64
+    %4 = "arith.cmpi"(%3, %1) {predicate = "sgt"} : (i64, i64) -> i1
+    "func.return"(%3, %4) : (i64, i1) -> ()
+  }) {sym_name = "main", function_type = () -> (i64, i1)} : () -> ()
+}) : () -> ()

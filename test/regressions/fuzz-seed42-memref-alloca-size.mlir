@@ -1,0 +1,15 @@
+// otd-fuzz crash reproducer
+// oracle: differential
+// seed: 42 case: 1
+// detail: execution failed after pipeline: interpreter: cannot execute op llvm.alloca — finalize-memref-to-llvm lowered memref.alloc to a size-less "llvm.alloca"() : () -> !llvm.ptr, dropping the static shape entirely, so neither the interpreter nor the cache model could know the allocation size
+// configuration: --pass-pipeline=convert-scf-to-cf,convert-arith-to-llvm,convert-cf-to-llvm,convert-func-to-llvm,expand-strided-metadata,finalize-memref-to-llvm,reconcile-unrealized-casts
+"builtin.module"() ({
+  "func.func"() ({
+    %0 = "memref.alloc"() : () -> memref<4xf64>
+    %1 = "arith.constant"() {value = 0x1.8p+1 : f64} : () -> f64
+    %2 = "arith.constant"() {value = 2 : index} : () -> index
+    "memref.store"(%1, %0, %2) : (f64, memref<4xf64>, index) -> ()
+    %3 = "memref.load"(%0, %2) : (memref<4xf64>, index) -> f64
+    "func.return"(%3) : (f64) -> ()
+  }) {sym_name = "main", function_type = () -> f64} : () -> ()
+}) : () -> ()

@@ -1,16 +1,7 @@
 (* Smoke-level integration test; the full suites live in the other files. *)
 
 open Ir
-
-let ctx = Transform.Register.full_context ()
-
-let check_verifies what m =
-  match Verifier.verify ctx m with
-  | Ok () -> ()
-  | Error diags ->
-    Alcotest.failf "%s: verification failed: %a" what
-      (Fmt.list ~sep:Fmt.comma Diag.pp)
-      diags
+open Testutil
 
 let test_matmul_baseline () =
   let m, n, k = (16, 16, 8) in

@@ -3,32 +3,7 @@
 
 open Ir
 open Dialects
-
-let ctx = Transform.Register.full_context ()
-let check = Alcotest.check
-let cb = Alcotest.bool
-let ci = Alcotest.int
-
-let run_pass name md =
-  match (Passes.Pass.lookup_exn name).Passes.Pass.run ctx md with
-  | Ok () -> ()
-  | Error e -> Alcotest.failf "pass %s: %s" name (Diag.to_string e)
-
-let run_pipeline names md =
-  match
-    Passes.Pass.run_pipeline ctx (List.map Passes.Pass.lookup_exn names) md
-  with
-  | Ok (_ : Passes.Pass.run_result) -> Ok ()
-  | Error d -> Error (Diag.to_string d)
-
-let count name md = List.length (Symbol.collect_ops ~op_name:name md)
-
-let contains s sub =
-  let n = String.length s and m = String.length sub in
-  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
-  m = 0 || go 0
-let dialect_gone d md =
-  Symbol.collect md ~f:(fun o -> Ircore.op_dialect o = d) = []
+open Testutil
 
 (* ------------------------------------------------------------------ *)
 (* scf-to-cf                                                           *)

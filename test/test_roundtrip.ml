@@ -1,0 +1,110 @@
+(* Print → parse → print fixpoint over every example script and one
+   representative module per dialect — the fuzzer's roundtrip oracle,
+   pinned on deterministic inputs so a printer/parser drift is caught even
+   when no fuzz campaign runs. *)
+
+open Ir
+open Dialects
+open Testutil
+
+let roundtrip_ok what m =
+  let s1 = Printer.op_to_string m in
+  match Parser.parse_module s1 with
+  | Error e -> Alcotest.failf "%s: reparse failed: %s\nprinted:\n%s" what e s1
+  | Ok m2 ->
+    let s2 = Printer.op_to_string m2 in
+    check Alcotest.string (what ^ ": print->parse->print fixpoint") s1 s2
+
+(* ---------------- example scripts ---------------- *)
+
+let test_example_scripts () =
+  let dir = "../examples/scripts" in
+  let files =
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".mlir")
+    |> List.sort compare
+  in
+  check cb "scripts found" true (files <> []);
+  List.iter
+    (fun f ->
+      let path = Filename.concat dir f in
+      roundtrip_ok f (parse_file path))
+    files
+
+(* ---------------- representative modules per dialect ---------------- *)
+
+let linalg_module () =
+  let md = Builtin.create_module () in
+  let mt a b = Typ.memref (Typ.static_dims [ a; b ]) Typ.f32 in
+  let f, entry =
+    Func.create ~name:"mm" ~arg_types:[ mt 4 2; mt 2 4; mt 4 4 ]
+      ~result_types:[] ()
+  in
+  Ircore.insert_at_end (Builtin.body_block md) f;
+  let rw = Dutil.rw_at_end entry in
+  ignore
+    (Linalg.matmul rw
+       ~a:(Ircore.block_arg entry 0)
+       ~b:(Ircore.block_arg entry 1)
+       ~c:(Ircore.block_arg entry 2));
+  Func.return rw ();
+  md
+
+(* math, index and vector ops in one function *)
+let misc_module () =
+  let md = Builtin.create_module () in
+  let f, entry = Func.create ~name:"misc" ~arg_types:[] ~result_types:[ Typ.f64 ] () in
+  Ircore.insert_at_end (Builtin.body_block md) f;
+  let rw = Dutil.rw_at_end entry in
+  let x = Dutil.const_float rw ~typ:Typ.f64 2.0 in
+  let s = Rewriter.build1 rw ~operands:[ x ] ~result_types:[ Typ.f64 ] "math.sqrt" in
+  let _i = Index_d.constant rw 3 in
+  let v = Vector.splat rw s ~vector_typ:(Typ.Vector ([ 4 ], Typ.f64)) in
+  let r = Vector.reduction rw ~kind:"add" v in
+  Func.return rw ~operands:[ r ] ();
+  md
+
+let tensor_module () =
+  let md = Builtin.create_module () in
+  let rng = Random.State.make [| 1 |] in
+  Ircore.insert_at_end (Builtin.body_block md)
+    (Fuzz.Gen.gen_tensor_function rng "t");
+  md
+
+let test_dialect_representatives () =
+  (* builtin + func + arith + scf + memref *)
+  roundtrip_ok "matmul(arith,scf,func,memref)"
+    (Workloads.Matmul.build_module ~m:4 ~n:4 ~k:2 ());
+  (* cf: the matmul loops converted to a CFG *)
+  let cfm = Workloads.Matmul.build_module ~m:4 ~n:4 ~k:2 () in
+  run_pass "convert-scf-to-cf" cfm;
+  roundtrip_ok "cf" cfm;
+  (* memref.subview + affine (after metadata expansion) *)
+  let sub = Workloads.Subview_kernel.build Workloads.Subview_kernel.Dynamic_offset in
+  roundtrip_ok "memref-subview" sub;
+  run_pass "expand-strided-metadata" sub;
+  roundtrip_ok "affine" sub;
+  (* llvm: the full Case-Study-2 lowering output *)
+  let ll = Workloads.Subview_kernel.build Workloads.Subview_kernel.Static_offset in
+  (match run_pipeline Workloads.Subview_kernel.naive_pipeline ll with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "CS2 lowering failed: %s" e);
+  roundtrip_ok "llvm" ll;
+  roundtrip_ok "linalg" (linalg_module ());
+  roundtrip_ok "math/index/vector" (misc_module ());
+  roundtrip_ok "tensor" (tensor_module ());
+  (* tosa + shlo: the Table-1 model generators *)
+  roundtrip_ok "tosa"
+    (Workloads.Models.build (List.hd Workloads.Models.paper_models));
+  roundtrip_ok "shlo" (Workloads.Llm.build ~layers:1 ())
+
+let () =
+  Alcotest.run "roundtrip"
+    [
+      ( "roundtrip",
+        [
+          Alcotest.test_case "example-scripts" `Quick test_example_scripts;
+          Alcotest.test_case "dialect-representatives" `Quick
+            test_dialect_representatives;
+        ] );
+    ]

@@ -4,26 +4,7 @@
 open Ir
 open Dialects
 module T = Transform
-
-let ctx = T.Register.full_context ()
-let check = Alcotest.check
-let cb = Alcotest.bool
-let ci = Alcotest.int
-
-let apply ?config script payload = T.Interp.apply ?config ctx ~script ~payload
-
-let apply_ok ?config script payload =
-  match apply ?config script payload with
-  | Ok steps -> steps
-  | Error e -> Alcotest.failf "transform failed: %s" (T.Terror.to_string e)
-
-let apply_err ?config script payload =
-  match apply ?config script payload with
-  | Ok _ -> Alcotest.fail "expected transform error"
-  | Error e -> e
-
-let matmul () = Workloads.Matmul.build_module ~m:8 ~n:8 ~k:4 ()
-let count name md = List.length (Symbol.collect_ops ~op_name:name md)
+open Testutil
 
 (* ------------------------------------------------------------------ *)
 (* match / handles                                                     *)

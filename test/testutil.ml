@@ -1,0 +1,75 @@
+(* Helpers shared by the test suites: context construction, pass/pipeline
+   running, transform-script application, and small structural queries.
+   Every test executable links this module (the dune [tests] stanza links
+   all modules in the directory), so suites stay declaration-free. *)
+
+open Ir
+
+let ctx = Transform.Register.full_context ()
+let check = Alcotest.check
+let cb = Alcotest.bool
+let ci = Alcotest.int
+
+(* ---------------- passes ---------------- *)
+
+let run_pass name md =
+  match (Passes.Pass.lookup_exn name).Passes.Pass.run ctx md with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "pass %s: %s" name (Diag.to_string e)
+
+let run_pipeline names md =
+  match
+    Passes.Pass.run_pipeline ctx (List.map Passes.Pass.lookup_exn names) md
+  with
+  | Ok (_ : Passes.Pass.run_result) -> Ok ()
+  | Error d -> Error (Diag.to_string d)
+
+(* ---------------- structural queries ---------------- *)
+
+let count name md = List.length (Symbol.collect_ops ~op_name:name md)
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let dialect_gone d md =
+  Symbol.collect md ~f:(fun o -> Ircore.op_dialect o = d) = []
+
+let check_verifies what m =
+  match Verifier.verify ctx m with
+  | Ok () -> ()
+  | Error diags ->
+    Alcotest.failf "%s: verification failed: %a" what
+      (Fmt.list ~sep:Fmt.comma Diag.pp)
+      diags
+
+(* ---------------- transform scripts ---------------- *)
+
+let apply ?config script payload =
+  Transform.Interp.apply ?config ctx ~script ~payload
+
+let apply_ok ?config script payload =
+  match apply ?config script payload with
+  | Ok steps -> steps
+  | Error e -> Alcotest.failf "transform failed: %s" (Transform.Terror.to_string e)
+
+let apply_err ?config script payload =
+  match apply ?config script payload with
+  | Ok _ -> Alcotest.fail "expected transform error"
+  | Error e -> e
+
+let matmul () = Workloads.Matmul.build_module ~m:8 ~n:8 ~k:4 ()
+
+(* ---------------- files ---------------- *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let parse_file path =
+  match Parser.parse_module (read_file path) with
+  | Ok m -> m
+  | Error e -> Alcotest.failf "%s: parse error: %s" path e
