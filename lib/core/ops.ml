@@ -619,12 +619,14 @@ let register_impls () =
         Terror.definite "unknown patterns: %s" (String.concat ", " !missing)
       else
         let* targets = operand_handle st op 0 in
+        (* freeze once; the root index is shared across every target *)
+        let frozen = Frozen_patterns.freeze (List.rev !patterns) in
         List.iter
           (fun target ->
             ignore
               (Greedy.apply ~config:Dutil.greedy_config
-                 ~rewriter:(State.rewriter st) st.State.ctx
-                 ~patterns:(List.rev !patterns) target))
+                 ~rewriter:(State.rewriter st) st.State.ctx ~patterns:frozen
+                 target))
           targets;
         Ok ());
   (* ------------ print ------------ *)

@@ -61,6 +61,8 @@ let create ?(config = default_config) ctx payload_root =
   Rewriter.add_listener t.rewriter
     {
       Rewriter.on_inserted = ignore;
+      (* in-place modification keeps the op, so handles stay valid *)
+      on_modified = ignore;
       on_replaced =
         (fun op with_ ->
           let replacement_ops =

@@ -66,6 +66,15 @@ let greedy_config =
   { Greedy.default_config with
     materialize_constant = Some materialize_arith_constant }
 
+(** Freeze [patterns] and run the worklist greedy driver with
+    {!greedy_config} — the common one-shot entry point for dialect code and
+    tests. Callers that reuse a pattern set across payloads should freeze
+    once with {!Frozen_patterns.freeze} and call {!Greedy.apply} directly. *)
+let apply_greedy ?(config = greedy_config) ?stats ?rewriter ctx ~patterns root
+    =
+  Greedy.apply ~config ?stats ?rewriter ctx
+    ~patterns:(Frozen_patterns.freeze patterns) root
+
 let int_attr_of op name =
   match Ircore.attr op name with Some (Attr.Int (v, _)) -> Some v | _ -> None
 

@@ -92,7 +92,7 @@ let () =
       match def (operand op) with
       | Some tr
         when tr.Ircore.op_name = Shlo.transpose_op
-             && Ircore.num_uses (result tr) = 1 ->
+             && Ircore.has_one_use (result tr) ->
         Rewriter.set_ip rw (Builder.Before op);
         let x = operand ~index:0 tr in
         let neg =

@@ -37,7 +37,10 @@ let probe ctx patterns =
   let script =
     Transform.Build.script (fun rw root ->
         let f = Transform.Build.match_op rw ~name:"func.func" root in
-        if patterns <> [] then Transform.Build.apply_patterns rw f patterns)
+        (* run the driver even for the empty set: every probe then includes
+           the same folding/DCE/constant-uniquing base work, so estimate
+           deltas isolate the pattern subset under test *)
+        Transform.Build.apply_patterns rw f patterns)
   in
   (match Transform.Interp.apply ctx ~script ~payload:md with
   | Ok _ -> ()

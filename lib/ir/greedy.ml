@@ -1,9 +1,21 @@
 (** Greedy pattern application driver: applies a set of rewrite patterns to
     a payload subtree until fixpoint, folding constants and eliminating dead
-    pure ops along the way — MLIR's [applyPatternsAndFoldGreedily]. *)
+    pure ops along the way — MLIR's [applyPatternsAndFoldGreedily].
+
+    The engine is worklist-driven: the payload subtree is seeded once in
+    post-order, and after every change the {!Rewriter} listener events push
+    back only the affected ops — the users of replaced results, the defining
+    ops of erased ops' operands (newly-dead candidates), and newly created
+    ops — instead of re-walking the module. Patterns come pre-indexed by
+    root op name ({!Frozen_patterns}), so visiting an op only touches its
+    candidate patterns, and folded constants are uniqued per block through
+    an {!Op_folder}. The legacy fixpoint-of-full-sweeps driver is kept as
+    {!apply_sweep} so benchmarks can track the win. *)
 
 type config = {
   max_iterations : int;
+      (** work budget: at most [max_iterations * (seeded op count)] op
+          visits (the sweep driver's total work for the same setting) *)
   fold : bool;  (** use registered {!Context.folder} hooks *)
   remove_dead : bool;  (** erase pure ops with no uses *)
   materialize_constant :
@@ -24,7 +36,30 @@ type stats = {
   mutable folds : int;
   mutable dce : int;
   mutable iterations : int;
+  mutable match_attempts : int;
+      (** pattern and fold candidates tried against visited ops *)
+  mutable worklist_pushes : int;
+      (** worklist insertions, including the initial seeding *)
 }
+
+let create_stats () =
+  {
+    rewrites = 0;
+    folds = 0;
+    dce = 0;
+    iterations = 0;
+    match_attempts = 0;
+    worklist_pushes = 0;
+  }
+
+(** Int-keyed hash tables for op-id side state: identity hashing avoids the
+    generic hash call on the driver's hottest lookups. *)
+module Itbl = Hashtbl.Make (struct
+  type t = int
+
+  let equal (a : int) b = a = b
+  let hash x = x land max_int
+end)
 
 (** Attribute of a constant-like op, if any. Convention: constant ops carry
     their value in the ["value"] attribute. *)
@@ -41,19 +76,33 @@ let operand_constants ctx (op : Ircore.op) =
       | None -> None)
     (Ircore.operands op)
 
-(** Try to constant-fold [op] in place; returns true on success. *)
-let try_fold ctx rewriter config (op : Ircore.op) =
+(** Try to constant-fold [op] in place; returns true on success. Folded
+    results are materialized through [folder], which uniques constants per
+    block and hoists them to the block start. Ops that already are constants
+    are uniqued through the same table (MLIR's [insertKnownConstant]):
+    a duplicate of an earlier constant is replaced by it. *)
+let try_fold ctx rewriter config folder stats (op : Ircore.op) =
+  match constant_value ctx op with
+  | Some attr -> (
+    stats.match_attempts <- stats.match_attempts + 1;
+    match Op_folder.insert_known_constant folder op attr with
+    | Some canonical ->
+      Rewriter.replace_op rewriter op ~with_:[ canonical ];
+      true
+    | None -> false)
+  | None -> (
   match (Context.interface ctx op.Ircore.op_name Context.folder_key,
          config.materialize_constant) with
   | Some { Context.fold }, Some materialize -> (
+    stats.match_attempts <- stats.match_attempts + 1;
     match fold op (operand_constants ctx op) with
     | None -> false
     | Some result_attrs ->
       let result_types = List.map Ircore.value_typ (Ircore.results op) in
-      Rewriter.set_ip rewriter (Builder.Before op);
       let values =
         List.map2
-          (fun attr t -> materialize rewriter attr t)
+          (fun attr t ->
+            Op_folder.materialize folder rewriter materialize ~anchor:op attr t)
           result_attrs result_types
       in
       if List.for_all Option.is_some values then begin
@@ -61,63 +110,244 @@ let try_fold ctx rewriter config (op : Ircore.op) =
         true
       end
       else false)
-  | _ -> false
+  | _ -> false)
 
 let is_trivially_dead ctx (op : Ircore.op) =
   Context.is_pure ctx op
   && (not (Context.op_has_trait ctx op Context.Terminator))
   && List.for_all (fun r -> not (Ircore.has_uses r)) (Ircore.results op)
 
+(** Collect the ops below [root] in post-order (defs before users within
+    each block), returned reversed. *)
+let rev_post_order root =
+  let acc = ref [] in
+  List.iter
+    (fun r ->
+      List.iter
+        (fun b ->
+          List.iter
+            (fun op -> Ircore.walk_op op ~post:(fun o -> acc := o :: !acc))
+            (Ircore.block_ops b))
+        (Ircore.region_blocks r))
+    root.Ircore.regions;
+  !acc
+
+let record_trace root stats converged =
+  (* report through the ambient trace channel (no-op when not tracing) *)
+  Trace.record
+    (Trace.Greedy
+       {
+         gr_root = root.Ircore.op_name;
+         gr_rewrites = stats.rewrites;
+         gr_folds = stats.folds;
+         gr_dce = stats.dce;
+         gr_iterations = stats.iterations;
+         gr_converged = converged;
+         gr_match_attempts = stats.match_attempts;
+         gr_pushes = stats.worklist_pushes;
+       })
+
+let warn_no_fixpoint ctx config (root : Ircore.op) pending =
+  Context.emit_diag ctx
+    (Diag.warning ~loc:root.Ircore.op_loc
+       "greedy rewrite on '%s' failed to converge within %d iterations (%d \
+        ops still pending)"
+       root.Ircore.op_name config.max_iterations pending)
+
 (** Apply [patterns] greedily to the subtree rooted at [root] (the root op
-    itself is not rewritten). Returns [true] if the IR converged within
-    [config.max_iterations] sweeps. *)
+    itself is not rewritten). Returns [true] if the IR converged — the
+    worklist drained — within the [config.max_iterations] work budget; a
+    [Diag] warning is emitted against [ctx] otherwise. *)
 let apply ?(config = default_config) ?stats ?rewriter ctx ~patterns root =
-  let patterns =
-    List.stable_sort (fun a b -> compare b.Pattern.benefit a.Pattern.benefit) patterns
-  in
-  let stats =
-    match stats with
-    | Some s -> s
-    | None -> { rewrites = 0; folds = 0; dce = 0; iterations = 0 }
-  in
+  let stats = match stats with Some s -> s | None -> create_stats () in
   let rewriter =
     match rewriter with Some rw -> rw | None -> Rewriter.create ()
   in
-  let erased : (int, unit) Hashtbl.t = Hashtbl.create 64 in
+  let folder = Op_folder.create () in
+  let erased = Itbl.create 64 in
+  let on_list = Itbl.create 256 in
+  let stack = ref [] in
+  (* false until the first rewriter event; while clean, every popped op is
+     still attached and in scope, so the pop-validity checks can be skipped *)
+  let dirty = ref false in
+  let push op =
+    if
+      (not (Itbl.mem erased op.Ircore.op_id))
+      && not (Itbl.mem on_list op.Ircore.op_id)
+    then begin
+      Itbl.replace on_list op.Ircore.op_id ();
+      stack := op :: !stack;
+      stats.worklist_pushes <- stats.worklist_pushes + 1
+    end
+  in
+  let push_users (op : Ircore.op) =
+    Array.iter
+      (fun r ->
+        List.iter (fun u -> push u.Ircore.u_op) r.Ircore.v_uses)
+      op.Ircore.results
+  in
+  let push_operand_defs (op : Ircore.op) =
+    Array.iter
+      (fun v ->
+        match Ircore.defining_op v with Some d -> push d | None -> ())
+      op.Ircore.operands
+  in
+  let listener =
+    {
+      Rewriter.on_inserted =
+        (fun op ->
+          dirty := true;
+          push op);
+      on_replaced =
+        (fun op _ ->
+          dirty := true;
+          (* users now consume the replacement values; revisit them *)
+          push_users op;
+          (* operand defs may have just lost their last use *)
+          push_operand_defs op;
+          Itbl.replace erased op.Ircore.op_id ());
+      on_erased =
+        (fun op ->
+          dirty := true;
+          push_operand_defs op;
+          Itbl.replace erased op.Ircore.op_id ());
+      on_modified =
+        (fun op ->
+          dirty := true;
+          push op;
+          push_users op);
+    }
+  in
+  Rewriter.add_listener rewriter listener;
+  (* seed once, with the first post-order op at the head of the stack so
+     defs pop before their users; the ops are distinct by construction, so
+     the dedup checks of [push] are skipped *)
+  let seed = List.rev (rev_post_order root) in
+  let seed_size = List.length seed in
+  List.iter
+    (fun (op : Ircore.op) -> Itbl.replace on_list op.Ircore.op_id ())
+    seed;
+  stack := seed;
+  stats.worklist_pushes <- stats.worklist_pushes + seed_size;
+  let epoch = max 1 seed_size in
+  let budget = config.max_iterations * epoch in
+  let processed = ref 0 in
+  let continue_ = ref true in
+  while !continue_ do
+    match !stack with
+    | [] -> continue_ := false
+    | op :: rest ->
+      stack := rest;
+      Itbl.remove on_list op.Ircore.op_id;
+      (* validity: the erasure listener keeps [erased] authoritative, so a
+         live entry only needs to still be attached (detached-but-live ops
+         are skipped; they are re-pushed on insertion) *)
+      if
+        (not !dirty)
+        || ((not (Itbl.mem erased op.Ircore.op_id))
+           && op.Ircore.op_parent <> None)
+      then begin
+        incr processed;
+        if config.remove_dead && is_trivially_dead ctx op then begin
+          Rewriter.erase_op rewriter op;
+          stats.dce <- stats.dce + 1
+        end
+        else if config.fold && try_fold ctx rewriter config folder stats op
+        then stats.folds <- stats.folds + 1
+        else begin
+          match Frozen_patterns.for_op patterns op with
+          | [] -> ()
+          | candidates ->
+            (* snapshot operand defs: a pattern may swap an operand in
+               place, leaving the old def without uses (newly dead) *)
+            let defs_before =
+              Array.to_list op.Ircore.operands
+              |> List.filter_map Ircore.defining_op
+            in
+            let rec try_patterns = function
+              | [] -> ()
+              | p :: rest ->
+                stats.match_attempts <- stats.match_attempts + 1;
+                Rewriter.set_ip rewriter (Builder.Before op);
+                if p.Pattern.rewrite rewriter op then begin
+                  stats.rewrites <- stats.rewrites + 1;
+                  List.iter push defs_before;
+                  (* patterns may mutate in place without notifying; be
+                     conservative and revisit the root and its users *)
+                  if not (Itbl.mem erased op.Ircore.op_id) then begin
+                    push op;
+                    push_users op
+                  end
+                end
+                else try_patterns rest
+            in
+            try_patterns candidates
+        end;
+        if !processed >= budget then continue_ := false
+      end
+  done;
+  Rewriter.remove_listener rewriter listener;
+  let pending =
+    List.filter
+      (fun (op : Ircore.op) ->
+        (not (Itbl.mem erased op.Ircore.op_id))
+        && Ircore.op_parent op <> None)
+      !stack
+  in
+  let converged = pending = [] in
+  stats.iterations <- (max 1 ((!processed + epoch - 1) / epoch));
+  if not converged then warn_no_fixpoint ctx config root (List.length pending);
+  record_trace root stats converged;
+  converged
+
+(* ------------------------------------------------------------------ *)
+(* Legacy sweep driver                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(** The previous engine: fixpoint of full post-order sweeps, trying every
+    pattern of the (benefit-sorted) list against every op. Kept so the
+    benchmark harness can measure the worklist engine against it; new code
+    should use {!apply}. *)
+let apply_sweep ?(config = default_config) ?stats ?rewriter ctx ~patterns root
+    =
+  let patterns =
+    List.stable_sort
+      (fun a b -> compare b.Pattern.benefit a.Pattern.benefit)
+      patterns
+  in
+  let stats = match stats with Some s -> s | None -> create_stats () in
+  let rewriter =
+    match rewriter with Some rw -> rw | None -> Rewriter.create ()
+  in
+  let folder = Op_folder.create () in
+  let erased = Itbl.create 64 in
   (* track erasure so stale worklist entries are skipped *)
-  Rewriter.add_listener rewriter
+  let listener =
     {
       Rewriter.null_listener with
-      Rewriter.on_erased = (fun op -> Hashtbl.replace erased op.Ircore.op_id ());
-      on_replaced = (fun op _ -> Hashtbl.replace erased op.Ircore.op_id ());
-    };
+      Rewriter.on_erased =
+        (fun op -> Itbl.replace erased op.Ircore.op_id ());
+      on_replaced = (fun op _ -> Itbl.replace erased op.Ircore.op_id ());
+    }
+  in
+  Rewriter.add_listener rewriter listener;
   let changed_overall = ref true in
   let iterations = ref 0 in
   while !changed_overall && !iterations < config.max_iterations do
     incr iterations;
     changed_overall := false;
-    (* collect the current ops in post-order *)
-    let worklist = ref [] in
-    List.iter
-      (fun r ->
-        List.iter
-          (fun b ->
-            List.iter
-              (fun op ->
-                Ircore.walk_op op ~post:(fun o -> worklist := o :: !worklist))
-              (Ircore.block_ops b))
-          (Ircore.region_blocks r))
-      root.Ircore.regions;
-    let worklist = List.rev !worklist in
+    (* re-collect the current ops in post-order *)
+    let worklist = List.rev (rev_post_order root) in
     List.iter
       (fun op ->
-        if not (Hashtbl.mem erased op.Ircore.op_id) then begin
+        if not (Itbl.mem erased op.Ircore.op_id) then begin
           if config.remove_dead && is_trivially_dead ctx op then begin
             Rewriter.erase_op rewriter op;
             stats.dce <- stats.dce + 1;
             changed_overall := true
           end
-          else if config.fold && try_fold ctx rewriter config op then begin
+          else if config.fold && try_fold ctx rewriter config folder stats op
+          then begin
             stats.folds <- stats.folds + 1;
             changed_overall := true
           end
@@ -125,6 +355,7 @@ let apply ?(config = default_config) ?stats ?rewriter ctx ~patterns root =
             let rec try_patterns = function
               | [] -> ()
               | p :: rest ->
+                stats.match_attempts <- stats.match_attempts + 1;
                 if Pattern.applicable p op then begin
                   Rewriter.set_ip rewriter (Builder.Before op);
                   if p.Pattern.rewrite rewriter op then begin
@@ -139,17 +370,9 @@ let apply ?(config = default_config) ?stats ?rewriter ctx ~patterns root =
         end)
       worklist
   done;
+  Rewriter.remove_listener rewriter listener;
   stats.iterations <- !iterations;
   let converged = not !changed_overall in
-  (* report through the ambient trace channel (no-op when not tracing) *)
-  Trace.record
-    (Trace.Greedy
-       {
-         gr_root = root.Ircore.op_name;
-         gr_rewrites = stats.rewrites;
-         gr_folds = stats.folds;
-         gr_dce = stats.dce;
-         gr_iterations = stats.iterations;
-         gr_converged = converged;
-       });
+  if not converged then warn_no_fixpoint ctx config root 0;
+  record_trace root stats converged;
   converged

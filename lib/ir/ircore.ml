@@ -65,6 +65,10 @@ let defining_block v =
 
 let value_uses v = v.v_uses
 let has_uses v = v.v_uses <> []
+
+(** Exactly one use — O(1), unlike counting with {!num_uses}. *)
+let has_one_use v = match v.v_uses with [ _ ] -> true | _ -> false
+
 let num_uses v = List.length v.v_uses
 
 let add_use v ~op ~index = v.v_uses <- { u_op = op; u_index = index } :: v.v_uses

@@ -46,9 +46,13 @@ let all_registered () =
   Hashtbl.fold (fun _ p acc -> p :: acc) registry []
   |> List.sort (fun a b -> compare a.name b.name)
 
-(** Patterns whose name starts with [prefix ^ "."]. *)
+(** Patterns whose name starts with [prefix ^ "."]. The ['.'] separator is
+    required, so prefix ["arith"] matches ["arith.addi_zero"] but not a
+    pattern of a dialect whose name merely extends it (["arithmetic.x"]). *)
 let registered_with_prefix prefix =
+  let plen = String.length prefix in
   all_registered ()
   |> List.filter (fun p ->
-         String.length p.name > String.length prefix
-         && String.sub p.name 0 (String.length prefix) = prefix)
+         String.length p.name > plen
+         && p.name.[plen] = '.'
+         && String.sub p.name 0 plen = prefix)

@@ -5,14 +5,21 @@
     (Section 3.1 of the paper). *)
 
 type listener = {
-  on_inserted : Ircore.op -> unit;
+  on_inserted : Ircore.op -> unit;  (** op freshly created and inserted *)
   on_replaced : Ircore.op -> Ircore.value list -> unit;
       (** op about to be erased, with its result replacements *)
   on_erased : Ircore.op -> unit;  (** op about to be erased, no replacement *)
+  on_modified : Ircore.op -> unit;
+      (** op mutated in place ({!modify_in_place}); op stays live *)
 }
 
 let null_listener =
-  { on_inserted = ignore; on_replaced = (fun _ _ -> ()); on_erased = ignore }
+  {
+    on_inserted = ignore;
+    on_replaced = (fun _ _ -> ());
+    on_erased = ignore;
+    on_modified = ignore;
+  }
 
 type t = { builder : Builder.t; mutable listeners : listener list }
 
@@ -20,6 +27,11 @@ let create ?(ip = Builder.Detached) () =
   { builder = Builder.create ~ip (); listeners = [] }
 
 let add_listener t l = t.listeners <- l :: t.listeners
+
+(** Detach a listener previously passed to {!add_listener} (compared by
+    physical identity). *)
+let remove_listener t l =
+  t.listeners <- List.filter (fun x -> not (x == l)) t.listeners
 let builder t = t.builder
 let set_ip t ip = Builder.set_ip t.builder ip
 
@@ -90,11 +102,12 @@ let erase_op_unchecked t op =
   notify_erased_tree t op;
   Ircore.erase_unchecked op
 
-(** In-place modification bracket: notifies listeners that the op was
-    "replaced by itself" so dependent state can be refreshed. *)
+(** In-place modification bracket: notifies listeners through [on_modified]
+    so dependent state (worklists, handle maps) can be refreshed without
+    treating the op as erased. *)
 let modify_in_place t op f =
   let r = f () in
-  List.iter (fun l -> l.on_replaced op (Ircore.results op)) t.listeners;
+  List.iter (fun l -> l.on_modified op) t.listeners;
   r
 
 (** Inline all ops of [block] before [anchor], replacing uses of the block's

@@ -25,6 +25,8 @@ type event =
       gr_dce : int;
       gr_iterations : int;
       gr_converged : bool;
+      gr_match_attempts : int;  (** pattern/fold candidates tried *)
+      gr_pushes : int;  (** worklist pushes (incl. the initial seeding) *)
     }
   | Pass of { pa_name : string; pa_seconds : float }
 
@@ -70,10 +72,12 @@ let pp_event fmt = function
   | Suppressed { su_construct; su_diag } ->
     Fmt.pf fmt "suppressed by %s: %s" su_construct (Diag.message su_diag)
   | Greedy { gr_root; gr_rewrites; gr_folds; gr_dce; gr_iterations;
-             gr_converged } ->
+             gr_converged; gr_match_attempts; gr_pushes } ->
     Fmt.pf fmt
-      "greedy on %s: %d rewrites, %d folds, %d dce, %d iterations%s" gr_root
-      gr_rewrites gr_folds gr_dce gr_iterations
+      "greedy on %s: %d rewrites, %d folds, %d dce, %d iterations, %d \
+       attempts, %d pushes%s"
+      gr_root gr_rewrites gr_folds gr_dce gr_iterations gr_match_attempts
+      gr_pushes
       (if gr_converged then "" else " (no fixpoint)")
   | Pass { pa_name; pa_seconds } ->
     Fmt.pf fmt "pass %s: %.3f ms" pa_name (pa_seconds *. 1000.)
@@ -102,7 +106,7 @@ let event_to_json = function
         ("diagnostic", Diag.to_json su_diag);
       ]
   | Greedy { gr_root; gr_rewrites; gr_folds; gr_dce; gr_iterations;
-             gr_converged } ->
+             gr_converged; gr_match_attempts; gr_pushes } ->
     Json.Obj
       [
         ("kind", Json.String "greedy");
@@ -112,6 +116,8 @@ let event_to_json = function
         ("dce", Json.Int gr_dce);
         ("iterations", Json.Int gr_iterations);
         ("converged", Json.Bool gr_converged);
+        ("match_attempts", Json.Int gr_match_attempts);
+        ("pushes", Json.Int gr_pushes);
       ]
   | Pass { pa_name; pa_seconds } ->
     Json.Obj

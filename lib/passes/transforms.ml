@@ -27,24 +27,16 @@ let canonicalization_patterns ctx =
       match Pattern.lookup name with Some p -> p :: acc | None -> acc)
     names []
 
-let run_canonicalize ctx top =
-  let patterns =
-    canonicalization_patterns ctx
+(** The canonicalization pattern set, frozen: root-indexed and deduped by
+    name ({!Frozen_patterns.freeze} drops duplicate registrations). *)
+let frozen_canonicalization_patterns ctx =
+  Frozen_patterns.freeze
+    (canonicalization_patterns ctx
     (* always include the arith simplifications *)
-    @ Arith.canonicalization_patterns ()
-  in
-  (* dedupe *)
-  let seen = Hashtbl.create 16 in
-  let patterns =
-    List.filter
-      (fun p ->
-        if Hashtbl.mem seen p.Pattern.name then false
-        else begin
-          Hashtbl.replace seen p.Pattern.name ();
-          true
-        end)
-      patterns
-  in
+    @ Arith.canonicalization_patterns ())
+
+let run_canonicalize ctx top =
+  let patterns = frozen_canonicalization_patterns ctx in
   ignore (Greedy.apply ~config:Dutil.greedy_config ctx ~patterns top);
   Ok ()
 

@@ -1,0 +1,330 @@
+(* Worklist-driven greedy engine: pattern indexing, listener push-back,
+   folder uniquing, convergence diagnostics, and the sweep-parity oracle. *)
+
+open Ir
+open Dialects
+
+let ctx = Transform.Register.full_context ()
+
+let check = Alcotest.check
+let ci = Alcotest.int
+let cb = Alcotest.bool
+
+let count_ops name md = List.length (Symbol.collect_ops ~op_name:name md)
+
+(* A function whose body is a chain of [n] foldable arith.addi ops:
+   a_1 = 1 + 1, a_i = a_{i-1} + 1. Everything folds to constants. *)
+let addi_chain n =
+  let md = Builtin.create_module () in
+  let f, entry =
+    Func.create ~name:"chain" ~arg_types:[] ~result_types:[ Typ.i32 ] ()
+  in
+  Ircore.insert_at_end (Builtin.body_block md) f;
+  let rw = Dutil.rw_at_end entry in
+  let one = Dutil.const_int rw ~typ:Typ.i32 1 in
+  let acc = ref one in
+  for _ = 1 to n do
+    acc := Arith.addi rw !acc one
+  done;
+  Func.return rw ~operands:[ !acc ] ();
+  md
+
+(* ------------------------------------------------------------------ *)
+(* sub-quadratic work on foldable chains                               *)
+(* ------------------------------------------------------------------ *)
+
+let attempts_for n =
+  let md = addi_chain n in
+  let stats = Greedy.create_stats () in
+  let converged = Dutil.apply_greedy ~stats ctx ~patterns:[] md in
+  check cb (Fmt.str "chain %d converges" n) true converged;
+  check ci (Fmt.str "chain %d fully folded" n) 0 (count_ops "arith.addi" md);
+  stats.Greedy.match_attempts
+
+let test_subquadratic_attempts () =
+  let a100 = attempts_for 100 in
+  let a200 = attempts_for 200 in
+  check cb "some matching happened" true (a100 > 0);
+  (* linear worklist growth: doubling the chain must not quadruple work *)
+  check cb
+    (Fmt.str "attempts grow sub-quadratically (%d -> %d)" a100 a200)
+    true
+    (a200 < 4 * a100)
+
+(* ------------------------------------------------------------------ *)
+(* root-indexed pattern sets                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* A pattern rooted at an absent op name must cost zero match attempts in
+   the worklist engine; the sweep driver pays one per op. *)
+let test_root_index_skips_foreign_ops () =
+  let n_ops = 50 in
+  let build () =
+    let b = Ircore.create_block () in
+    for _ = 1 to n_ops do
+      Ircore.insert_at_end b (Ircore.create "t.other")
+    done;
+    Ircore.create ~regions:[ Ircore.region_with_block b ] "t.top"
+  in
+  let p =
+    Pattern.make ~root:"t.target" ~name:"never" (fun _ _ -> false)
+  in
+  let stats_new = Greedy.create_stats () in
+  ignore
+    (Greedy.apply ~stats:stats_new ctx
+       ~patterns:(Frozen_patterns.freeze [ p ])
+       (build ()));
+  let stats_old = Greedy.create_stats () in
+  ignore (Greedy.apply_sweep ~stats:stats_old ctx ~patterns:[ p ] (build ()));
+  check ci "worklist: no candidates, no attempts" 0
+    stats_new.Greedy.match_attempts;
+  check ci "sweep: one applicability check per op" n_ops
+    stats_old.Greedy.match_attempts
+
+(* ------------------------------------------------------------------ *)
+(* listener push-back                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* The user of a replaced op must be revisited: t.user is visited once
+   while its operand still comes from t.a, then t.marker triggers an
+   in-place poke, t.a is replaced by t.b, and the push-back must revisit
+   t.user so it can finally fire on the t.b-defined operand. *)
+let test_pushback_revisits_users_after_replace () =
+  let b = Ircore.create_block () in
+  let a = Ircore.create ~result_types:[ Typ.i32 ] "t.a" in
+  let user = Ircore.create ~operands:[ Ircore.result a ] "t.user" in
+  let marker = Ircore.create "t.marker" in
+  List.iter (Ircore.insert_at_end b) [ a; user; marker ];
+  let top = Ircore.create ~regions:[ Ircore.region_with_block b ] "t.top" in
+  let armed = ref false in
+  let user_saw = ref [] in
+  let p_user =
+    Pattern.make ~root:"t.user" ~name:"user" (fun rw op ->
+        let def_name =
+          match Ircore.defining_op (Ircore.operand op) with
+          | Some d -> d.Ircore.op_name
+          | None -> "<arg>"
+        in
+        user_saw := def_name :: !user_saw;
+        if def_name = "t.b" then begin
+          Rewriter.erase_op rw op;
+          true
+        end
+        else false)
+  in
+  let p_a =
+    Pattern.make ~root:"t.a" ~name:"a-to-b" (fun rw op ->
+        if !armed then begin
+          ignore (Rewriter.replace_op_with rw op ~operands:[] "t.b");
+          true
+        end
+        else false)
+  in
+  let p_marker =
+    Pattern.make ~root:"t.marker" ~name:"marker" (fun rw op ->
+        armed := true;
+        (* in-place poke: on_modified must push t.a back on the worklist *)
+        Rewriter.modify_in_place rw a (fun () -> ());
+        Rewriter.erase_op rw op;
+        true)
+  in
+  let converged =
+    Greedy.apply
+      ~config:{ Greedy.default_config with fold = false; remove_dead = false }
+      ctx
+      ~patterns:(Frozen_patterns.freeze [ p_user; p_a; p_marker ])
+      top
+  in
+  check cb "converged" true converged;
+  let saw = List.rev !user_saw in
+  check cb
+    (Fmt.str "user revisited after replacement (saw %a)"
+       Fmt.(Dump.list string)
+       saw)
+    true
+    (List.length saw >= 2 && List.mem "t.b" saw && List.hd saw = "t.a");
+  check ci "user finally rewritten away" 0 (count_ops "t.user" top);
+  check ci "t.a replaced" 0 (count_ops "t.a" top)
+
+(* Erasing a dead user must enqueue the defs of its operands, so an entire
+   dead pure chain is collected from a single post-order seeding. *)
+let test_pushback_collects_newly_dead_defs () =
+  let md = Builtin.create_module () in
+  let f, entry =
+    Func.create ~name:"f" ~arg_types:[ Typ.i32 ] ~result_types:[ Typ.i32 ] ()
+  in
+  Ircore.insert_at_end (Builtin.body_block md) f;
+  let rw = Dutil.rw_at_end entry in
+  let x = Ircore.block_arg entry 0 in
+  let m = Arith.muli rw x x in
+  let u = Arith.muli rw m m in
+  ignore u;
+  (* u is unused: erasing it makes m newly dead *)
+  Func.return rw ~operands:[ x ] ();
+  let stats = Greedy.create_stats () in
+  ignore (Dutil.apply_greedy ~stats ctx ~patterns:[] md);
+  check ci "whole dead chain erased" 0 (count_ops "arith.muli" md);
+  check ci "two dce erasures" 2 stats.Greedy.dce
+
+(* ------------------------------------------------------------------ *)
+(* folder-level constant uniquing                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_folder_uniques_constants () =
+  let md = Builtin.create_module () in
+  let f, entry =
+    Func.create ~name:"f" ~arg_types:[]
+      ~result_types:[ Typ.i32; Typ.i32 ] ()
+  in
+  Ircore.insert_at_end (Builtin.body_block md) f;
+  let rw = Dutil.rw_at_end entry in
+  let mk () =
+    let a = Dutil.const_int rw ~typ:Typ.i32 20 in
+    let b = Dutil.const_int rw ~typ:Typ.i32 22 in
+    Arith.addi rw a b
+  in
+  let r1 = mk () in
+  let r2 = mk () in
+  Func.return rw ~operands:[ r1; r2 ] ();
+  ignore (Dutil.apply_greedy ctx ~patterns:[] md);
+  check ci "both addi folded" 0 (count_ops "arith.addi" md);
+  (* one uniqued 42, not one per folded op; the 20/22 operands are dce'd *)
+  check ci "single uniqued constant" 1 (count_ops "arith.constant" md);
+  (* and it was hoisted to the start of the entry block *)
+  (match Ircore.block_first_op entry with
+  | Some op ->
+    check Alcotest.string "hoisted constant first" "arith.constant"
+      op.Ircore.op_name;
+    check cb "holds the folded value" true
+      (Ircore.attr op "value" = Some (Attr.Int (42, Typ.i32)))
+  | None -> Alcotest.fail "entry block is empty")
+
+(* ------------------------------------------------------------------ *)
+(* sweep parity                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Same input, same pattern set: the worklist engine and the legacy sweep
+   driver must reach the same fixpoint (identical printed IR). *)
+let test_worklist_matches_sweep () =
+  let build () =
+    let md = Builtin.create_module () in
+    let f, entry =
+      Func.create ~name:"f" ~arg_types:[ Typ.i32 ] ~result_types:[ Typ.i32 ] ()
+    in
+    Ircore.insert_at_end (Builtin.body_block md) f;
+    let rw = Dutil.rw_at_end entry in
+    let x = Ircore.block_arg entry 0 in
+    let zero = Dutil.const_int rw ~typ:Typ.i32 0 in
+    let one = Dutil.const_int rw ~typ:Typ.i32 1 in
+    let a = Arith.addi rw x zero in
+    let b = Arith.muli rw a one in
+    let c20 = Dutil.const_int rw ~typ:Typ.i32 20 in
+    let c22 = Dutil.const_int rw ~typ:Typ.i32 22 in
+    let s = Arith.addi rw c20 c22 in
+    let dead = Arith.muli rw s s in
+    ignore dead;
+    let r = Arith.addi rw b s in
+    Func.return rw ~operands:[ r ] ();
+    md
+  in
+  let patterns = Arith.canonicalization_patterns () in
+  let md_new = build () in
+  ignore (Dutil.apply_greedy ctx ~patterns md_new);
+  let md_old = build () in
+  ignore
+    (Greedy.apply_sweep ~config:Dutil.greedy_config ctx ~patterns md_old);
+  check Alcotest.string "same fixpoint IR"
+    (Printer.op_to_string md_old)
+    (Printer.op_to_string md_new)
+
+(* ------------------------------------------------------------------ *)
+(* non-convergence diagnostic                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_warns_on_max_iterations () =
+  let p =
+    Pattern.make ~root:"t.spin" ~name:"spin2" (fun rw op ->
+        ignore (Rewriter.replace_op_with rw op ~operands:[] "t.spin");
+        true)
+  in
+  let b = Ircore.create_block () in
+  Ircore.insert_at_end b (Ircore.create "t.spin");
+  let top = Ircore.create ~regions:[ Ircore.region_with_block b ] "t.top" in
+  let converged, diags =
+    Context.capture_diags ctx (fun () ->
+        Greedy.apply
+          ~config:
+            {
+              Greedy.default_config with
+              max_iterations = 1;
+              fold = false;
+              remove_dead = false;
+            }
+          ctx
+          ~patterns:(Frozen_patterns.freeze [ p ])
+          top)
+  in
+  check cb "did not converge" false converged;
+  check ci "one diagnostic" 1 (List.length diags);
+  let d = List.hd diags in
+  check cb "is a warning" true (Diag.severity d = Diag.Warning);
+  let contains s sub =
+    let n = String.length s and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+    m = 0 || go 0
+  in
+  check cb "mentions convergence" true (contains (Diag.message d) "converge")
+
+(* ------------------------------------------------------------------ *)
+(* pattern registry prefix lookup                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_prefix_requires_separator () =
+  Pattern.register_make ~root:"t.x" ~name:"pfx.a" (fun _ _ -> false);
+  Pattern.register_make ~root:"t.x" ~name:"pfxtra.b" (fun _ _ -> false);
+  let names =
+    Pattern.registered_with_prefix "pfx"
+    |> List.map (fun p -> p.Pattern.name)
+  in
+  check (Alcotest.list Alcotest.string) "dot separator required" [ "pfx.a" ]
+    names;
+  check cb "longer dialect name still found" true
+    (List.exists
+       (fun p -> p.Pattern.name = "pfxtra.b")
+       (Pattern.registered_with_prefix "pfxtra"))
+
+let () =
+  Alcotest.run "greedy"
+    [
+      ( "worklist",
+        [
+          Alcotest.test_case "sub-quadratic fold attempts" `Quick
+            test_subquadratic_attempts;
+          Alcotest.test_case "root index skips foreign ops" `Quick
+            test_root_index_skips_foreign_ops;
+          Alcotest.test_case "push-back revisits users" `Quick
+            test_pushback_revisits_users_after_replace;
+          Alcotest.test_case "push-back collects dead defs" `Quick
+            test_pushback_collects_newly_dead_defs;
+        ] );
+      ( "folder",
+        [
+          Alcotest.test_case "constants uniqued and hoisted" `Quick
+            test_folder_uniques_constants;
+        ] );
+      ( "parity",
+        [
+          Alcotest.test_case "worklist matches sweep" `Quick
+            test_worklist_matches_sweep;
+        ] );
+      ( "diagnostics",
+        [
+          Alcotest.test_case "warns at max_iterations" `Quick
+            test_warns_on_max_iterations;
+        ] );
+      ( "patterns",
+        [
+          Alcotest.test_case "prefix requires separator" `Quick
+            test_prefix_requires_separator;
+        ] );
+    ]

@@ -21,6 +21,12 @@ let test_results_and_uses () =
       "t.add"
   in
   check ci "a has one use" 1 (Ircore.num_uses (Ircore.result a));
+  check cb "a has exactly one use" true (Ircore.has_one_use (Ircore.result a));
+  check cb "unused has no single use" false
+    (Ircore.has_one_use (Ircore.result add));
+  let both = mkop ~operands:[ Ircore.result a ] "t.second_user" in
+  ignore both;
+  check cb "two uses is not one" false (Ircore.has_one_use (Ircore.result a));
   check ci "add has two operands" 2 (Ircore.num_operands add);
   check cb "use points back at add" true
     (List.exists

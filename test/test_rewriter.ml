@@ -30,24 +30,28 @@ let count_ops name md = List.length (Symbol.collect_ops ~op_name:name md)
 
 let test_listener_events () =
   let inserted = ref [] and replaced = ref [] and erased = ref [] in
+  let modified = ref [] in
   let rw = Rewriter.create () in
   Rewriter.add_listener rw
     {
       Rewriter.on_inserted = (fun o -> inserted := o.Ircore.op_name :: !inserted);
       on_replaced = (fun o _ -> replaced := o.Ircore.op_name :: !replaced);
       on_erased = (fun o -> erased := o.Ircore.op_name :: !erased);
+      on_modified = (fun o -> modified := o.Ircore.op_name :: !modified);
     };
   let b = Ircore.create_block () in
   Rewriter.set_ip rw (Builder.At_end b);
   let a = Rewriter.build rw ~result_types:[ Typ.i32 ] "t.a" in
   let a2 = Rewriter.build rw ~result_types:[ Typ.i32 ] "t.b" in
+  Rewriter.modify_in_place rw a2 (fun () -> Ircore.set_attr a2 "tag" (Attr.Bool true));
   Rewriter.replace_op rw a ~with_:(Ircore.results a2);
   let dead = Rewriter.build rw "t.dead" in
   Rewriter.erase_op rw dead;
   check (Alcotest.list Alcotest.string) "inserted" [ "t.a"; "t.b"; "t.dead" ]
     (List.rev !inserted);
   check (Alcotest.list Alcotest.string) "replaced" [ "t.a" ] (List.rev !replaced);
-  check (Alcotest.list Alcotest.string) "erased" [ "t.dead" ] (List.rev !erased)
+  check (Alcotest.list Alcotest.string) "erased" [ "t.dead" ] (List.rev !erased);
+  check (Alcotest.list Alcotest.string) "modified" [ "t.b" ] (List.rev !modified)
 
 let test_nested_erase_notifies () =
   let erased = ref 0 in
@@ -108,7 +112,7 @@ let test_greedy_folds_constants () =
         let b = Dutil.const_int rw ~typ:Typ.i32 22 in
         Arith.addi rw a b)
   in
-  ignore (Greedy.apply ~config:Dutil.greedy_config ctx ~patterns:[] md);
+  ignore (Dutil.apply_greedy ctx ~patterns:[] md);
   check ci "addi folded away" 0 (count_ops "arith.addi" md);
   (* result must be a constant 42 *)
   let consts = Symbol.collect_ops ~op_name:"arith.constant" md in
@@ -122,7 +126,7 @@ let test_greedy_dce () =
         (* dead *)
         x)
   in
-  ignore (Greedy.apply ~config:Dutil.greedy_config ctx ~patterns:[] md);
+  ignore (Dutil.apply_greedy ctx ~patterns:[] md);
   check ci "dead mul removed" 0 (count_ops "arith.muli" md)
 
 let test_greedy_patterns_fixpoint () =
@@ -134,9 +138,7 @@ let test_greedy_patterns_fixpoint () =
         Arith.addi rw b zero)
   in
   ignore
-    (Greedy.apply ~config:Dutil.greedy_config ctx
-       ~patterns:(Arith.canonicalization_patterns ())
-       md);
+    (Dutil.apply_greedy ctx ~patterns:(Arith.canonicalization_patterns ()) md);
   check ci "all addi-zero chains gone" 0 (count_ops "arith.addi" md)
 
 let test_greedy_respects_benefit () =
@@ -157,7 +159,8 @@ let test_greedy_respects_benefit () =
   let b = Ircore.create_block () in
   Ircore.insert_at_end b (Ircore.create "t.target");
   let top = Ircore.create ~regions:[ Ircore.region_with_block b ] "t.top" in
-  ignore (Greedy.apply ctx ~patterns:[ p_low; p_high ] top);
+  ignore
+    (Greedy.apply ctx ~patterns:(Frozen_patterns.freeze [ p_low; p_high ]) top);
   check (Alcotest.list Alcotest.string) "high benefit first" [ "high" ] !hits
 
 let test_greedy_converges_flag () =
@@ -175,7 +178,7 @@ let test_greedy_converges_flag () =
   let converged =
     Greedy.apply
       ~config:{ Greedy.default_config with max_iterations = 3; fold = false; remove_dead = false }
-      ctx ~patterns:[ p ] top
+      ctx ~patterns:(Frozen_patterns.freeze [ p ]) top
   in
   check cb "reports non-convergence" false converged
 
