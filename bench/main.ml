@@ -212,6 +212,81 @@ let greedy () =
     Fmt.pr "WARNING: attempt reduction %.1fx below the 5x target@." ratio
 
 (* ------------------------------------------------------------------ *)
+(* Profiler overhead: span cost with and without an ambient profiler    *)
+(* ------------------------------------------------------------------ *)
+
+let profiler () =
+  banner "E10 - Profiler: per-span overhead, enabled vs disabled"
+    "the ambient no-op path (one ref read) lets instrumentation stay on";
+  let sink = ref 0 in
+  let body () = incr sink in
+  let time n f =
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to n do
+      f ()
+    done;
+    let dt = Unix.gettimeofday () -. t0 in
+    dt /. float_of_int n *. 1e9
+  in
+  (* warm up the minor heap / branch predictors *)
+  ignore (time 10_000 body);
+  let n_disabled = 2_000_000 and n_enabled = 200_000 in
+  let ns_baseline = time n_disabled body in
+  (* disabled: no ambient profiler installed (explicitly uninstall in case
+     the whole bench run is itself being profiled with --profile=FILE) *)
+  let ns_disabled =
+    let saved = !Ir.Profiler.current in
+    Ir.Profiler.current := None;
+    Fun.protect
+      ~finally:(fun () -> Ir.Profiler.current := saved)
+      (fun () -> time n_disabled (fun () -> Ir.Profiler.span "bench.noop" body))
+  in
+  (* enabled: every span records a begin and an end event *)
+  let p = Ir.Profiler.create () in
+  let ns_enabled =
+    Ir.Profiler.with_profiler p (fun () ->
+        time n_enabled (fun () -> Ir.Profiler.span "bench.noop" body))
+  in
+  assert (Ir.Profiler.balanced p);
+  assert (Ir.Profiler.span_count p = n_enabled);
+  let ns_counter =
+    Ir.Profiler.with_profiler p (fun () ->
+        time n_enabled (fun () -> Ir.Profiler.counter "bench.count" 1.0))
+  in
+  Fmt.pr "per-span cost (body: one int incr):@.";
+  Fmt.pr "  %-36s %10.1f ns@." "bare body" ns_baseline;
+  Fmt.pr "  %-36s %10.1f ns@." "span, profiler disabled" ns_disabled;
+  Fmt.pr "  %-36s %10.1f ns@." "span, profiler enabled" ns_enabled;
+  Fmt.pr "  %-36s %10.1f ns@." "counter sample, enabled" ns_counter;
+  Fmt.pr "  disabled overhead: %.1f ns/span; enabled records %d events@."
+    (ns_disabled -. ns_baseline)
+    (2 * n_enabled);
+  let json =
+    Ir.Json.Obj
+      [
+        ("benchmark", Ir.Json.String "profiler-span-overhead");
+        ("spans_disabled", Ir.Json.Int n_disabled);
+        ("spans_enabled", Ir.Json.Int n_enabled);
+        ("ns_per_span_baseline", Ir.Json.Float ns_baseline);
+        ("ns_per_span_disabled", Ir.Json.Float ns_disabled);
+        ("ns_per_span_enabled", Ir.Json.Float ns_enabled);
+        ("ns_per_counter_enabled", Ir.Json.Float ns_counter);
+        ( "ns_disabled_overhead",
+          Ir.Json.Float (ns_disabled -. ns_baseline) );
+        ( "note",
+          Ir.Json.String
+            "disabled = no ambient profiler installed: Profiler.span is one \
+             ref read plus a closure call, so instrumentation can stay on in \
+             hot paths; enabled = two timestamped events per span" );
+      ]
+  in
+  let oc = open_out "BENCH_profiler.json" in
+  output_string oc (Ir.Json.to_string json);
+  output_string oc "\n";
+  close_out oc;
+  Fmt.pr "wrote BENCH_profiler.json@."
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per experiment kernel       *)
 (* ------------------------------------------------------------------ *)
 
@@ -314,26 +389,59 @@ let () =
   let args = Array.to_list Sys.argv |> List.tl in
   let no_micro = List.mem "--no-micro" args in
   let args = List.filter (fun a -> a <> "--no-micro") args in
+  (* --profile=FILE profiles the whole bench run into Chrome trace-event
+     JSON (the sections' pipeline/greedy/interpreter spans) *)
+  let profile_prefix = "--profile=" in
+  let profile_path =
+    List.find_map
+      (fun a ->
+        if
+          String.length a > String.length profile_prefix
+          && String.sub a 0 (String.length profile_prefix) = profile_prefix
+        then
+          Some
+            (String.sub a (String.length profile_prefix)
+               (String.length a - String.length profile_prefix))
+        else None)
+      args
+  in
+  let args =
+    List.filter
+      (fun a ->
+        String.length a < String.length profile_prefix
+        || String.sub a 0 (String.length profile_prefix) <> profile_prefix)
+      args
+  in
   let want s = args = [] || List.mem s args in
   Fmt.pr "OCaml Transform-dialect reproduction - benchmark harness@.";
   Fmt.pr "(simulated machine: %.1f GHz, L1 %dK, L2 %dK; see DESIGN.md)@."
     Interp.Machine.default_config.Interp.Machine.freq_ghz
     (Interp.Machine.default_config.Interp.Machine.l1_size / 1024)
     (Interp.Machine.default_config.Interp.Machine.l2_size / 1024);
-  let t1_rows = ref None in
-  if want "table1" then t1_rows := Some (table1 ());
-  if want "fig6" then
-    fig6
-      (match !t1_rows with
-      | Some rows -> rows
-      | None -> Experiments.Table1.run ~reps:3 ctx);
-  if want "table2" then table2 ();
-  if want "cs3" then cs3 ();
-  if want "cs4" then cs4 ();
-  if want "cs5" then cs5 ();
-  if want "cs5-structured" then cs5s ();
-  if want "s34" then s34 ();
-  if want "ablations" then ablations ();
-  if want "greedy" then greedy ();
-  if (not no_micro) && (args = [] || List.mem "micro" args) then micro ();
+  let run_sections () =
+    let t1_rows = ref None in
+    if want "table1" then t1_rows := Some (table1 ());
+    if want "fig6" then
+      fig6
+        (match !t1_rows with
+        | Some rows -> rows
+        | None -> Experiments.Table1.run ~reps:3 ctx);
+    if want "table2" then table2 ();
+    if want "cs3" then cs3 ();
+    if want "cs4" then cs4 ();
+    if want "cs5" then cs5 ();
+    if want "cs5-structured" then cs5s ();
+    if want "s34" then s34 ();
+    if want "ablations" then ablations ();
+    if want "greedy" then greedy ();
+    if want "profiler" then profiler ();
+    if (not no_micro) && (args = [] || List.mem "micro" args) then micro ()
+  in
+  (match profile_path with
+  | None -> run_sections ()
+  | Some path ->
+    let p = Ir.Profiler.create () in
+    Ir.Profiler.with_profiler p run_sections;
+    Ir.Profiler.write p ~path;
+    Fmt.pr "wrote %s (%d spans)@." path (Ir.Profiler.span_count p));
   Fmt.pr "@.done.@."

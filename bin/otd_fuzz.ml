@@ -16,7 +16,7 @@
 open Cmdliner
 
 let run seed cases max_ops max_depth pipeline no_shrink out_dir print_case
-    quiet =
+    quiet profile =
   let ctx = Transform.Register.full_context () in
   let config = { Fuzz.Gen.default_config with max_ops; max_depth } in
   match print_case with
@@ -35,10 +35,20 @@ let run seed cases max_ops max_depth pipeline no_shrink out_dir print_case
         if failed then Fmt.epr "case %d: FAIL@." i
         else if i mod 50 = 0 then Fmt.epr "case %d...@." i
     in
-    let stats =
-      Fuzz.Driver.run ~config ~pipelines ~shrink:(not no_shrink)
-        ?out_dir ~on_case ctx ~seed ~cases ()
+    let profiler = Option.map (fun _ -> Ir.Profiler.create ()) profile in
+    let with_profiler f =
+      match profiler with
+      | None -> f ()
+      | Some p -> Ir.Profiler.with_profiler p f
     in
+    let stats =
+      with_profiler (fun () ->
+          Fuzz.Driver.run ~config ~pipelines ~shrink:(not no_shrink)
+            ?out_dir ~on_case ctx ~seed ~cases ())
+    in
+    (match (profiler, profile) with
+    | Some p, Some path -> Ir.Profiler.write p ~path
+    | _ -> ());
     let nfail = List.length stats.Fuzz.Driver.s_failures in
     Fmt.pr "otd-fuzz: %d cases, %d failure%s, %.1f s (seed %d)@."
       stats.Fuzz.Driver.s_cases nfail
@@ -111,6 +121,14 @@ let print_case =
 let quiet =
   Arg.(value & flag & info [ "quiet"; "q" ] ~doc:"No per-case progress.")
 
+let profile =
+  Arg.(
+    value
+    & opt ~vopt:(Some "fuzz_profile.json") (some string) None
+    & info [ "profile" ] ~docv:"PATH"
+        ~doc:"Profile the campaign (pipeline/pass/greedy spans across all \
+              cases) and write Chrome trace-event JSON to $(docv).")
+
 let cmd =
   let doc = "property-based IR fuzzer and differential tester" in
   Cmd.v
@@ -119,10 +137,10 @@ let cmd =
       ret
         (const
            (fun seed cases max_ops max_depth pipeline no_shrink _shrink
-                out_dir print_case quiet ->
+                out_dir print_case quiet profile ->
              run seed cases max_ops max_depth pipeline no_shrink out_dir
-               print_case quiet)
+               print_case quiet profile)
         $ seed $ cases $ max_ops $ max_depth $ pipeline $ no_shrink $ shrink
-        $ out_dir $ print_case $ quiet))
+        $ out_dir $ print_case $ quiet $ profile))
 
 let () = exit (Cmd.eval cmd)

@@ -1,0 +1,64 @@
+(** otd-json: validate JSON files with the repository's own {!Ir.Json}
+    parser. Exits 0 when every input parses, 1 on the first failure — CI
+    uses it to check that emitted artifacts (profiles, stats, traces,
+    bench reports) are well-formed without reaching for external tools.
+
+    With [--require KEY] the top-level value must additionally be an
+    object carrying $(i,KEY) (e.g. [traceEvents] for a Chrome trace). *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let validate require path =
+  match read_file path with
+  | exception Sys_error e -> Error e
+  | src -> (
+    match Ir.Json.parse src with
+    | Error e -> Error (Fmt.str "%s: %s" path e)
+    | Ok json -> (
+      match require with
+      | None -> Ok json
+      | Some key -> (
+        match Ir.Json.member key json with
+        | Some _ -> Ok json
+        | None -> Error (Fmt.str "%s: missing required key %S" path key))))
+
+let run require quiet files =
+  if files = [] then `Error (false, "no input files")
+  else
+    let rec go = function
+      | [] -> `Ok ()
+      | path :: rest -> (
+        match validate require path with
+        | Ok _ ->
+          if not quiet then Fmt.pr "%s: ok@." path;
+          go rest
+        | Error e -> `Error (false, e))
+    in
+    go files
+
+let require =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "require" ] ~docv:"KEY"
+        ~doc:"Require the top-level value to be an object with $(docv).")
+
+let quiet =
+  Arg.(value & flag & info [ "quiet"; "q" ] ~doc:"No per-file output.")
+
+let files =
+  Arg.(value & pos_all string [] & info [] ~docv:"FILE" ~doc:"JSON files.")
+
+let cmd =
+  let doc = "validate JSON files with the repository's Ir.Json parser" in
+  Cmd.v
+    (Cmd.info "otd-json" ~doc)
+    Term.(ret (const run $ require $ quiet $ files))
+
+let () = exit (Cmd.eval cmd)

@@ -9,11 +9,25 @@
     - [--timing] prints the hierarchical timing tree and per-pass op-count
       deltas;
     - [--print-ir-after-all] dumps the IR after every pass (stderr);
-    - [--trace] prints the execution trace (transform ops with handle
-      payload sizes, suppressed silenceable errors, greedy-driver stats,
-      per-pass events);
+    - [--trace[=text|json]] prints the execution trace (transform ops with
+      handle payload sizes, suppressed silenceable errors, greedy-driver
+      stats, per-pass events) — both forms go to stderr: [--trace] /
+      [--trace=text] renders the human-readable listing, [--trace=json]
+      reuses the {!Ir.Trace.to_json} rendering;
+    - [--profile[=PATH]] records nested profiler spans (pipeline → pass →
+      greedy driver, transform-interpreter ops) and writes Chrome
+      trace-event JSON to $(i,PATH) (default [profile.json]) — load it at
+      [ui.perfetto.dev] or [chrome://tracing];
+    - [--stats[=text|json]] prints the global statistics registry
+      (greedy-driver counters, conversion-pass op counts, interpreter
+      handle volumes) to stderr after the run;
+    - [--remarks=KINDS] ([passed,missed,analysis] or [all]) prints
+      optimization remarks with payload locations to stderr;
+      [--remarks-filter=REGEX] keeps only remarks whose pass name or
+      message matches;
     - [--diagnostics=json] replaces the textual module on stdout with one
-      JSON object carrying diagnostics, trace, timing and the final IR;
+      JSON object carrying diagnostics, trace, timing, remarks, stats and
+      the final IR;
     - [--reproducer PATH] writes a crash reproducer on pass failure; a
       reproducer file fed back to otd-opt replays its embedded pipeline. *)
 
@@ -51,8 +65,25 @@ type json_report = {
 }
 
 let run input pipeline transform_file no_verify list_passes timing
-    print_ir_after_all trace diagnostics_format reproducer_path pretty =
+    print_ir_after_all trace diagnostics_format reproducer_path pretty profile
+    stats remarks remarks_filter =
   let ctx = Transform.Register.full_context () in
+  let remark_kinds_r =
+    match remarks with
+    | None -> Ok None
+    | Some s -> Result.map Option.some (Ir.Remark.kinds_of_string s)
+  in
+  let remark_re_r =
+    match remarks_filter with
+    | None -> Ok None
+    | Some re -> (
+      try Ok (Some (Str.regexp re))
+      with Failure e ->
+        Error (Fmt.str "invalid --remarks-filter regex %S: %s" re e))
+  in
+  match (remark_kinds_r, remark_re_r) with
+  | Error e, _ | _, Error e -> `Error (false, e)
+  | Ok remark_kinds, Ok remark_re ->
   if list_passes then begin
     List.iter
       (fun p ->
@@ -185,11 +216,38 @@ let run input pipeline transform_file no_verify list_passes timing
                       else "definite"))))
         in
         let sink = Ir.Trace.create () in
+        let profiler = Option.map (fun _ -> Ir.Profiler.create ()) profile in
+        let captured_remarks = ref [] in
+        let with_profiler f =
+          match profiler with
+          | None -> f ()
+          | Some p -> Ir.Profiler.with_profiler p f
+        in
+        let with_remarks f =
+          match remark_kinds with
+          | None -> f ()
+          | Some _ ->
+            Ir.Remark.with_handler
+              (fun r -> captured_remarks := r :: !captured_remarks)
+              f
+        in
         let outcome =
-          Ir.Trace.with_sink sink (fun () ->
-              Result.bind (verify ()) (fun () ->
-                  Result.bind (apply_pipeline ()) (fun () ->
-                      Result.bind (apply_transform ()) verify)))
+          with_profiler (fun () ->
+              with_remarks (fun () ->
+                  Ir.Trace.with_sink sink (fun () ->
+                      Result.bind (verify ()) (fun () ->
+                          Result.bind (apply_pipeline ()) (fun () ->
+                              Result.bind (apply_transform ()) verify)))))
+        in
+        (match (profiler, profile) with
+        | Some p, Some path -> Ir.Profiler.write p ~path
+        | _ -> ());
+        let selected_remarks =
+          match remark_kinds with
+          | None -> []
+          | Some kinds ->
+            Ir.Remark.filter ~kinds ?filter:remark_re
+              (List.rev !captured_remarks)
         in
         (* human-readable reports on stderr *)
         if not json_mode then begin
@@ -202,9 +260,18 @@ let run input pipeline transform_file no_verify list_passes timing
               Fmt.epr "// -----// op-count deltas //----- //@.%a@."
                 Passes.Pass.pp_op_deltas deltas
           | _ -> ());
-          if trace then
+          (match trace with
+          | Some "json" -> Fmt.epr "%a@." Ir.Json.pp (Ir.Trace.to_json sink)
+          | Some _ ->
             Fmt.epr "// -----// trace //----- //@.%a@." Ir.Trace.pp sink
+          | None -> ());
+          List.iter (fun r -> Fmt.epr "%a@." Ir.Remark.pp r) selected_remarks
         end;
+        (match stats with
+        | Some "json" -> Fmt.epr "%a@." Ir.Json.pp (Ir.Stats.to_json ())
+        | Some _ ->
+          Fmt.epr "// -----// statistics //----- //@.%a@." Ir.Stats.pp ()
+        | None -> ());
         let finish result =
           if json_mode then begin
             let json =
@@ -224,6 +291,16 @@ let run input pipeline transform_file no_verify list_passes timing
                      [
                        ( "op_count_deltas",
                          Passes.Pass.op_deltas_to_json (op_deltas ()) );
+                     ]
+                   else [])
+                @ (if stats <> None then
+                     [ ("stats", Ir.Stats.to_json ()) ]
+                   else [])
+                @ (if remark_kinds <> None then
+                     [
+                       ( "remarks",
+                         Ir.Json.List
+                           (List.map Ir.Remark.to_json selected_remarks) );
                      ]
                    else [])
                 @ (match report.j_ir_after with
@@ -296,10 +373,56 @@ let print_ir_after_all =
 
 let trace =
   Arg.(
-    value & flag
-    & info [ "trace" ]
+    value
+    & opt
+        ~vopt:(Some "text")
+        (some (enum [ ("text", "text"); ("json", "json") ]))
+        None
+    & info [ "trace" ] ~docv:"FORMAT"
         ~doc:"Print the execution trace (transform ops, suppressed errors, \
-              greedy-driver statistics, per-pass events).")
+              greedy-driver statistics, per-pass events) to stderr. \
+              $(b,--trace) or $(b,--trace=text) renders the listing; \
+              $(b,--trace=json) emits the trace's JSON rendering.")
+
+let profile =
+  Arg.(
+    value
+    & opt ~vopt:(Some "profile.json") (some string) None
+    & info [ "profile" ] ~docv:"PATH"
+        ~doc:"Record profiler spans (pipeline, passes, greedy driver, \
+              transform-interpreter ops) and write Chrome trace-event JSON \
+              to $(docv) — loadable in Perfetto (ui.perfetto.dev) or \
+              chrome://tracing.")
+
+let stats =
+  Arg.(
+    value
+    & opt
+        ~vopt:(Some "text")
+        (some (enum [ ("text", "text"); ("json", "json") ]))
+        None
+    & info [ "stats" ] ~docv:"FORMAT"
+        ~doc:"Print the global statistics registry (greedy-driver counters, \
+              conversion-pass op counts, transform-interpreter handle \
+              volumes) to stderr after the run, as an aligned table \
+              ($(b,text), the default) or as JSON.")
+
+let remarks =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "remarks" ] ~docv:"KINDS"
+        ~doc:"Print optimization remarks of the comma-separated $(docv) \
+              ($(b,passed), $(b,missed), $(b,analysis), or $(b,all)) to \
+              stderr, with payload locations.")
+
+let remarks_filter =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "remarks-filter" ] ~docv:"REGEX"
+        ~doc:"Keep only remarks whose pass name or message matches $(docv) \
+              (Str regexp syntax). Implies nothing without $(b,--remarks).")
 
 let diagnostics_format =
   Arg.(
@@ -333,6 +456,7 @@ let cmd =
       ret
         (const run $ input $ pipeline $ transform_file $ no_verify
        $ list_passes $ timing $ print_ir_after_all $ trace
-       $ diagnostics_format $ reproducer_path $ pretty))
+       $ diagnostics_format $ reproducer_path $ pretty $ profile $ stats
+       $ remarks $ remarks_filter))
 
 let () = exit (Cmd.eval cmd)

@@ -1,9 +1,9 @@
 "builtin.module"() ({
   "func.func"() ({
-  ^bb0(%A: memref<24x8xf32>, %B: memref<8x16xf32>, %C: memref<24x16xf32>):
+  ^bb0(%A: memref<96x8xf32>, %B: memref<8x16xf32>, %C: memref<96x16xf32>):
     %c0 = "arith.constant"() {value = 0 : index} : () -> index
     %c1 = "arith.constant"() {value = 1 : index} : () -> index
-    %cm = "arith.constant"() {value = 24 : index} : () -> index
+    %cm = "arith.constant"() {value = 96 : index} : () -> index
     %cn = "arith.constant"() {value = 16 : index} : () -> index
     %ck = "arith.constant"() {value = 8 : index} : () -> index
     "scf.for"(%c0, %cm, %c1) ({
@@ -12,18 +12,18 @@
       ^bb2(%j: index):
         "scf.for"(%c0, %ck, %c1) ({
         ^bb3(%k: index):
-          %a = "memref.load"(%A, %i, %k) : (memref<24x8xf32>, index, index) -> f32
+          %a = "memref.load"(%A, %i, %k) : (memref<96x8xf32>, index, index) -> f32
           %b = "memref.load"(%B, %k, %j) : (memref<8x16xf32>, index, index) -> f32
-          %c = "memref.load"(%C, %i, %j) : (memref<24x16xf32>, index, index) -> f32
+          %c = "memref.load"(%C, %i, %j) : (memref<96x16xf32>, index, index) -> f32
           %p = "arith.mulf"(%a, %b) : (f32, f32) -> f32
           %s = "arith.addf"(%c, %p) : (f32, f32) -> f32
-          "memref.store"(%s, %C, %i, %j) : (f32, memref<24x16xf32>, index, index) -> ()
+          "memref.store"(%s, %C, %i, %j) : (f32, memref<96x16xf32>, index, index) -> ()
           "scf.yield"() : () -> ()
         }) : (index, index, index) -> ()
         "scf.yield"() : () -> ()
       }) : (index, index, index) -> ()
       "scf.yield"() : () -> ()
-    }) : (index, index, index) -> () loc("payload_matmul.mlir":9:5)
+    }) : (index, index, index) -> () loc("payload_matmul_large.mlir":9:5)
     "func.return"() : () -> ()
-  }) {sym_name = "matmul", function_type = (memref<24x8xf32>, memref<8x16xf32>, memref<24x16xf32>) -> ()} : () -> ()
+  }) {sym_name = "matmul_large", function_type = (memref<96x8xf32>, memref<8x16xf32>, memref<96x16xf32>) -> ()} : () -> ()
 }) : () -> ()

@@ -24,6 +24,12 @@ let ( let* ) = Result.bind
 
 type stats = { mutable transforms_executed : int }
 
+(* global statistics (Ir.Stats) *)
+let stat_ops_executed = Stats.counter ~component:"transform" "ops_executed"
+
+let stat_suppressed =
+  Stats.counter ~component:"transform" "silenceable_suppressed"
+
 let rec run_block st (block : Ircore.block) : (unit, Terror.t) result =
   let rec go = function
     | [] -> Ok ()
@@ -42,6 +48,10 @@ and run_region st (region : Ircore.region) =
 
 and run_op st (op : Ircore.op) : (unit, Terror.t) result =
   st.State.steps <- st.State.steps + 1;
+  Stats.incr stat_ops_executed;
+  (* one profiler span per interpreted transform op: structural ops
+     (sequence, foreach, alternatives) nest the spans of their bodies *)
+  Profiler.span ~cat:"transform" op.Ircore.op_name @@ fun () ->
   match op.Ircore.op_name with
   | "transform.sequence" -> (
     match op.Ircore.regions with
@@ -62,6 +72,7 @@ and run_op st (op : Ircore.op) : (unit, Terror.t) result =
         in
         (match result with
         | Error (Terror.Silenceable d) when suppress ->
+          Stats.incr stat_suppressed;
           Trace.record
             (Trace.Suppressed
                { su_construct = "transform.sequence"; su_diag = d });
@@ -320,6 +331,7 @@ and run_alternatives st op =
       match run_region st r with
       | Ok () -> Ok ()
       | Error (Terror.Silenceable d) ->
+        Stats.incr stat_suppressed;
         Trace.record
           (Trace.Suppressed
              { su_construct = "transform.alternatives"; su_diag = d });

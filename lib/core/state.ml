@@ -95,7 +95,16 @@ let create ?(config = default_config) ctx payload_root =
 (* Handle access                                                       *)
 (* ------------------------------------------------------------------ *)
 
+(* global statistics (Ir.Stats): every handle association records how much
+   payload it carries, so `--stats` shows the interpreter's payload volume *)
+let stat_handles_set = Stats.counter ~component:"transform" "handles_set"
+
+let stat_handle_payloads =
+  Stats.counter ~component:"transform" "handle_payloads"
+
 let set_handle t (v : Ircore.value) ops =
+  Stats.incr stat_handles_set;
+  Stats.add stat_handle_payloads (List.length ops);
   Hashtbl.replace t.handles v.Ircore.v_id ops
 
 let set_params t (v : Ircore.value) attrs =

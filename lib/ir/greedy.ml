@@ -132,7 +132,27 @@ let rev_post_order root =
     root.Ircore.regions;
   !acc
 
+(* global statistics (Ir.Stats): every driver invocation accumulates its
+   per-run [stats] record here, so `otd_opt --stats` reports totals without
+   the hot loop touching the registry *)
+let stat_rewrites = Stats.counter ~component:"greedy" "rewrites"
+let stat_folds = Stats.counter ~component:"greedy" "folds"
+let stat_dce = Stats.counter ~component:"greedy" "dce"
+let stat_match_attempts = Stats.counter ~component:"greedy" "match_attempts"
+let stat_worklist_pushes = Stats.counter ~component:"greedy" "worklist_pushes"
+let stat_invocations = Stats.counter ~component:"greedy" "invocations"
+let stat_non_converged = Stats.counter ~component:"greedy" "non_converged"
+let stat_iterations = Stats.histogram ~component:"greedy" "iterations"
+
 let record_trace root stats converged =
+  Stats.incr stat_invocations;
+  Stats.add stat_rewrites stats.rewrites;
+  Stats.add stat_folds stats.folds;
+  Stats.add stat_dce stats.dce;
+  Stats.add stat_match_attempts stats.match_attempts;
+  Stats.add stat_worklist_pushes stats.worklist_pushes;
+  Stats.observe stat_iterations (float_of_int stats.iterations);
+  if not converged then Stats.incr stat_non_converged;
   (* report through the ambient trace channel (no-op when not tracing) *)
   Trace.record
     (Trace.Greedy
@@ -159,6 +179,10 @@ let warn_no_fixpoint ctx config (root : Ircore.op) pending =
     worklist drained — within the [config.max_iterations] work budget; a
     [Diag] warning is emitted against [ctx] otherwise. *)
 let apply ?(config = default_config) ?stats ?rewriter ctx ~patterns root =
+  Profiler.span ~cat:"greedy"
+    ~args:[ ("root", Profiler.Astr root.Ircore.op_name) ]
+    "greedy.apply"
+  @@ fun () ->
   let stats = match stats with Some s -> s | None -> create_stats () in
   let rewriter =
     match rewriter with Some rw -> rw | None -> Rewriter.create ()
@@ -248,6 +272,11 @@ let apply ?(config = default_config) ?stats ?rewriter ctx ~patterns root =
            && op.Ircore.op_parent <> None)
       then begin
         incr processed;
+        (* one counter sample per epoch of processed ops: the worklist
+           depth over time, visible as a counter track in Perfetto *)
+        if Profiler.profiling () && !processed mod epoch = 0 then
+          Profiler.counter "greedy.worklist"
+            (float_of_int (List.length !stack));
         if config.remove_dead && is_trivially_dead ctx op then begin
           Rewriter.erase_op rewriter op;
           stats.dce <- stats.dce + 1
@@ -310,6 +339,10 @@ let apply ?(config = default_config) ?stats ?rewriter ctx ~patterns root =
     should use {!apply}. *)
 let apply_sweep ?(config = default_config) ?stats ?rewriter ctx ~patterns root
     =
+  Profiler.span ~cat:"greedy"
+    ~args:[ ("root", Profiler.Astr root.Ircore.op_name) ]
+    "greedy.apply_sweep"
+  @@ fun () ->
   let patterns =
     List.stable_sort
       (fun a b -> compare b.Pattern.benefit a.Pattern.benefit)

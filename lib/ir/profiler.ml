@@ -1,0 +1,174 @@
+(** Trace-event profiler: timestamped begin/end spans with nesting, plus
+    counter samples, exported as Chrome trace-event JSON loadable in
+    Perfetto ([ui.perfetto.dev]) or [chrome://tracing].
+
+    Like {!Trace}, the profiler is ambient: {!with_profiler} installs one
+    for a dynamic extent and deeply nested components (a greedy rewrite
+    inside a canonicalize pass inside a transform script) report spans
+    without threading the profiler through every signature. When no
+    profiler is installed every entry point is a cheap no-op — a single
+    ref read — so instrumentation can stay on in hot paths
+    (the cost is measured by [bench … profiler] into
+    [BENCH_profiler.json]).
+
+    Spans nest strictly: {!span} emits a [B] (begin) event, runs its body
+    and emits the matching [E] (end) event even on exceptions, so the
+    resulting stream is always balanced and Perfetto renders it as a flame
+    graph: pass pipeline → pass → greedy driver, and transform-interpreter
+    op spans. {!counter} emits a [C] (counter sample) event. *)
+
+type arg = Aint of int | Afloat of float | Astr of string
+
+type event =
+  | Begin of {
+      b_name : string;
+      b_cat : string;  (** trace-event category, e.g. [pass], [greedy] *)
+      b_ts : float;  (** microseconds since profiler creation *)
+      b_args : (string * arg) list;
+    }
+  | End of { e_ts : float }
+  | Counter of { c_name : string; c_ts : float; c_value : float }
+
+type t = {
+  mutable rev_events : event list;
+  mutable depth : int;  (** currently open spans *)
+  mutable max_depth : int;
+  mutable spans : int;  (** completed spans *)
+  t0 : float;  (** creation time, the trace's timestamp origin *)
+}
+
+let now () = Unix.gettimeofday ()
+
+let create () =
+  { rev_events = []; depth = 0; max_depth = 0; spans = 0; t0 = now () }
+
+let events p = List.rev p.rev_events
+let span_count p = p.spans
+let max_depth p = p.max_depth
+
+(** All begin spans closed — always true outside a {!span} body. *)
+let balanced p = p.depth = 0
+
+let clear p =
+  p.rev_events <- [];
+  p.depth <- 0;
+  p.max_depth <- 0;
+  p.spans <- 0
+
+(* ------------------------------------------------------------------ *)
+(* Ambient profiler                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let current : t option ref = ref None
+
+(** Install [p] as the ambient profiler while [f] runs. *)
+let with_profiler p f =
+  let saved = !current in
+  current := Some p;
+  Fun.protect ~finally:(fun () -> current := saved) f
+
+let profiling () = !current <> None
+
+(* ------------------------------------------------------------------ *)
+(* Recording                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let ts p = (now () -. p.t0) *. 1e6
+
+let begin_on p ~cat ~args name =
+  p.depth <- p.depth + 1;
+  if p.depth > p.max_depth then p.max_depth <- p.depth;
+  p.rev_events <-
+    Begin { b_name = name; b_cat = cat; b_ts = ts p; b_args = args }
+    :: p.rev_events
+
+let end_on p =
+  p.depth <- p.depth - 1;
+  p.spans <- p.spans + 1;
+  p.rev_events <- End { e_ts = ts p } :: p.rev_events
+
+(** [span name f] runs [f] inside a profiler span named [name]. With no
+    ambient profiler this is exactly [f ()] after one ref read. The end
+    event is emitted even when [f] raises, so the stream stays balanced. *)
+let span ?(cat = "") ?(args = []) name f =
+  match !current with
+  | None -> f ()
+  | Some p ->
+    begin_on p ~cat ~args name;
+    Fun.protect ~finally:(fun () -> end_on p) f
+
+(** Emit a counter sample, e.g. the greedy driver's worklist size. *)
+let counter name value =
+  match !current with
+  | None -> ()
+  | Some p ->
+    p.rev_events <-
+      Counter { c_name = name; c_ts = ts p; c_value = value } :: p.rev_events
+
+(* ------------------------------------------------------------------ *)
+(* Chrome trace-event JSON                                             *)
+(* ------------------------------------------------------------------ *)
+
+let arg_to_json = function
+  | Aint n -> Json.Int n
+  | Afloat f -> Json.Float f
+  | Astr s -> Json.String s
+
+(* every event carries pid/tid: the viewers group events by both *)
+let pid_tid = [ ("pid", Json.Int 1); ("tid", Json.Int 1) ]
+
+let event_to_json = function
+  | Begin { b_name; b_cat; b_ts; b_args } ->
+    Json.Obj
+      ([
+         ("name", Json.String b_name);
+         ("cat", Json.String (if b_cat = "" then "otd" else b_cat));
+         ("ph", Json.String "B");
+         ("ts", Json.Float b_ts);
+       ]
+      @ pid_tid
+      @
+      match b_args with
+      | [] -> []
+      | args ->
+        [
+          ( "args",
+            Json.Obj (List.map (fun (k, v) -> (k, arg_to_json v)) args) );
+        ])
+  | End { e_ts } ->
+    Json.Obj ([ ("ph", Json.String "E"); ("ts", Json.Float e_ts) ] @ pid_tid)
+  | Counter { c_name; c_ts; c_value } ->
+    Json.Obj
+      ([
+         ("name", Json.String c_name);
+         ("ph", Json.String "C");
+         ("ts", Json.Float c_ts);
+       ]
+      @ pid_tid
+      @ [ ("args", Json.Obj [ ("value", Json.Float c_value) ]) ])
+
+(** The profile as a Chrome trace-event JSON object (the "JSON object
+    format": a [traceEvents] array plus metadata), loadable in Perfetto
+    and [chrome://tracing]. *)
+let to_json p =
+  Json.Obj
+    [
+      ("traceEvents", Json.List (List.map event_to_json (events p)));
+      ("displayTimeUnit", Json.String "ms");
+      ( "otherData",
+        Json.Obj
+          [
+            ("producer", Json.String "otd-opt profiler");
+            ("spans", Json.Int p.spans);
+            ("max_depth", Json.Int p.max_depth);
+          ] );
+    ]
+
+(** Write the profile to [path]. *)
+let write p ~path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (Json.to_string (to_json p));
+      output_string oc "\n")

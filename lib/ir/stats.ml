@@ -1,0 +1,162 @@
+(** Global statistics registry: named per-component counters and histograms,
+    mirroring MLIR's pass statistics ([-pass-statistics]).
+
+    Components intern their statistics once at module-initialization time
+    ([let stat_rewrites = Stats.counter ~component:"greedy" "rewrites"]) and
+    bump them with {!incr}/{!add} — a single mutable-field update, cheap
+    enough for hot paths. The registry is process-global so `otd_opt
+    --stats` can render everything any component recorded during a run as
+    an aligned text table or as JSON; {!reset} zeroes all values (the
+    registration set is kept), which the tests use for isolation. *)
+
+type counter = {
+  c_component : string;
+  c_name : string;
+  c_desc : string;
+  mutable c_value : int;
+}
+
+type histogram = {
+  h_component : string;
+  h_name : string;
+  h_desc : string;
+  mutable h_count : int;
+  mutable h_sum : float;
+  mutable h_min : float;
+  mutable h_max : float;
+}
+
+type entry = Counter of counter | Histogram of histogram
+
+let registry : (string * string, entry) Hashtbl.t = Hashtbl.create 32
+
+(** Intern the counter [component/name]; returns the existing counter when
+    already registered (so re-registration is idempotent). *)
+let counter ?(desc = "") ~component name =
+  match Hashtbl.find_opt registry (component, name) with
+  | Some (Counter c) -> c
+  | Some (Histogram _) ->
+    invalid_arg
+      (Fmt.str "statistic %s/%s already registered as a histogram" component
+         name)
+  | None ->
+    let c = { c_component = component; c_name = name; c_desc = desc; c_value = 0 } in
+    Hashtbl.replace registry (component, name) (Counter c);
+    c
+
+let histogram ?(desc = "") ~component name =
+  match Hashtbl.find_opt registry (component, name) with
+  | Some (Histogram h) -> h
+  | Some (Counter _) ->
+    invalid_arg
+      (Fmt.str "statistic %s/%s already registered as a counter" component
+         name)
+  | None ->
+    let h =
+      {
+        h_component = component;
+        h_name = name;
+        h_desc = desc;
+        h_count = 0;
+        h_sum = 0.0;
+        h_min = infinity;
+        h_max = neg_infinity;
+      }
+    in
+    Hashtbl.replace registry (component, name) (Histogram h);
+    h
+
+let incr c = c.c_value <- c.c_value + 1
+let add c n = c.c_value <- c.c_value + n
+let value c = c.c_value
+
+let observe h v =
+  h.h_count <- h.h_count + 1;
+  h.h_sum <- h.h_sum +. v;
+  if v < h.h_min then h.h_min <- v;
+  if v > h.h_max then h.h_max <- v
+
+let mean h = if h.h_count = 0 then 0.0 else h.h_sum /. float_of_int h.h_count
+
+(** Zero every registered statistic (registrations are kept). *)
+let reset () =
+  Hashtbl.iter
+    (fun _ -> function
+      | Counter c -> c.c_value <- 0
+      | Histogram h ->
+        h.h_count <- 0;
+        h.h_sum <- 0.0;
+        h.h_min <- infinity;
+        h.h_max <- neg_infinity)
+    registry
+
+(** Look up a registered counter's value, for tests and light consumers. *)
+let find_counter ~component name =
+  match Hashtbl.find_opt registry (component, name) with
+  | Some (Counter c) -> Some c
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Rendering                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(** All entries, sorted by (component, name). *)
+let snapshot () =
+  Hashtbl.fold (fun _ e acc -> e :: acc) registry []
+  |> List.sort (fun a b ->
+         let key = function
+           | Counter c -> (c.c_component, c.c_name)
+           | Histogram h -> (h.h_component, h.h_name)
+         in
+         compare (key a) (key b))
+
+let pp fmt () =
+  let entries = snapshot () in
+  let width f =
+    List.fold_left (fun acc e -> max acc (String.length (f e))) 0 entries
+  in
+  let comp = function
+    | Counter c -> c.c_component
+    | Histogram h -> h.h_component
+  in
+  let name = function Counter c -> c.c_name | Histogram h -> h.h_name in
+  let wc = max 9 (width comp) and wn = max 4 (width name) in
+  Fmt.pf fmt "@[<v>%-*s  %-*s  %s@," wc "component" wn "name" "value";
+  List.iter
+    (fun e ->
+      match e with
+      | Counter c -> Fmt.pf fmt "%-*s  %-*s  %d@," wc c.c_component wn c.c_name c.c_value
+      | Histogram h ->
+        Fmt.pf fmt "%-*s  %-*s  n=%d sum=%g min=%g max=%g mean=%g@," wc
+          h.h_component wn h.h_name h.h_count h.h_sum
+          (if h.h_count = 0 then 0.0 else h.h_min)
+          (if h.h_count = 0 then 0.0 else h.h_max)
+          (mean h))
+    entries;
+  Fmt.pf fmt "@]"
+
+let to_json () =
+  Json.List
+    (List.map
+       (function
+         | Counter c ->
+           Json.Obj
+             [
+               ("component", Json.String c.c_component);
+               ("name", Json.String c.c_name);
+               ("kind", Json.String "counter");
+               ("value", Json.Int c.c_value);
+             ]
+         | Histogram h ->
+           Json.Obj
+             [
+               ("component", Json.String h.h_component);
+               ("name", Json.String h.h_name);
+               ("kind", Json.String "histogram");
+               ("count", Json.Int h.h_count);
+               ("sum", Json.Float h.h_sum);
+               ("min", Json.Float (if h.h_count = 0 then 0.0 else h.h_min));
+               ("max", Json.Float (if h.h_count = 0 then 0.0 else h.h_max));
+               ("mean", Json.Float (mean h));
+             ])
+       (snapshot ()))

@@ -29,6 +29,11 @@ type event =
       gr_pushes : int;  (** worklist pushes (incl. the initial seeding) *)
     }
   | Pass of { pa_name : string; pa_seconds : float }
+      (** Deprecated: a flat per-pass wall-seconds event with no nesting.
+          Superseded by {!Profiler} spans (pipeline → pass → greedy /
+          transform op), which carry timestamps and nest; this event is
+          kept as a compatibility emitter ({!record_pass}) so existing
+          consumers of the trace stream keep working. *)
 
 type sink = { mutable rev_events : event list }
 
@@ -53,6 +58,12 @@ let with_sink sink f =
 let record e = match !current with Some s -> emit s e | None -> ()
 
 let tracing () = !current <> None
+
+(** Compatibility emitter for the deprecated {!Pass} event: pass timing now
+    flows through {!Profiler} spans; this keeps the flat trace event
+    available to existing consumers of the trace stream. *)
+let record_pass ~name ~seconds =
+  record (Pass { pa_name = name; pa_seconds = seconds })
 
 (* ------------------------------------------------------------------ *)
 (* Rendering                                                           *)

@@ -25,10 +25,28 @@ let ( let* ) = Result.bind
 let adapt rw v t =
   if Typ.equal (Ircore.value_typ v) t then v else Builtin.cast rw v t
 
+(* global statistics (Ir.Stats): every conversion rewrite counts the op it
+   replaced, so `--stats` reports the conversion volume of a lowering *)
+let stat_ops_converted = Stats.counter ~component:"conversions" "ops_converted"
+
+let stat_casts_reconciled =
+  Stats.counter ~component:"conversions" "casts_reconciled"
+
+(** Optimization remark for one applied conversion rewrite ([op] became
+    [to_]); also bumps the conversion statistics. *)
+let remark_converted ?(pass = "conversion") (op : Ircore.op) ~to_ =
+  Stats.incr stat_ops_converted;
+  if Remark.enabled () then
+    Remark.emit
+      (Remark.passed ~pass ~loc:op.Ircore.op_loc
+         ~args:[ ("to", Remark.String to_) ]
+         "converted %s" op.Ircore.op_name)
+
 (** Replace [op] with a new op [name]: operands adapted to [operand_types],
     results of [result_types] cast back to the old result types. *)
 let convert_op rw op ~name ~operand_types ~result_types ?(attrs = None)
     ?(successors = None) () =
+  remark_converted op ~to_:name;
   Rewriter.set_ip rw (Builder.Before op);
   let operands =
     List.map2 (fun v t -> adapt rw v t) (Ircore.operands op) operand_types
@@ -254,6 +272,7 @@ let run_scf_to_cf ctx top =
     if targets <> [] then begin
       List.iter
         (fun o ->
+          remark_converted ~pass:"convert-scf-to-cf" o ~to_:"cf";
           if o.Ircore.op_name = Scf.for_op then for_to_cf ctx rw o
           else if o.Ircore.op_name = Scf.while_op then while_to_cf rw o
           else if_to_cf rw o)
@@ -854,10 +873,12 @@ let run_reconcile_unrealized_casts _ctx top =
           let result = Ircore.result op in
           if Typ.equal (Ircore.value_typ operand) (Ircore.value_typ result)
           then begin
+            Stats.incr stat_casts_reconciled;
             Rewriter.replace_op rw op ~with_:[ operand ];
             changed := true
           end
           else if not (Ircore.has_uses result) then begin
+            Stats.incr stat_casts_reconciled;
             Rewriter.erase_op rw op;
             changed := true
           end
@@ -869,6 +890,7 @@ let run_reconcile_unrealized_casts _ctx top =
                         (Ircore.value_typ (Ircore.operand ~index:0 def))
                         (Ircore.value_typ result) ->
               (* cast(cast(x : A -> B) : B -> A) => x *)
+              Stats.incr stat_casts_reconciled;
               Rewriter.replace_op rw op
                 ~with_:[ Ircore.operand ~index:0 def ];
               changed := true
@@ -879,6 +901,14 @@ let run_reconcile_unrealized_casts _ctx top =
   match remaining with
   | [] -> Ok ()
   | first :: _ ->
+    if Remark.enabled () then
+      Remark.emit
+        (Remark.missed ~pass:"reconcile-unrealized-casts"
+           ~loc:first.Ircore.op_loc
+           ~args:[ ("remaining", Remark.Int (List.length remaining)) ]
+           "declined to erase %d live unrealized casts bridging unconverted \
+            types"
+           (List.length remaining));
     Diag.fail ~loc:first.Ircore.op_loc
       ~notes:
         (List.map

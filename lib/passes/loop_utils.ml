@@ -12,6 +12,20 @@ let ( let* ) = Result.bind
 
 let err fmt = Fmt.kstr (fun m -> Error m) fmt
 
+(** Report a loop transform's outcome as an optimization remark attributed
+    to [loc] (capture the payload loc *before* transforming — success may
+    erase the op): [Passed] with [args] on [Ok], [Missed] with the decline
+    reason on [Error]. No-op (and no formatting) without a remark handler. *)
+let remarked ~pass ~loc ?(args = []) ~applied result =
+  (if Remark.enabled () then
+     match result with
+     | Ok _ -> Remark.emit (Remark.passed ~pass ~loc ~args "%s" applied)
+     | Error reason -> Remark.emit (Remark.missed ~pass ~loc "%s" reason));
+  result
+
+let int_list_arg sizes =
+  Remark.String (Fmt.str "[%a]" (Fmt.list ~sep:(Fmt.any ",") Fmt.int) sizes)
+
 (* ------------------------------------------------------------------ *)
 (* Structural helpers                                                  *)
 (* ------------------------------------------------------------------ *)
@@ -111,6 +125,13 @@ let split rw loop ~divisor =
       Rewriter.erase_op rw loop;
       Ok (main, rest)
 
+let split rw loop ~divisor =
+  let loc = loop.Ircore.op_loc in
+  remarked ~pass:"loop-split" ~loc
+    ~args:[ ("divisor", Remark.Int divisor) ]
+    ~applied:"split loop into a divisor-multiple main loop and a remainder"
+    (split rw loop ~divisor)
+
 (** Peel the first [iterations] iterations off [loop] into a separate loop
     preceding it. Returns [(peeled, rest)]. *)
 let peel_front rw loop ~iterations =
@@ -201,6 +222,12 @@ let fuse_siblings rw a b =
         Ok a
         end
       end
+
+let fuse_siblings rw a b =
+  let loc = a.Ircore.op_loc in
+  remarked ~pass:"loop-fuse" ~loc
+    ~applied:"fused sibling loop into its twin"
+    (fuse_siblings rw a b)
 
 (* ------------------------------------------------------------------ *)
 (* Tiling                                                              *)
@@ -321,6 +348,13 @@ let tile rw loop ~sizes =
     Rewriter.erase_op rw loop;
     Ok (tiles, points)
   end
+
+let tile rw loop ~sizes =
+  let loc = loop.Ircore.op_loc in
+  remarked ~pass:"loop-tile" ~loc
+    ~args:[ ("tile_sizes", int_list_arg sizes) ]
+    ~applied:"tiled perfect loop nest into tile and point loops"
+    (tile rw loop ~sizes)
 
 (* ------------------------------------------------------------------ *)
 (* Unrolling                                                           *)
@@ -654,6 +688,13 @@ let vectorize rw loop ~width =
       Ok new_loop
     end
 
+let vectorize rw loop ~width =
+  let loc = loop.Ircore.op_loc in
+  remarked ~pass:"loop-vectorize" ~loc
+    ~args:[ ("width", Remark.Int width) ]
+    ~applied:"vectorized innermost loop"
+    (vectorize rw loop ~width)
+
 (* ------------------------------------------------------------------ *)
 (* Matmul-nest matching and microkernel replacement                    *)
 (* ------------------------------------------------------------------ *)
@@ -793,3 +834,10 @@ let replace_with_library_call rw ctx loop ~library =
       Rewriter.erase_op rw loop;
       Ok call
     end
+
+let replace_with_library_call rw ctx loop ~library =
+  let loc = loop.Ircore.op_loc in
+  remarked ~pass:"loop-to-library" ~loc
+    ~args:[ ("library", Remark.String library) ]
+    ~applied:"replaced matmul nest with a microkernel library call"
+    (replace_with_library_call rw ctx loop ~library)

@@ -213,14 +213,27 @@ type run_result = {
   total_seconds : float;
 }
 
+(* global statistics (Ir.Stats) *)
+let stat_pipelines = Stats.counter ~component:"pass" "pipelines_run"
+let stat_passes = Stats.counter ~component:"pass" "passes_run"
+let stat_failures = Stats.counter ~component:"pass" "failures"
+
 (** Run a pipeline of passes over [op], timing each pass, driving the given
-    instrumentations, and reporting per-pass events to the ambient
-    {!Ir.Trace} sink. Returns the first failure as a structured diagnostic
+    instrumentations, and reporting to the ambient observability channels:
+    a nested {!Ir.Profiler} span per pipeline/pass/verify, the per-pass
+    {!Ir.Trace} compatibility event, and the [pass] statistics of
+    {!Ir.Stats}. Returns the first failure as a structured diagnostic
     (with a note naming the failing pass). *)
 let run_pipeline ?(verify_each = false) ?(instrumentations = []) ctx passes op
     =
+  Stats.incr stat_pipelines;
+  Profiler.span ~cat:"pass"
+    ~args:[ ("passes", Profiler.Aint (List.length passes)) ]
+    "pipeline"
+  @@ fun () ->
   let t_start = Unix.gettimeofday () in
   let fail p remaining d =
+    Stats.incr stat_failures;
     let d = Diag.add_note d (Diag.note "while running pass '%s'" p.name) in
     List.iter (fun i -> i.i_on_failure p op ~remaining d) instrumentations;
     Stdlib.Error d
@@ -230,14 +243,18 @@ let run_pipeline ?(verify_each = false) ?(instrumentations = []) ctx passes op
     | p :: rest -> (
       List.iter (fun i -> i.i_before_pass p op) instrumentations;
       let t0 = Unix.gettimeofday () in
-      match p.run ctx op with
+      match Profiler.span ~cat:"pass" p.name (fun () -> p.run ctx op) with
       | Error d -> fail p (p :: rest) d
       | Ok () -> (
+        Stats.incr stat_passes;
         let t_run = Unix.gettimeofday () -. t0 in
         let verify_result =
           if not verify_each then Ok []
           else
-            match Verifier.verify ctx op with
+            match
+              Profiler.span ~cat:"pass" "verify" (fun () ->
+                  Verifier.verify ctx op)
+            with
             | Ok () ->
               Ok
                 [
@@ -258,7 +275,7 @@ let run_pipeline ?(verify_each = false) ?(instrumentations = []) ctx passes op
         | Ok verify_children ->
           List.iter (fun i -> i.i_after_pass p op) instrumentations;
           let t_total = Unix.gettimeofday () -. t0 in
-          Trace.record (Trace.Pass { pa_name = p.name; pa_seconds = t_total });
+          Trace.record_pass ~name:p.name ~seconds:t_total;
           let children =
             if verify_each then
               { t_name = "run"; t_seconds = t_run; t_children = [] }

@@ -15,6 +15,22 @@ let ( let* ) = Result.bind
 
 let err fmt = Fmt.kstr (fun m -> Error m) fmt
 
+(** Report the outcome of a structured transform as an optimization remark
+    attributed to the payload op's location: [Passed] with [args] on [Ok],
+    [Missed] carrying the decline reason on [Error]. The remark is built
+    only when a handler is installed. [loc] must be captured before the
+    transform runs — a successful rewrite erases the payload op. *)
+let remarked ~pass ~loc ?(args = []) ~applied result =
+  (if Remark.enabled () then
+     match result with
+     | Ok _ -> Remark.emit (Remark.passed ~pass ~loc ~args "%s" applied)
+     | Error reason -> Remark.emit (Remark.missed ~pass ~loc "%s" reason));
+  result
+
+let int_list_arg sizes =
+  Remark.String
+    (Fmt.str "[%a]" (Fmt.list ~sep:(Fmt.any ",") Fmt.int) sizes)
+
 let is_matmul op = op.Ircore.op_name = Linalg.matmul_op
 
 (** Static (m, n, k) of a memref-semantics [linalg.matmul]. *)
@@ -44,7 +60,7 @@ let matmul_dims op =
 (** Tile a memref [linalg.matmul] with sizes [(ti, tj, tk)] (0 = do not tile
     that dimension). Tile sizes must divide their dimensions. Returns
     [(loops outermost-first, inner matmul)]. *)
-let tile_matmul rw op ~sizes =
+let tile_matmul_impl rw op ~sizes =
   let* a, b, c, m, n, k = matmul_dims op in
   let ti, tj, tk =
     match sizes with
@@ -124,10 +140,14 @@ let tile_matmul rw op ~sizes =
     | None -> err "internal: tiling produced no inner op"
   end
 
-(** Replace a [linalg.matmul] (on static memrefs within the microkernel's
-    supported sizes) by a [libxsmm_gemm] call — the structured-op variant of
-    {!Loop_utils.replace_with_library_call}. *)
-let matmul_to_library rw op ~library =
+let tile_matmul rw op ~sizes =
+  let loc = op.Ircore.op_loc in
+  remarked ~pass:"structured-tile" ~loc
+    ~args:[ ("tile_sizes", int_list_arg sizes) ]
+    ~applied:"tiled linalg.matmul into an scf loop nest over subviews"
+    (tile_matmul_impl rw op ~sizes)
+
+let matmul_to_library_impl rw op ~library =
   if library <> "libxsmm" then err "unknown microkernel library %S" library
   else
     let* a, b, c, m, n, k = matmul_dims op in
@@ -143,8 +163,21 @@ let matmul_to_library rw op ~library =
       Ok call
     end
 
+(** Replace a [linalg.matmul] (on static memrefs within the microkernel's
+    supported sizes) by a [libxsmm_gemm] call — the structured-op variant of
+    {!Loop_utils.replace_with_library_call}. *)
+let matmul_to_library rw op ~library =
+  let loc = op.Ircore.op_loc in
+  remarked ~pass:"structured-to-library" ~loc
+    ~args:[ ("library", Remark.String library) ]
+    ~applied:"replaced linalg.matmul with a microkernel library call"
+    (matmul_to_library_impl rw op ~library)
+
 (** Lower one [linalg.matmul] to loops (a scoped variant of the
     convert-linalg-to-loops pass). *)
 let matmul_to_loops rw op =
-  let* _ = matmul_dims op in
-  Result.map_error Fun.id (Linalg_to_loops.lower_matmul rw op)
+  let loc = op.Ircore.op_loc in
+  remarked ~pass:"structured-to-loops" ~loc
+    ~applied:"lowered linalg.matmul to an scf loop nest"
+    (let* _ = matmul_dims op in
+     Result.map_error Fun.id (Linalg_to_loops.lower_matmul rw op))

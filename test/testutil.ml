@@ -61,6 +61,15 @@ let apply_err ?config script payload =
 
 let matmul () = Workloads.Matmul.build_module ~m:8 ~n:8 ~k:4 ()
 
+(* ---------------- remarks ---------------- *)
+
+(** Run [f] with an optimization-remark handler installed; returns [f]'s
+    result and the remarks in emission order. *)
+let with_captured_remarks f =
+  let acc = ref [] in
+  let result = Remark.with_handler (fun r -> acc := r :: !acc) f in
+  (result, List.rev !acc)
+
 (* ---------------- files ---------------- *)
 
 let read_file path =
