@@ -287,6 +287,96 @@ let profiler () =
   Fmt.pr "wrote BENCH_profiler.json@."
 
 (* ------------------------------------------------------------------ *)
+(* Checkpoint: snapshot/restore cost vs payload size                    *)
+(* ------------------------------------------------------------------ *)
+
+let checkpoint () =
+  banner "E11 - Checkpoint: payload snapshot/restore cost vs payload size"
+    "the transactional substrate of alternatives and failures(suppress)";
+  (* matmul with the innermost loop fully unrolled: k scales the op count
+     linearly, so the linear take/restore cost model is directly visible *)
+  let payload ~k =
+    let md = Workloads.Matmul.build_module ~m:8 ~n:8 ~k () in
+    let script =
+      Transform.Build.script (fun rw root ->
+          let loop =
+            Transform.Build.match_op rw ~select:"last" ~name:"scf.for" root
+          in
+          Transform.Build.loop_unroll_full rw loop)
+    in
+    (match Transform.Interp.apply ctx ~script ~payload:md with
+    | Ok _ -> ()
+    | Error e -> failwith (Transform.Terror.to_string e));
+    md
+  in
+  let reps = 200 in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    f ();
+    Unix.gettimeofday () -. t0
+  in
+  let measure ~k =
+    let md = payload ~k in
+    let pre = Ir.Printer.op_to_string md in
+    let ops = ref 0 in
+    Ir.Ircore.walk_op md ~pre:(fun _ -> incr ops);
+    let take_s = ref 0.0 and restore_s = ref 0.0 in
+    for _ = 1 to reps do
+      let cp = ref None in
+      take_s := !take_s +. time (fun () -> cp := Some (Ir.Checkpoint.take md));
+      let cp = Option.get !cp in
+      (* mutate, then roll back: restore pays for the splice *)
+      Ir.Ircore.set_attr md "bench.mutated" Ir.Attr.Unit;
+      restore_s := !restore_s +. time (fun () -> Ir.Checkpoint.restore cp)
+    done;
+    if not (String.equal pre (Ir.Printer.op_to_string md)) then
+      failwith "checkpoint bench: restore was not byte-identical";
+    let per r = !r /. float_of_int reps *. 1e6 in
+    (!ops, per take_s, per restore_s)
+  in
+  let sizes = [ 4; 16; 64; 256 ] in
+  let rows = List.map (fun k -> (k, measure ~k)) sizes in
+  Fmt.pr "take/restore, mean of %d reps:@." reps;
+  Fmt.pr "  %-10s %10s %14s %14s %16s@." "k (unroll)" "payload ops"
+    "take (us)" "restore (us)" "take us/op";
+  List.iter
+    (fun (k, (ops, take_us, restore_us)) ->
+      Fmt.pr "  %-10d %10d %14.1f %14.1f %16.3f@." k ops take_us restore_us
+        (take_us /. float_of_int ops))
+    rows;
+  let json =
+    Ir.Json.Obj
+      [
+        ("benchmark", Ir.Json.String "checkpoint-take-restore");
+        ("reps", Ir.Json.Int reps);
+        ( "rows",
+          Ir.Json.List
+            (List.map
+               (fun (k, (ops, take_us, restore_us)) ->
+                 Ir.Json.Obj
+                   [
+                     ("k", Ir.Json.Int k);
+                     ("payload_ops", Ir.Json.Int ops);
+                     ("take_us", Ir.Json.Float take_us);
+                     ("restore_us", Ir.Json.Float restore_us);
+                     ( "take_us_per_op",
+                       Ir.Json.Float (take_us /. float_of_int ops) );
+                   ])
+               rows) );
+        ( "note",
+          Ir.Json.String
+            "take = deep clone + op/value side tables, linear in payload \
+             size; restore = reference-drop + region splice onto the live \
+             root, also linear; every restore is checked byte-identical" );
+      ]
+  in
+  let oc = open_out "BENCH_checkpoint.json" in
+  output_string oc (Ir.Json.to_string json);
+  output_string oc "\n";
+  close_out oc;
+  Fmt.pr "wrote BENCH_checkpoint.json@."
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per experiment kernel       *)
 (* ------------------------------------------------------------------ *)
 
@@ -435,6 +525,7 @@ let () =
     if want "ablations" then ablations ();
     if want "greedy" then greedy ();
     if want "profiler" then profiler ();
+    if want "checkpoint" then checkpoint ();
     if (not no_micro) && (args = [] || List.mem "micro" args) then micro ()
   in
   (match profile_path with

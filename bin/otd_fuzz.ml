@@ -15,8 +15,41 @@
 
 open Cmdliner
 
+let run_faults ctx config seed cases prob out_dir quiet =
+  let on_case i ~failed =
+    if not quiet then
+      if failed then Fmt.epr "case %d: fault injected@." i
+      else if i mod 50 = 0 then Fmt.epr "case %d...@." i
+  in
+  let stats =
+    Fuzz.Fault.run_campaign ~config ~prob ?out_dir ~on_case ctx ~seed ~cases
+      ()
+  in
+  let nviol = List.length stats.Fuzz.Fault.fs_violations in
+  Fmt.pr
+    "otd-fuzz faults: %d cases, %d faults injected (%d cases faulted, %d \
+     raising), %d byte-identical rollbacks verified, %d violation%s, %.1f s \
+     (seed %d, p=%.2f)@."
+    stats.Fuzz.Fault.fs_cases stats.Fuzz.Fault.fs_injected
+    stats.Fuzz.Fault.fs_faulted_cases stats.Fuzz.Fault.fs_raised
+    stats.Fuzz.Fault.fs_rollbacks_verified nviol
+    (if nviol = 1 then "" else "s")
+    stats.Fuzz.Fault.fs_seconds seed prob;
+  List.iter
+    (fun v ->
+      Fmt.pr "  case %d [%s, %s]: %s%a@." v.Fuzz.Fault.v_case
+        v.Fuzz.Fault.v_scenario v.Fuzz.Fault.v_mode v.Fuzz.Fault.v_detail
+        (fun fmt -> function
+          | Some p -> Fmt.pf fmt " -> %s" p
+          | None -> ())
+        v.Fuzz.Fault.v_path)
+    stats.Fuzz.Fault.fs_violations;
+  if nviol = 0 then `Ok ()
+  else `Error (false, "fault injection found recovery-invariant violations")
+
 let run seed cases max_ops max_depth pipeline no_shrink out_dir print_case
-    quiet profile =
+    quiet profile faults =
+  Printexc.record_backtrace true;
   let ctx = Transform.Register.full_context () in
   let config = { Fuzz.Gen.default_config with max_ops; max_depth } in
   match print_case with
@@ -24,7 +57,12 @@ let run seed cases max_ops max_depth pipeline no_shrink out_dir print_case
     let m = Fuzz.Driver.module_for ~config ~seed ~case () in
     Fmt.pr "%a@." Ir.Printer.pp_op m;
     `Ok ()
-  | None ->
+  | None -> (
+    match faults with
+    | Some prob when prob < 0.0 || prob > 1.0 ->
+      `Error (false, "--faults probability must be within [0, 1]")
+    | Some prob -> run_faults ctx config seed cases prob out_dir quiet
+    | None ->
     let pipelines =
       match pipeline with
       | Some p -> [ p ]
@@ -63,7 +101,7 @@ let run seed cases max_ops max_depth pipeline no_shrink out_dir print_case
             | None -> ())
           r.Fuzz.Driver.r_path)
       stats.Fuzz.Driver.s_failures;
-    if nfail = 0 then `Ok () else `Error (false, "fuzzing found failures")
+    if nfail = 0 then `Ok () else `Error (false, "fuzzing found failures"))
 
 let seed =
   Arg.(value & opt int 0 & info [ "seed" ] ~docv:"N" ~doc:"Campaign seed.")
@@ -129,6 +167,18 @@ let profile =
         ~doc:"Profile the campaign (pipeline/pass/greedy spans across all \
               cases) and write Chrome trace-event JSON to $(docv).")
 
+let faults =
+  Arg.(
+    value
+    & opt ~vopt:(Some 0.2) (some float) None
+    & info [ "faults" ] ~docv:"P"
+        ~doc:
+          "Run the fault-injection campaign instead of the oracle suite: \
+           registered transforms fail or raise $(i,after) mutating the \
+           payload with probability $(docv) per application, and every \
+           case asserts the recovery invariants (byte-identical rollback, \
+           verifier-clean IR, contained exceptions).")
+
 let cmd =
   let doc = "property-based IR fuzzer and differential tester" in
   Cmd.v
@@ -137,10 +187,10 @@ let cmd =
       ret
         (const
            (fun seed cases max_ops max_depth pipeline no_shrink _shrink
-                out_dir print_case quiet profile ->
+                out_dir print_case quiet profile faults ->
              run seed cases max_ops max_depth pipeline no_shrink out_dir
-               print_case quiet profile)
+               print_case quiet profile faults)
         $ seed $ cases $ max_ops $ max_depth $ pipeline $ no_shrink $ shrink
-        $ out_dir $ print_case $ quiet $ profile))
+        $ out_dir $ print_case $ quiet $ profile $ faults))
 
 let () = exit (Cmd.eval cmd)

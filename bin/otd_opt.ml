@@ -66,7 +66,8 @@ type json_report = {
 
 let run input pipeline transform_file no_verify list_passes timing
     print_ir_after_all trace diagnostics_format reproducer_path pretty profile
-    stats remarks remarks_filter =
+    stats remarks remarks_filter max_steps deadline_ms =
+  Printexc.record_backtrace true;
   let ctx = Transform.Register.full_context () in
   let remark_kinds_r =
     match remarks with
@@ -231,13 +232,21 @@ let run input pipeline transform_file no_verify list_passes timing
               (fun r -> captured_remarks := r :: !captured_remarks)
               f
         in
+        let with_budget f =
+          if max_steps = None && deadline_ms = None then f ()
+          else
+            Ir.Budget.with_budget
+              (Ir.Budget.create ?max_steps ?deadline_ms ())
+              f
+        in
         let outcome =
-          with_profiler (fun () ->
-              with_remarks (fun () ->
-                  Ir.Trace.with_sink sink (fun () ->
-                      Result.bind (verify ()) (fun () ->
-                          Result.bind (apply_pipeline ()) (fun () ->
-                              Result.bind (apply_transform ()) verify)))))
+          with_budget (fun () ->
+              with_profiler (fun () ->
+                  with_remarks (fun () ->
+                      Ir.Trace.with_sink sink (fun () ->
+                          Result.bind (verify ()) (fun () ->
+                              Result.bind (apply_pipeline ()) (fun () ->
+                                  Result.bind (apply_transform ()) verify))))))
         in
         (match (profiler, profile) with
         | Some p, Some path -> Ir.Profiler.write p ~path
@@ -448,6 +457,25 @@ let pretty =
         ~doc:"Print custom assembly for common dialects (output only; the \
               parser consumes the generic form).")
 
+let max_steps =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "max-steps" ] ~docv:"N"
+        ~doc:"Execution budget: abort the transform interpreter cleanly \
+              (silenceable failure) after $(docv) interpreted transform \
+              ops. Unset means unlimited.")
+
+let deadline_ms =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "deadline-ms" ] ~docv:"MS"
+        ~doc:"Execution budget: wall-clock deadline for the whole run \
+              (pass pipeline, greedy rewriting and transform \
+              interpretation) in milliseconds; exceeded work stops with a \
+              clean diagnostic instead of hanging.")
+
 let cmd =
   let doc = "optimizer driver for the OCaml Transform-dialect reproduction" in
   Cmd.v
@@ -457,6 +485,6 @@ let cmd =
         (const run $ input $ pipeline $ transform_file $ no_verify
        $ list_passes $ timing $ print_ir_after_all $ trace
        $ diagnostics_format $ reproducer_path $ pretty $ profile $ stats
-       $ remarks $ remarks_filter))
+       $ remarks $ remarks_filter $ max_steps $ deadline_ms))
 
 let () = exit (Cmd.eval cmd)

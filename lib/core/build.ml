@@ -39,6 +39,14 @@ let sequence ?(failure_propagation = "propagate") body =
   ignore (Rewriter.build rw Ops.yield_op);
   seq
 
+(** A nested [transform.sequence] inserted at [rw]'s insertion point —
+    used to scope a [failures(suppress)] transaction inside a larger
+    script. The body receives the payload-root handle. *)
+let nested_sequence rw ?failure_propagation body =
+  let seq = sequence ?failure_propagation body in
+  Rewriter.insert rw seq;
+  seq
+
 (* ------------------------------------------------------------------ *)
 (* Individual transforms                                               *)
 (* ------------------------------------------------------------------ *)

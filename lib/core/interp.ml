@@ -12,11 +12,21 @@
       block arguments, the callee's [transform.yield] operands bound to the
       include's results;
     - [transform.alternatives]: runs regions in order until one succeeds,
-      suppressing silenceable errors of failed regions. Registered
-      transforms check their pre-conditions before mutating the payload, so
-      a failed alternative leaves the payload unchanged;
+      suppressing silenceable errors of failed regions. Each region runs
+      inside a transaction: a payload+state checkpoint ({!State.checkpoint})
+      is taken before the region and rolled back on silenceable failure, so
+      even a region that already mutated the payload leaves it byte-
+      identical for the next alternative. A definite error aborts the whole
+      op immediately, without rollback;
     - [transform.foreach]: runs its region once per payload op of the
-      operand handle. *)
+      operand handle (a snapshot taken up front; payload erased by an
+      earlier iteration fails silenceably instead of dangling).
+
+    Robustness: every dispatch to a registered transform runs behind an
+    exception barrier converting raised OCaml exceptions into definite
+    errors carrying the backtrace as notes, and each interpreted op charges
+    one step against the ambient {!Ir.Budget} so runaway scripts degrade
+    into clean silenceable failures. *)
 
 open Ir
 
@@ -29,6 +39,15 @@ let stat_ops_executed = Stats.counter ~component:"transform" "ops_executed"
 
 let stat_suppressed =
   Stats.counter ~component:"transform" "silenceable_suppressed"
+
+let stat_exceptions_contained =
+  Stats.counter ~component:"transform" "exceptions_contained"
+    ~desc:"OCaml exceptions converted to definite errors by the barrier"
+
+(** Exceptions that must never be swallowed by a containment barrier. *)
+let fatal_exn = function
+  | Sys.Break | Out_of_memory -> true
+  | _ -> false
 
 let rec run_block st (block : Ircore.block) : (unit, Terror.t) result =
   let rec go = function
@@ -49,6 +68,13 @@ and run_region st (region : Ircore.region) =
 and run_op st (op : Ircore.op) : (unit, Terror.t) result =
   st.State.steps <- st.State.steps + 1;
   Stats.incr stat_ops_executed;
+  (* cooperative budget: each interpreted transform op is one unit of work;
+     exhaustion is sticky, so enclosing retries (alternatives) fail fast *)
+  match Budget.step () with
+  | Some reason ->
+    Terror.silenceable ~loc:op.Ircore.op_loc
+      "transform interpreter stopped: %s" reason
+  | None -> (
   (* one profiler span per interpreted transform op: structural ops
      (sequence, foreach, alternatives) nest the spans of their bodies *)
   Profiler.span ~cat:"transform" op.Ircore.op_name @@ fun () ->
@@ -64,20 +90,42 @@ and run_op st (op : Ircore.op) : (unit, Terror.t) result =
         | [] -> ()
         | _ ->
           ());
-        let result = run_block st b in
         let suppress =
           match Ircore.attr op "failure_propagation" with
           | Some (Attr.String "suppress") -> true
           | _ -> false
         in
-        (match result with
-        | Error (Terror.Silenceable d) when suppress ->
-          Stats.incr stat_suppressed;
-          Trace.record
-            (Trace.Suppressed
-               { su_construct = "transform.sequence"; su_diag = d });
-          Ok ()
-        | r -> r))
+        if not suppress then run_block st b
+        else begin
+          (* failures(suppress): the body runs inside a transaction — a
+             silenceable failure rolls payload and handles back and is
+             downgraded to an emitted (but suppressed) warning *)
+          let ck = State.checkpoint st in
+          match run_block st b with
+          | Ok () ->
+            State.discard_checkpoint ck;
+            Ok ()
+          | Error (Terror.Silenceable d) ->
+            State.rollback st ck;
+            Stats.incr stat_suppressed;
+            Trace.record
+              (Trace.Suppressed
+                 { su_construct = "transform.sequence"; su_diag = d });
+            Context.emit_diag st.State.ctx
+              (Diag.warning ~loc:(Diag.loc d)
+                 ~notes:
+                   (Diag.notes d
+                   @ [
+                       Diag.note
+                         "suppressed by failures(suppress); payload rolled \
+                          back";
+                     ])
+                 "%s" (Diag.message d));
+            Ok ()
+          | Error (Terror.Definite _) as e ->
+            State.discard_checkpoint ck;
+            e
+        end)
     | _ -> Terror.definite "transform.sequence must have one region")
   | "transform.named_sequence" ->
     (* declaration: skipped during sequential execution *)
@@ -132,9 +180,19 @@ and run_op st (op : Ircore.op) : (unit, Terror.t) result =
         if Trace.tracing () then handle_sizes (Ircore.operands op) else []
       in
       let* () =
-        match def.Treg.t_apply st op with
+        (* exception barrier: a raised OCaml exception becomes a definite
+           error with the backtrace attached, instead of unwinding through
+           the driver with the IR in an arbitrary state *)
+        match Treg.apply def st op with
         | Ok () -> Ok ()
         | Error e -> Error (Terror.map_diag with_context e)
+        | exception e when not (fatal_exn e) ->
+          let bt = Printexc.get_raw_backtrace () in
+          Stats.incr stat_exceptions_contained;
+          Terror.definite_diag
+            (with_context
+               (Diag.of_exn ~loc:op.Ircore.op_loc
+                  ~context:(Fmt.str "transform %s" name) e bt))
       in
       if Trace.tracing () then
         Trace.record
@@ -163,7 +221,7 @@ and run_op st (op : Ircore.op) : (unit, Terror.t) result =
               diags
         else Ok ()
       in
-      Ok ())
+      Ok ()))
 
 (** Dynamic post-condition check (Section 3.3): after the transform runs,
 
@@ -324,41 +382,71 @@ and run_include st op =
   | _ -> Terror.definite "named_sequence must have one region"
 
 and run_alternatives st op =
-  let rec try_regions = function
+  let rec try_regions last = function
     | [] ->
-      Terror.silenceable "all alternatives failed"
+      let notes =
+        match last with
+        | None -> []
+        | Some d ->
+          [ Diag.note "last alternative failed: %s" (Diag.message d) ]
+      in
+      Terror.silenceable_diag
+        (Diag.error ~loc:op.Ircore.op_loc ~notes "all alternatives failed")
     | r :: rest -> (
+      (* transactional region: checkpoint payload + handle tables, roll
+         back on silenceable failure so the next region sees the payload
+         exactly as this one did — even if this region mutated it *)
+      let ck = State.checkpoint st in
       match run_region st r with
-      | Ok () -> Ok ()
+      | Ok () ->
+        State.discard_checkpoint ck;
+        Ok ()
       | Error (Terror.Silenceable d) ->
+        State.rollback st ck;
         Stats.incr stat_suppressed;
         Trace.record
           (Trace.Suppressed
              { su_construct = "transform.alternatives"; su_diag = d });
-        try_regions rest
-      | Error (Terror.Definite _) as e -> e)
+        try_regions (Some d) rest
+      | Error (Terror.Definite _) as e ->
+        (* a definite error aborts the whole op immediately: no rollback,
+           no further alternatives (Section 3) *)
+        State.discard_checkpoint ck;
+        e)
   in
   match op.Ircore.regions with
   | [] -> Ok ()
-  | regions -> try_regions regions
+  | regions -> try_regions None regions
 
 and run_foreach st op =
+  (* iterate over a snapshot of the handle's payload list: the body may
+     rewrite the handle (via the tracking listener) while we iterate *)
   let* payload = State.lookup_handle st (Ircore.operand ~index:0 op) in
   match op.Ircore.regions with
   | [ r ] -> (
     match Ircore.region_first_block r with
     | None -> Ok ()
     | Some body ->
-      let rec go = function
+      let rec go i = function
         | [] -> Ok ()
         | p :: rest ->
-          (match Ircore.block_args body with
-          | [ arg ] -> State.set_handle st arg [ p ]
-          | _ -> ());
-          let* () = run_block st body in
-          go rest
+          (* a previous iteration may have erased or invalidated this
+             payload op; fail cleanly instead of transforming a dangling
+             op *)
+          if not (State.payload_alive st p) then
+            Terror.silenceable ~loc:op.Ircore.op_loc
+              "transform.foreach: payload op #%d (%s) was erased or \
+               invalidated by a previous iteration"
+              i p.Ircore.op_name
+          else begin
+            (match Ircore.block_args body with
+            | [ arg ] -> State.set_handle st arg [ p ]
+            | _ -> ());
+            let* () = run_block st body in
+            go (i + 1) rest
+          end
       in
-      go payload)
+      go 0 payload)
   | _ -> Terror.definite "transform.foreach must have one region"
 
 (* ------------------------------------------------------------------ *)
@@ -398,6 +486,13 @@ let apply ?(config = State.default_config) ctx ~script ~payload =
   | Some entry ->
     let st = State.create ~config ctx payload in
     let result =
+      (* forced budget check at interpretation entry: scripts too short for
+         the amortized deadline sampling still honor an expired deadline *)
+      match Budget.checkpoint () with
+      | Some reason ->
+        Terror.silenceable ~loc:entry.Ircore.op_loc
+          "transform interpreter stopped: %s" reason
+      | None -> (
       match entry.Ircore.op_name with
       | "transform.sequence" -> run_op st entry
       | _ -> (
@@ -411,7 +506,7 @@ let apply ?(config = State.default_config) ctx ~script ~payload =
             | root :: _ -> State.set_handle st root [ payload ]
             | [] -> ());
             run_block st b)
-        | _ -> Terror.definite "named_sequence must have one region")
+        | _ -> Terror.definite "named_sequence must have one region"))
     in
     (match result with
     | Ok () -> Ok st.State.steps

@@ -51,9 +51,23 @@ let enzyme_ad_op = "transform.enzyme_ad"
 
 let register_context ctx =
   let reg = Context.register_op ctx in
+  (* failure-propagation mode of the paper's sequence op: [propagate]
+     (default) forwards silenceable failures, [suppress] rolls the body
+     back and downgrades them to warnings *)
+  let verify_failure_propagation op =
+    match Ircore.attr op "failure_propagation" with
+    | None | Some (Attr.String ("propagate" | "suppress")) -> Ok ()
+    | Some a ->
+      Error
+        (Fmt.str
+           "invalid failure_propagation %a: expected \"propagate\" or \
+            \"suppress\""
+           Attr.pp a)
+  in
   reg sequence_op ~summary:"top-level transform sequence"
     ~traits:[ Context.No_terminator ]
-    ~verify:(Verifier.expect_regions 1);
+    ~verify:
+      (Verifier.all [ Verifier.expect_regions 1; verify_failure_propagation ]);
   reg named_sequence_op ~summary:"reusable transform macro"
     ~traits:[ Context.Symbol; Context.Isolated_from_above; Context.No_terminator ]
     ~verify:

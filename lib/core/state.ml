@@ -215,6 +215,76 @@ let bless_payload t op =
   Ircore.walk_op op ~pre:(fun nested ->
       Hashtbl.remove t.invalidated_payload nested.Ircore.op_id)
 
+(** Is [op] still a live payload op: attached under the payload root and not
+    invalidated by a consuming transform? Used by iteration constructs
+    ([transform.foreach]) to detect payload that died mid-iteration. *)
+let payload_alive t (op : Ircore.op) =
+  (op == t.payload_root || Ircore.is_ancestor ~ancestor:t.payload_root op)
+  && not (Hashtbl.mem t.invalidated_payload op.Ircore.op_id)
+
+(* ------------------------------------------------------------------ *)
+(* Transactional checkpoints                                           *)
+(* ------------------------------------------------------------------ *)
+
+let stat_rollbacks =
+  Stats.counter ~component:"transform" "rollbacks"
+    ~desc:"payload+state rollbacks after contained failures"
+
+(** Full interpreter-state snapshot: the payload (via {!Ir.Checkpoint}) plus
+    copies of every side table keyed by op/value identity. {!rollback}
+    restores the payload and refills the tables, remapping payload
+    references through the checkpoint's op/value correspondence. *)
+type checkpoint = {
+  ck_payload : Checkpoint.t;
+  ck_handles : (int, Ircore.op list) Hashtbl.t;
+  ck_params : (int, Attr.t list) Hashtbl.t;
+  ck_values : (int, Ircore.value list) Hashtbl.t;
+  ck_consumed : (int, string) Hashtbl.t;
+  ck_invalidated : (int, string) Hashtbl.t;
+}
+
+let checkpoint t =
+  {
+    ck_payload = Checkpoint.take t.payload_root;
+    ck_handles = Hashtbl.copy t.handles;
+    ck_params = Hashtbl.copy t.params;
+    ck_values = Hashtbl.copy t.values;
+    ck_consumed = Hashtbl.copy t.consumed;
+    ck_invalidated = Hashtbl.copy t.invalidated_payload;
+  }
+
+(** Restore payload and handle tables to their state at {!checkpoint}.
+    Handle entries are remapped to the restored copies of their payload
+    ops/values; entries whose payload has no checkpoint-time image (ops
+    created after the snapshot) are dropped. Single-shot, like the
+    underlying {!Ir.Checkpoint}. *)
+let rollback t (ck : checkpoint) =
+  Checkpoint.restore ck.ck_payload;
+  let refill dst src remap =
+    Hashtbl.reset dst;
+    Hashtbl.iter (fun k v -> Hashtbl.replace dst k (remap v)) src
+  in
+  refill t.handles ck.ck_handles
+    (List.filter_map (Checkpoint.remap_op ck.ck_payload));
+  refill t.params ck.ck_params Fun.id;
+  refill t.values ck.ck_values
+    (List.filter_map (Checkpoint.remap_value ck.ck_payload));
+  refill t.consumed ck.ck_consumed Fun.id;
+  Hashtbl.reset t.invalidated_payload;
+  Hashtbl.iter
+    (fun oid by ->
+      let oid' =
+        match Checkpoint.remap_op_id ck.ck_payload oid with
+        | Some op -> op.Ircore.op_id
+        | None -> oid
+      in
+      Hashtbl.replace t.invalidated_payload oid' by)
+    ck.ck_invalidated;
+  Stats.incr stat_rollbacks
+
+(** Release a checkpoint whose transaction committed. *)
+let discard_checkpoint (ck : checkpoint) = Checkpoint.discard ck.ck_payload
+
 let rewriter t = t.rewriter
 
 (** Drop payload ops that are no longer attached under the payload root from

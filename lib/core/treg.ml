@@ -37,6 +37,33 @@ let register ?(summary = "") ?(consumes = no_indices) ?(pre = no_set)
 
 let lookup name = Hashtbl.find_opt registry name
 
+(* ------------------------------------------------------------------ *)
+(* Application interceptor                                             *)
+(* ------------------------------------------------------------------ *)
+
+(** Optional hook wrapping every registered-transform application. The
+    fault-injection harness ({!Fuzz.Fault}) installs one to make transforms
+    fail or raise after mutating the payload; tests can use it to observe
+    applications. The interceptor receives the definition and is
+    responsible for calling [def.t_apply] itself. *)
+let interceptor :
+    (def -> State.t -> Ircore.op -> (unit, Terror.t) result) option ref =
+  ref None
+
+(** Install [f] as the application interceptor for the duration of
+    [thunk]. *)
+let with_interceptor f thunk =
+  let saved = !interceptor in
+  interceptor := Some f;
+  Fun.protect ~finally:(fun () -> interceptor := saved) thunk
+
+(** Apply a registered transform through the interceptor, if any. This is
+    the interpreter's entry point; it never calls [t_apply] directly. *)
+let apply def st op =
+  match !interceptor with
+  | None -> def.t_apply st op
+  | Some f -> f def st op
+
 let all_registered () =
   Hashtbl.fold (fun _ d acc -> d :: acc) registry []
   |> List.sort (fun a b -> compare a.t_name b.t_name)

@@ -1,0 +1,136 @@
+(** Cooperative execution budgets: bounded interpreter steps, bounded
+    greedy rewrites, and an optional wall-clock deadline, threaded through
+    the transform interpreter, the greedy driver and the pass pipeline so
+    a runaway script or non-terminating rewrite set degrades into a clean,
+    diagnosable failure instead of hanging the compiler.
+
+    Like {!Profiler} and {!Remark}, the budget is ambient: {!with_budget}
+    installs one for a dynamic extent and the check entry points are no-ops
+    (a single ref read) when none is installed. Exhaustion is sticky — once
+    a limit trips, every subsequent check reports the same reason, so
+    nested constructs (e.g. [transform.alternatives] retrying a region
+    after a timeout) fail fast instead of re-burning the budget.
+
+    The deadline is only sampled every {!deadline_stride} checks (plus at
+    forced checkpoints such as pass boundaries), keeping the hot-path cost
+    to a couple of integer operations. *)
+
+type t = {
+  b_max_steps : int option;  (** interpreter steps (transform ops run) *)
+  b_max_rewrites : int option;  (** greedy rewrites/folds/dce *)
+  b_deadline : float option;  (** absolute [Unix.gettimeofday] time *)
+  mutable b_steps : int;
+  mutable b_rewrites : int;
+  mutable b_tick : int;  (** deadline-sampling stride counter *)
+  mutable b_exhausted : string option;  (** sticky exhaustion reason *)
+}
+
+(* global statistics (Ir.Stats) *)
+let stat_steps = Stats.counter ~component:"budget" "steps"
+let stat_rewrites = Stats.counter ~component:"budget" "rewrites"
+
+let stat_exhausted =
+  Stats.counter ~component:"budget" "exhausted"
+    ~desc:"runs that hit a step/rewrite/deadline limit"
+
+let create ?max_steps ?max_rewrites ?deadline_ms () =
+  {
+    b_max_steps = max_steps;
+    b_max_rewrites = max_rewrites;
+    b_deadline =
+      Option.map
+        (fun ms -> Unix.gettimeofday () +. (float_of_int ms /. 1000.))
+        deadline_ms;
+    b_steps = 0;
+    b_rewrites = 0;
+    b_tick = 0;
+    b_exhausted = None;
+  }
+
+let current : t option ref = ref None
+let active () = !current
+
+(** Install [b] for the duration of [f]. *)
+let with_budget b f =
+  let saved = !current in
+  current := Some b;
+  Fun.protect ~finally:(fun () -> current := saved) f
+
+let steps b = b.b_steps
+let rewrites b = b.b_rewrites
+let exhausted b = b.b_exhausted
+
+let mark_exhausted b reason =
+  (match b.b_exhausted with
+  | None -> Stats.incr stat_exhausted
+  | Some _ -> ());
+  b.b_exhausted <- Some reason;
+  Some reason
+
+let deadline_stride = 64
+
+(** Sample the wall clock (every [deadline_stride]th call unless [force]). *)
+let check_deadline_of b ~force =
+  match b.b_deadline with
+  | None -> None
+  | Some dl ->
+    b.b_tick <- b.b_tick + 1;
+    if force || b.b_tick land (deadline_stride - 1) = 0 then
+      let now = Unix.gettimeofday () in
+      if now > dl then
+        mark_exhausted b
+          (Fmt.str "wall-clock deadline exceeded (%.0f ms over)"
+             ((now -. dl) *. 1000.))
+      else None
+    else None
+
+(** Charge one interpreter step; [Some reason] once the budget is gone. *)
+let step () =
+  match !current with
+  | None -> None
+  | Some b -> (
+    b.b_steps <- b.b_steps + 1;
+    Stats.incr stat_steps;
+    match b.b_exhausted with
+    | Some r -> Some r
+    | None -> (
+      match b.b_max_steps with
+      | Some m when b.b_steps > m ->
+        mark_exhausted b
+          (Fmt.str "interpreter step budget of %d steps exhausted" m)
+      | _ -> check_deadline_of b ~force:false))
+
+(** Charge one greedy rewrite (pattern rewrite, fold or DCE). *)
+let rewrite () =
+  match !current with
+  | None -> None
+  | Some b -> (
+    b.b_rewrites <- b.b_rewrites + 1;
+    Stats.incr stat_rewrites;
+    match b.b_exhausted with
+    | Some r -> Some r
+    | None -> (
+      match b.b_max_rewrites with
+      | Some m when b.b_rewrites > m ->
+        mark_exhausted b
+          (Fmt.str "greedy rewrite budget of %d rewrites exhausted" m)
+      | _ -> check_deadline_of b ~force:false))
+
+(** Deadline-only poll for hot loops that charge nothing (amortized). *)
+let poll () =
+  match !current with
+  | None -> None
+  | Some b -> (
+    match b.b_exhausted with
+    | Some r -> Some r
+    | None -> check_deadline_of b ~force:false)
+
+(** Forced check at coarse boundaries (between passes): always samples the
+    clock. *)
+let checkpoint () =
+  match !current with
+  | None -> None
+  | Some b -> (
+    match b.b_exhausted with
+    | Some r -> Some r
+    | None -> check_deadline_of b ~force:true)

@@ -46,6 +46,34 @@ let note ?loc fmt = Fmt.kstr (fun m -> make ?loc Note m) fmt
 let fail ?loc ?notes fmt =
   Fmt.kstr (fun m -> Stdlib.Error (make ?loc ?notes Error m)) fmt
 
+(** Convert a caught exception (plus its raw backtrace) into an error
+    diagnostic: the exception text becomes the message, the first few
+    backtrace frames become notes. Used by the exception barriers in the
+    interpreter, the pass manager and the greedy driver to contain raised
+    exceptions as structured failures. *)
+let of_exn ?loc ~context exn bt =
+  let frames =
+    match Printexc.backtrace_slots bt with
+    | None -> []
+    | Some slots ->
+      Array.to_list slots
+      |> List.filter_map (fun slot ->
+             Printexc.Slot.format 0 slot
+             |> Option.map (fun line -> make Note line))
+  in
+  let max_frames = 8 in
+  let frames =
+    if List.length frames <= max_frames then frames
+    else List.filteri (fun i _ -> i < max_frames) frames
+  in
+  let notes =
+    match frames with
+    | [] -> [ make Note "backtrace unavailable (OCAMLRUNPARAM=b to record)" ]
+    | fs -> fs
+  in
+  make ?loc ~notes Error
+    (Fmt.str "%s raised an exception: %s" context (Printexc.to_string exn))
+
 let add_note d n = { d with notes = d.notes @ [ n ] }
 let add_notes d ns = { d with notes = d.notes @ ns }
 let with_loc d loc = { d with loc }

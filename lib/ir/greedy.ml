@@ -167,6 +167,43 @@ let record_trace root stats converged =
          gr_pushes = stats.worklist_pushes;
        })
 
+let stat_exceptions_contained =
+  Stats.counter ~component:"greedy" "exceptions_contained"
+    ~desc:"OCaml exceptions raised by patterns/folders, contained as diags"
+
+(** Exceptions that must never be swallowed by a containment barrier. *)
+let fatal_exn = function
+  | Sys.Break | Out_of_memory -> true
+  | _ -> false
+
+(** Run a pattern behind an exception barrier: a raising pattern is reported
+    as an error diagnostic (with the backtrace as notes) and treated as a
+    non-match, so one broken pattern cannot unwind the whole driver. *)
+let rewrite_contained ctx rewriter (p : Pattern.t) (op : Ircore.op) =
+  match p.Pattern.rewrite rewriter op with
+  | applied -> applied
+  | exception e when not (fatal_exn e) ->
+    let bt = Printexc.get_raw_backtrace () in
+    Stats.incr stat_exceptions_contained;
+    Context.emit_diag ctx
+      (Diag.of_exn ~loc:op.Ircore.op_loc
+         ~context:(Fmt.str "pattern '%s'" p.Pattern.name)
+         e bt);
+    false
+
+(** Same barrier around the fold/constant-uniquing path. *)
+let fold_contained ctx rewriter config folder stats (op : Ircore.op) =
+  match try_fold ctx rewriter config folder stats op with
+  | folded -> folded
+  | exception e when not (fatal_exn e) ->
+    let bt = Printexc.get_raw_backtrace () in
+    Stats.incr stat_exceptions_contained;
+    Context.emit_diag ctx
+      (Diag.of_exn ~loc:op.Ircore.op_loc
+         ~context:(Fmt.str "folder for '%s'" op.Ircore.op_name)
+         e bt);
+    false
+
 let warn_no_fixpoint ctx config (root : Ircore.op) pending =
   Context.emit_diag ctx
     (Diag.warning ~loc:root.Ircore.op_loc
@@ -257,6 +294,16 @@ let apply ?(config = default_config) ?stats ?rewriter ctx ~patterns root =
   let budget = config.max_iterations * epoch in
   let processed = ref 0 in
   let continue_ = ref true in
+  (* ambient Ir.Budget: each rewrite/fold/dce is one unit of cooperative
+     work; exhaustion stops the driver cleanly mid-worklist *)
+  let budget_stop = ref None in
+  let charge () =
+    match Budget.rewrite () with
+    | Some reason ->
+      budget_stop := Some reason;
+      continue_ := false
+    | None -> ()
+  in
   while !continue_ do
     match !stack with
     | [] -> continue_ := false
@@ -279,10 +326,15 @@ let apply ?(config = default_config) ?stats ?rewriter ctx ~patterns root =
             (float_of_int (List.length !stack));
         if config.remove_dead && is_trivially_dead ctx op then begin
           Rewriter.erase_op rewriter op;
-          stats.dce <- stats.dce + 1
+          stats.dce <- stats.dce + 1;
+          charge ()
         end
-        else if config.fold && try_fold ctx rewriter config folder stats op
-        then stats.folds <- stats.folds + 1
+        else if
+          config.fold && fold_contained ctx rewriter config folder stats op
+        then begin
+          stats.folds <- stats.folds + 1;
+          charge ()
+        end
         else begin
           match Frozen_patterns.for_op patterns op with
           | [] -> ()
@@ -298,8 +350,9 @@ let apply ?(config = default_config) ?stats ?rewriter ctx ~patterns root =
               | p :: rest ->
                 stats.match_attempts <- stats.match_attempts + 1;
                 Rewriter.set_ip rewriter (Builder.Before op);
-                if p.Pattern.rewrite rewriter op then begin
+                if rewrite_contained ctx rewriter p op then begin
                   stats.rewrites <- stats.rewrites + 1;
+                  charge ();
                   List.iter push defs_before;
                   (* patterns may mutate in place without notifying; be
                      conservative and revisit the root and its users *)
@@ -313,6 +366,14 @@ let apply ?(config = default_config) ?stats ?rewriter ctx ~patterns root =
             try_patterns candidates
         end;
         if !processed >= budget then continue_ := false
+        else if !continue_ then
+          (* amortized wall-clock poll: catches deadline expiry even on
+             match-only iterations that charge no rewrite *)
+          match Budget.poll () with
+          | Some reason ->
+            budget_stop := Some reason;
+            continue_ := false
+          | None -> ()
       end
   done;
   Rewriter.remove_listener rewriter listener;
@@ -323,9 +384,17 @@ let apply ?(config = default_config) ?stats ?rewriter ctx ~patterns root =
         && Ircore.op_parent op <> None)
       !stack
   in
-  let converged = pending = [] in
+  let converged = pending = [] && !budget_stop = None in
   stats.iterations <- (max 1 ((!processed + epoch - 1) / epoch));
-  if not converged then warn_no_fixpoint ctx config root (List.length pending);
+  (match !budget_stop with
+  | Some reason ->
+    Context.emit_diag ctx
+      (Diag.warning ~loc:root.Ircore.op_loc
+         "greedy rewrite on '%s' stopped early: %s" root.Ircore.op_name
+         reason)
+  | None ->
+    if not converged then
+      warn_no_fixpoint ctx config root (List.length pending));
   record_trace root stats converged;
   converged
 
@@ -379,7 +448,8 @@ let apply_sweep ?(config = default_config) ?stats ?rewriter ctx ~patterns root
             stats.dce <- stats.dce + 1;
             changed_overall := true
           end
-          else if config.fold && try_fold ctx rewriter config folder stats op
+          else if
+            config.fold && fold_contained ctx rewriter config folder stats op
           then begin
             stats.folds <- stats.folds + 1;
             changed_overall := true
@@ -391,7 +461,7 @@ let apply_sweep ?(config = default_config) ?stats ?rewriter ctx ~patterns root
                 stats.match_attempts <- stats.match_attempts + 1;
                 if Pattern.applicable p op then begin
                   Rewriter.set_ip rewriter (Builder.Before op);
-                  if p.Pattern.rewrite rewriter op then begin
+                  if rewrite_contained ctx rewriter p op then begin
                     stats.rewrites <- stats.rewrites + 1;
                     changed_overall := true
                   end

@@ -218,6 +218,28 @@ let stat_pipelines = Stats.counter ~component:"pass" "pipelines_run"
 let stat_passes = Stats.counter ~component:"pass" "passes_run"
 let stat_failures = Stats.counter ~component:"pass" "failures"
 
+let stat_exceptions_contained =
+  Stats.counter ~component:"pass" "exceptions_contained"
+    ~desc:"OCaml exceptions converted to pass failures by the barrier"
+
+(** Exceptions that must never be swallowed by a containment barrier. *)
+let fatal_exn = function
+  | Sys.Break | Out_of_memory -> true
+  | _ -> false
+
+(** Run a single pass behind an exception barrier: a raised OCaml exception
+    becomes a structured pass-failure diagnostic carrying the backtrace as
+    notes, so the failure drives the crash-reproducer instrumentation
+    instead of unwinding with the IR in an arbitrary state. *)
+let run_contained p ctx op =
+  match p.run ctx op with
+  | (Ok () | Error _) as r -> r
+  | exception e when not (fatal_exn e) ->
+    let bt = Printexc.get_raw_backtrace () in
+    Stats.incr stat_exceptions_contained;
+    Stdlib.Error
+      (Diag.of_exn ~context:(Fmt.str "pass '%s'" p.name) e bt)
+
 (** Run a pipeline of passes over [op], timing each pass, driving the given
     instrumentations, and reporting to the ambient observability channels:
     a nested {!Ir.Profiler} span per pipeline/pass/verify, the per-pass
@@ -241,9 +263,17 @@ let run_pipeline ?(verify_each = false) ?(instrumentations = []) ctx passes op
   let rec go acc = function
     | [] -> Ok (List.rev acc)
     | p :: rest -> (
+      (* cooperative budget: a pass boundary is a safe point to give up,
+         and routing exhaustion through [fail] produces a reproducer with
+         exactly the unfinished pipeline suffix *)
+      match Budget.checkpoint () with
+      | Some reason ->
+        fail p (p :: rest)
+          (Diag.error "pass pipeline stopped before '%s': %s" p.name reason)
+      | None -> (
       List.iter (fun i -> i.i_before_pass p op) instrumentations;
       let t0 = Unix.gettimeofday () in
-      match Profiler.span ~cat:"pass" p.name (fun () -> p.run ctx op) with
+      match Profiler.span ~cat:"pass" p.name (fun () -> run_contained p ctx op) with
       | Error d -> fail p (p :: rest) d
       | Ok () -> (
         Stats.incr stat_passes;
@@ -285,7 +315,7 @@ let run_pipeline ?(verify_each = false) ?(instrumentations = []) ctx passes op
           go
             ({ t_name = p.name; t_seconds = t_total; t_children = children }
             :: acc)
-            rest))
+            rest)))
   in
   match go [] passes with
   | Error d -> Stdlib.Error d
