@@ -11,8 +11,30 @@ let read_file path =
     ~finally:(fun () -> close_in ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
-let run pipeline script_file initial final =
-  let _ctx = Transform.Register.full_context () in
+(** What the schedule compiler would make of the script: compiled or
+    degraded to interpretation, instruction/fallback/slot counts, the
+    content-address, and any static use-after-consume diagnostics. *)
+let pp_schedule_report ctx script =
+  let s = Transform.Schedule.of_script ctx script in
+  Fmt.pr "@.// -----// schedule compilation //----- //@.";
+  Fmt.pr "fingerprint:   %s@."
+    (Ir.Fingerprint.to_hex (Transform.Schedule.fingerprint s));
+  (match Transform.Schedule.interpreted_reason s with
+  | None ->
+    Fmt.pr "form:          compiled@.";
+    Fmt.pr "instructions:  %d (%d interpreter fallbacks)@."
+      (Transform.Schedule.instr_count s)
+      (Transform.Schedule.fallback_count s);
+    Fmt.pr "handle slots:  %d@." (Transform.Schedule.slot_count s)
+  | Some reason -> Fmt.pr "form:          interpreted (%s)@." reason);
+  match Transform.Schedule.static_diags s with
+  | [] -> ()
+  | ds ->
+    Fmt.pr "static use-after-consume diagnostics:@.";
+    List.iter (fun d -> Fmt.pr "  %a@." Transform.Invalidation.pp_diagnostic d) ds
+
+let run pipeline script_file initial final schedule =
+  let ctx = Transform.Register.full_context () in
   let initial = Ir.Opset.parse initial in
   let final = Ir.Opset.parse final in
   let report =
@@ -21,18 +43,25 @@ let run pipeline script_file initial final =
       match Passes.Pass.parse_pipeline str with
       | Error d -> Error (Ir.Diag.to_string d)
       | Ok passes ->
-        Ok (Transform.Conditions.check_passes ~initial ~final passes))
+        Ok (Transform.Conditions.check_passes ~initial ~final passes, None))
     | None, Some f -> (
       match Ir.Parser.parse_module (read_file f) with
       | Error e -> Error (Fmt.str "parse error: %s" e)
       | Ok script ->
-        Ok (Transform.Conditions.check_script ~initial ~final script))
+        Ok
+          ( Transform.Conditions.check_script ~initial ~final script,
+            Some script ))
     | None, None -> Error "provide --pass-pipeline or a transform script"
   in
   match report with
   | Error e -> `Error (false, e)
-  | Ok report ->
+  | Ok (report, script) ->
     Fmt.pr "%a" Transform.Conditions.pp_report report;
+    (match (schedule, script) with
+    | true, Some script -> pp_schedule_report ctx script
+    | true, None ->
+      Fmt.epr "note: --schedule needs a transform script, not a pipeline@."
+    | false, _ -> ());
     if Transform.Conditions.ok report then `Ok ()
     else `Error (false, "pipeline violates its conditions")
 
@@ -62,10 +91,20 @@ let final =
     & opt string "{llvm.*}"
     & info [ "final" ] ~docv:"OPSET" ~doc:"Op kinds allowed after the pipeline.")
 
+let schedule =
+  Arg.(
+    value & flag
+    & info [ "schedule" ]
+        ~doc:"Also report how the schedule compiler lowers the script: \
+              compiled or degraded to interpretation, instruction and \
+              interpreter-fallback counts, statically numbered handle \
+              slots, and the content-address (structural fingerprint) \
+              under which applications would be cached.")
+
 let cmd =
   let doc = "static pre-/post-condition checker for lowering pipelines" in
   Cmd.v
     (Cmd.info "otd-check" ~doc)
-    Term.(ret (const run $ pipeline $ script_file $ initial $ final))
+    Term.(ret (const run $ pipeline $ script_file $ initial $ final $ schedule))
 
 let () = exit (Cmd.eval cmd)

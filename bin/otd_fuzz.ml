@@ -47,8 +47,31 @@ let run_faults ctx config seed cases prob out_dir quiet =
   if nviol = 0 then `Ok ()
   else `Error (false, "fault injection found recovery-invariant violations")
 
+let run_schedule_diff ctx config seed cases quiet =
+  let on_case i ~failed =
+    if not quiet then
+      if failed then Fmt.epr "case %d: DIVERGENCE@." i
+      else if i mod 50 = 0 then Fmt.epr "case %d...@." i
+  in
+  let stats =
+    Fuzz.Driver.run_schedule_diff ~config ~on_case ctx ~seed ~cases ()
+  in
+  let nfail = List.length stats.Fuzz.Driver.s_failures in
+  Fmt.pr
+    "otd-fuzz schedule-diff: %d cases, %d divergence%s, %.1f s (seed %d)@."
+    stats.Fuzz.Driver.s_cases nfail
+    (if nfail = 1 then "" else "s")
+    stats.Fuzz.Driver.s_seconds seed;
+  List.iter
+    (fun r ->
+      Fmt.pr "  case %d: %a@." r.Fuzz.Driver.r_case Fuzz.Oracle.pp_failure
+        r.Fuzz.Driver.r_failure)
+    stats.Fuzz.Driver.s_failures;
+  if nfail = 0 then `Ok ()
+  else `Error (false, "compiled and interpreted schedules diverged")
+
 let run seed cases max_ops max_depth pipeline no_shrink out_dir print_case
-    quiet profile faults =
+    quiet profile faults schedule_diff =
   Printexc.record_backtrace true;
   let ctx = Transform.Register.full_context () in
   let config = { Fuzz.Gen.default_config with max_ops; max_depth } in
@@ -57,7 +80,9 @@ let run seed cases max_ops max_depth pipeline no_shrink out_dir print_case
     let m = Fuzz.Driver.module_for ~config ~seed ~case () in
     Fmt.pr "%a@." Ir.Printer.pp_op m;
     `Ok ()
-  | None -> (
+  | None ->
+    if schedule_diff then run_schedule_diff ctx config seed cases quiet
+    else (
     match faults with
     | Some prob when prob < 0.0 || prob > 1.0 ->
       `Error (false, "--faults probability must be within [0, 1]")
@@ -102,6 +127,17 @@ let run seed cases max_ops max_depth pipeline no_shrink out_dir print_case
           r.Fuzz.Driver.r_path)
       stats.Fuzz.Driver.s_failures;
     if nfail = 0 then `Ok () else `Error (false, "fuzzing found failures"))
+
+let schedule_diff =
+  Arg.(
+    value & flag
+    & info [ "schedule-diff" ]
+        ~doc:
+          "Run the schedule-differential campaign instead of the oracle \
+           suite: each case applies a transform script to the generated \
+           module both through the sequential interpreter and through a \
+           freshly compiled schedule, and requires identical outcomes and \
+           byte-identical payload IR.")
 
 let seed =
   Arg.(value & opt int 0 & info [ "seed" ] ~docv:"N" ~doc:"Campaign seed.")
@@ -187,10 +223,10 @@ let cmd =
       ret
         (const
            (fun seed cases max_ops max_depth pipeline no_shrink _shrink
-                out_dir print_case quiet profile faults ->
+                out_dir print_case quiet profile faults schedule_diff ->
              run seed cases max_ops max_depth pipeline no_shrink out_dir
-               print_case quiet profile faults)
+               print_case quiet profile faults schedule_diff)
         $ seed $ cases $ max_ops $ max_depth $ pipeline $ no_shrink $ shrink
-        $ out_dir $ print_case $ quiet $ profile $ faults))
+        $ out_dir $ print_case $ quiet $ profile $ faults $ schedule_diff))
 
 let () = exit (Cmd.eval cmd)

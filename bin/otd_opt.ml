@@ -64,7 +64,7 @@ type json_report = {
   mutable j_ir_after : (string * string) list;  (** pass name, IR text *)
 }
 
-let run input pipeline transform_file no_verify list_passes timing
+let run input pipeline transform_file no_compile no_verify list_passes timing
     print_ir_after_all trace diagnostics_format reproducer_path pretty profile
     stats remarks remarks_filter max_steps deadline_ms =
   Printexc.record_backtrace true;
@@ -184,7 +184,8 @@ let run input pipeline transform_file no_verify list_passes timing
             | Error e -> Error (Fmt.str "transform script parse error: %s" e)
             | Ok script -> (
               let t0 = Unix.gettimeofday () in
-              match Transform.Interp.apply ctx ~script ~payload:m with
+              let mode = if no_compile then `Interpret else `Compile in
+              match Transform.Schedule.run ~mode ctx ~script ~payload:m with
               | Ok steps ->
                 if timing then begin
                   let seconds = Unix.gettimeofday () -. t0 in
@@ -363,6 +364,17 @@ let transform_file =
     & info [ "transform" ] ~docv:"FILE"
         ~doc:"Transform script to interpret against the payload.")
 
+let no_compile =
+  Arg.(
+    value & flag
+    & info [ "no-compile" ]
+        ~doc:"Apply the transform script with the sequential interpreter \
+              instead of compiling it to a cached schedule. Compiled \
+              schedules (the default) pre-resolve transform-op dispatch, \
+              includes and pattern sets, and are cached content-addressed \
+              by the script's structural fingerprint; see the \
+              $(b,schedule/*) counters under $(b,--stats).")
+
 let no_verify =
   Arg.(value & flag & info [ "no-verify" ] ~doc:"Skip IR verification.")
 
@@ -482,7 +494,8 @@ let cmd =
     (Cmd.info "otd-opt" ~doc)
     Term.(
       ret
-        (const run $ input $ pipeline $ transform_file $ no_verify
+        (const run $ input $ pipeline $ transform_file $ no_compile
+       $ no_verify
        $ list_passes $ timing $ print_ir_after_all $ trace
        $ diagnostics_format $ reproducer_path $ pretty $ profile $ stats
        $ remarks $ remarks_filter $ max_steps $ deadline_ms))

@@ -16,7 +16,7 @@ let () =
       ~k:Experiments.Cs4.k ()
   in
   (match
-     Transform.Interp.apply ctx
+     Transform.Schedule.run ctx
        ~script:(Experiments.Cs4.microkernel_script ())
        ~payload:md
    with

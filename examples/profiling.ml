@@ -105,7 +105,7 @@ let () =
         (fun path ->
           let payload = parse_payload path in
           match
-            Transform.Interp.apply ctx ~script:(remarks_script ()) ~payload
+            Transform.Schedule.run ctx ~script:(remarks_script ()) ~payload
           with
           | Ok _ -> ()
           | Error e -> failwith (Transform.Terror.to_string e))

@@ -90,7 +90,7 @@ let () =
   | _ -> Fmt.pr "unexpected diagnostics on the good script@.");
 
   (* interpret the good script *)
-  (match Transform.Interp.apply ctx ~script ~payload with
+  (match Transform.Schedule.run ctx ~script ~payload with
   | Ok steps -> Fmt.pr "transform interpreter: %d steps@.@." steps
   | Error e -> Fmt.pr "transform failed: %s@." (Transform.Terror.to_string e));
   Verifier.verify_or_fail ctx payload;

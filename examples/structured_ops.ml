@@ -28,7 +28,7 @@ let script ~tile =
 let run ~tile =
   let ctx = Transform.Register.full_context () in
   let md = Workloads.Matmul.build_linalg_module ~m ~n ~k () in
-  (match Transform.Interp.apply ctx ~script:(script ~tile) ~payload:md with
+  (match Transform.Schedule.run ctx ~script:(script ~tile) ~payload:md with
   | Ok _ -> ()
   | Error e -> failwith (Transform.Terror.to_string e));
   Verifier.verify_or_fail ctx md;

@@ -55,7 +55,7 @@ let steps_of_script (script : Ircore.op) =
   Ircore.walk_op script ~pre:(fun op ->
       match Treg.lookup op.Ircore.op_name with
       | Some def ->
-        let pre = def.Treg.t_pre op and post = def.Treg.t_post op in
+        let pre = Treg.pre def op and post = Treg.post def op in
         if pre <> [] || post <> [] then
           out :=
             { s_name = op.Ircore.op_name; s_pre = pre; s_post = post } :: !out

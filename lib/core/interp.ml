@@ -137,91 +137,105 @@ and run_op st (op : Ircore.op) : (unit, Terror.t) result =
     match Treg.lookup name with
     | None ->
       Terror.definite "unknown transform operation %s (not registered)" name
-    | Some def ->
-      let consumed = def.Treg.t_consumes op in
-      (* the dynamic pre-condition check applies to *consuming* transforms
-         only: they demand their payload kind to be present, whereas a
-         non-consuming transform (pass application, hoisting) with nothing
-         matching its pre-condition is a legal no-op — the phase-ordering
-         variant of that situation is what the static checker's Vacuous
-         diagnostic reports. *)
-      let* () =
-        if st.State.config.State.check_conditions && consumed <> [] then
-          check_preconditions st def op
-        else Ok ()
-      in
-      (* snapshot before the transform mutates the payload, commit only on
-         success: a silenceable failure leaves both payload and handles
-         usable, while success invalidates every handle that pointed into
-         the consumed payload (Section 3.1) *)
-      let snapshot =
-        if consumed = [] then None
-        else
-          Some
-            (State.snapshot_consumption st
-               (List.map (fun idx -> Ircore.operand ~index:idx op) consumed))
-      in
-      let post_check =
-        if st.State.config.State.check_conditions then
-          prepare_post_check st def op
-        else None
-      in
-      (* attach the failing transform op (and its source location, when the
-         script came from text) to the error *)
-      let with_context d =
-        Diag.add_note
-          (Diag.with_loc_if_unknown d op.Ircore.op_loc)
-          (Diag.note "while applying %s" name)
-      in
-      let handle_sizes values =
-        List.filter_map (fun v -> State.handle_size st v) values
-      in
-      let in_sizes =
-        if Trace.tracing () then handle_sizes (Ircore.operands op) else []
-      in
-      let* () =
-        (* exception barrier: a raised OCaml exception becomes a definite
-           error with the backtrace attached, instead of unwinding through
-           the driver with the IR in an arbitrary state *)
-        match Treg.apply def st op with
-        | Ok () -> Ok ()
-        | Error e -> Error (Terror.map_diag with_context e)
-        | exception e when not (fatal_exn e) ->
-          let bt = Printexc.get_raw_backtrace () in
-          Stats.incr stat_exceptions_contained;
-          Terror.definite_diag
-            (with_context
-               (Diag.of_exn ~loc:op.Ircore.op_loc
-                  ~context:(Fmt.str "transform %s" name) e bt))
-      in
-      if Trace.tracing () then
-        Trace.record
-          (Trace.Transform
-             {
-               tr_op = name;
-               tr_loc = op.Ircore.op_loc;
-               tr_in = in_sizes;
-               tr_out = handle_sizes (Ircore.results op);
-             });
-      (match snapshot with
-      | Some snap -> State.commit_consumption st ~by:name snap
-      | None -> ());
-      let* () =
-        match post_check with
-        | Some check -> check ()
-        | None -> Ok ()
-      in
-      let* () =
-        if st.State.config.State.expensive_checks then
-          match Verifier.verify st.State.ctx st.State.payload_root with
-          | Ok () -> Ok ()
-          | Error diags ->
-            Terror.definite "payload verification failed after %s: %a" name
-              (Fmt.list ~sep:Fmt.comma Diag.pp)
-              diags
-        else Ok ()
-      in
-      Ok ()))
+    | Some def -> dispatch_registered st def op))
+
+(** Dispatch one registered transform op: pre-condition check, consumption
+    snapshot, exception barrier around the implementation, trace recording,
+    consumption commit, post-condition check and (optional) payload
+    re-verification. Shared between sequential interpretation ({!run_op})
+    and the compiled-schedule executor ({!Schedule}), which resolves [def]
+    and [consumed] ahead of time. *)
+and dispatch_registered ?consumed st (def : Treg.def) (op : Ircore.op) :
+    (unit, Terror.t) result =
+  let name = def.Treg.t_name in
+  let consumed =
+    match consumed with Some c -> c | None -> Treg.consumes def op
+  in
+  (* the dynamic pre-condition check applies to *consuming* transforms
+     only: they demand their payload kind to be present, whereas a
+     non-consuming transform (pass application, hoisting) with nothing
+     matching its pre-condition is a legal no-op — the phase-ordering
+     variant of that situation is what the static checker's Vacuous
+     diagnostic reports. *)
+  let* () =
+    if st.State.config.State.check_conditions && consumed <> [] then
+      check_preconditions st def op
+    else Ok ()
+  in
+  (* snapshot before the transform mutates the payload, commit only on
+     success: a silenceable failure leaves both payload and handles
+     usable, while success invalidates every handle that pointed into
+     the consumed payload (Section 3.1) *)
+  let snapshot =
+    if consumed = [] then None
+    else
+      Some
+        (State.snapshot_consumption st
+           (List.map (fun idx -> Ircore.operand ~index:idx op) consumed))
+  in
+  let post_check =
+    if st.State.config.State.check_conditions then
+      prepare_post_check st def op
+    else None
+  in
+  (* attach the failing transform op (and its source location, when the
+     script came from text) to the error *)
+  let with_context d =
+    Diag.add_note
+      (Diag.with_loc_if_unknown d op.Ircore.op_loc)
+      (Diag.note "while applying %s" name)
+  in
+  let handle_sizes values =
+    List.filter_map (fun v -> State.handle_size st v) values
+  in
+  let in_sizes =
+    if Trace.tracing () then handle_sizes (Ircore.operands op) else []
+  in
+  let* () =
+    (* exception barrier: a raised OCaml exception becomes a definite
+       error with the backtrace attached, instead of unwinding through
+       the driver with the IR in an arbitrary state *)
+    match Treg.apply def st op with
+    | Ok () -> Ok ()
+    | Error e -> Error (Terror.map_diag with_context e)
+    | exception e when not (fatal_exn e) ->
+      let bt = Printexc.get_raw_backtrace () in
+      Stats.incr stat_exceptions_contained;
+      Terror.definite_diag
+        (with_context
+           (Diag.of_exn ~loc:op.Ircore.op_loc
+              ~context:(Fmt.str "transform %s" name) e bt))
+  in
+  if Trace.tracing () then
+    Trace.record
+      (Trace.Transform
+         {
+           tr_op = name;
+           tr_loc = op.Ircore.op_loc;
+           tr_in = in_sizes;
+           tr_out = handle_sizes (Ircore.results op);
+         });
+  (match snapshot with
+  | Some snap -> State.commit_consumption st ~by:name snap
+  | None -> ());
+  let* () =
+    match post_check with
+    | Some check -> check ()
+    | None -> Ok ()
+  in
+  let* () =
+    (* a pure transform never touches payload IR, so re-verifying after it
+       cannot observe anything new — skip the O(payload) walk *)
+    if st.State.config.State.expensive_checks && not (Treg.is_pure def) then
+      match Verifier.verify st.State.ctx st.State.payload_root with
+      | Ok () -> Ok ()
+      | Error diags ->
+        Terror.definite "payload verification failed after %s: %a" name
+          (Fmt.list ~sep:Fmt.comma Diag.pp)
+          diags
+    else Ok ()
+  in
+  Ok ()
 
 (** Dynamic post-condition check (Section 3.3): after the transform runs,
 
@@ -234,7 +248,7 @@ and run_op st (op : Ircore.op) : (unit, Terror.t) result =
     of the (natively implemented) transformation — "an additional tool to
     detect bugs in transformations". *)
 and prepare_post_check st def op =
-  let pre = def.Treg.t_pre op and post = def.Treg.t_post op in
+  let pre = Treg.pre def op and post = Treg.post def op in
   if pre = [] && post = [] then None
   else begin
     let before = Hashtbl.create 32 in
@@ -281,7 +295,7 @@ and prepare_post_check st def op =
 (** Dynamic pre-condition check (Section 3.3): the op kinds required by the
     transform must be present in the targeted payload. *)
 and check_preconditions st def op =
-  let pre = def.Treg.t_pre op in
+  let pre = Treg.pre def op in
   if pre = [] then Ok ()
   else if Ircore.num_operands op = 0 then Ok ()
   else
@@ -475,8 +489,10 @@ let find_entry script =
       | t :: _ -> Some t
       | [] -> None))
 
-(** Interpret [script] against [payload]. *)
-let apply ?(config = State.default_config) ctx ~script ~payload =
+(** Interpret [script] against [payload], walking the script IR op by op.
+    This is the sequential path; the compiled path ({!Schedule}) lowers the
+    script once and re-dispatches without re-walking. *)
+let apply_interpreted ?(config = State.default_config) ctx ~script ~payload =
   match find_entry script with
   | None ->
     Error
@@ -511,3 +527,12 @@ let apply ?(config = State.default_config) ctx ~script ~payload =
     (match result with
     | Ok () -> Ok st.State.steps
     | Error e -> Error e)
+
+(** Thin deprecated alias of {!apply_interpreted}, kept for one release:
+    the unified entry point is {!Schedule.run} / {!Schedule.of_script} +
+    {!Schedule.apply}, which compiles and caches by default and exposes an
+    [`Interpret] mode equivalent to this function. *)
+let apply = apply_interpreted
+[@@deprecated
+  "use Schedule.run (compiled) or Schedule.run ~mode:`Interpret; \
+   Interp.apply_interpreted remains for internal use"]

@@ -54,7 +54,7 @@ let infer_add_kinds ?(initial_dialect = "shlo") script =
       end
       else
         match Treg.lookup op.Ircore.op_name with
-        | Some def -> current := level_after !current (def.Treg.t_post op)
+        | Some def -> current := level_after !current (Treg.post def op)
         | None -> ());
   List.rev !inferred
 
@@ -71,11 +71,17 @@ let differentiable_mul = [ "shlo.multiply"; "arith.mulf"; "llvm.fmul" ]
 
 let register_enzyme_ad () =
   Treg.register ~name:Ops.enzyme_ad_op
-    ~summary:"demonstration AD emitting adds of the configured dialect"
-    ~post:(fun op ->
-      match Ircore.attr op "add_op" with
-      | Some (Attr.String s) -> [ Opset.exact s ]
-      | _ -> [])
+    ~spec:
+      {
+        Treg.default_spec with
+        summary = "demonstration AD emitting adds of the configured dialect";
+        arity = Some 1;
+        post =
+          (fun op ->
+            match Ircore.attr op "add_op" with
+            | Some (Attr.String s) -> [ Opset.exact s ]
+            | _ -> []);
+      }
     (fun st op ->
       let add_kind =
         match Ircore.attr op "add_op" with

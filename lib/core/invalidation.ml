@@ -77,7 +77,7 @@ let analyze_block env (block : Ircore.block) =
         (fun idx ->
           if idx < Ircore.num_operands op then
             consume ~by:op.Ircore.op_name (Ircore.operand ~index:idx op))
-        (def.Treg.t_consumes op)
+        (Treg.consumes def op)
     | None -> ());
     (* nested regions execute in the same handle scope for foreach /
        alternatives; analyze them sequentially *)

@@ -193,6 +193,60 @@ let as_silenceable = function
   | Ok v -> Ok v
   | Error msg -> Terror.silenceable "%s" msg
 
+(** Pattern references of a [transform.apply_patterns] region, in source
+    order: resolved patterns plus the names that failed to resolve. Shared
+    between the interpreted implementation below and the schedule compiler
+    ({!Schedule}), which freezes the resolved set once at compile time. *)
+let collect_patterns op =
+  let patterns = ref [] in
+  let missing = ref [] in
+  (match op.Ircore.regions with
+  | [ r ] ->
+    List.iter
+      (fun b ->
+        List.iter
+          (fun ref_op ->
+            let pname =
+              let n = ref_op.Ircore.op_name in
+              if n = pattern_ref_op then
+                match Ircore.attr ref_op "name" with
+                | Some (Attr.String s) -> Some s
+                | _ -> None
+              else
+                let prefix = "transform.pattern." in
+                if
+                  String.length n > String.length prefix
+                  && String.sub n 0 (String.length prefix) = prefix
+                then
+                  Some
+                    (String.sub n (String.length prefix)
+                       (String.length n - String.length prefix))
+                else None
+            in
+            match pname with
+            | Some name -> (
+              match Pattern.lookup name with
+              | Some pat -> patterns := pat :: !patterns
+              | None -> missing := name :: !missing)
+            | None -> ())
+          (Ircore.block_ops b))
+      (Ircore.region_blocks r)
+  | _ -> ());
+  (List.rev !patterns, List.rev !missing)
+
+(** Greedily apply a frozen pattern set to every payload op of the target
+    handle — the execution half of [transform.apply_patterns], shared with
+    the compiled path. *)
+let apply_frozen_patterns st op frozen =
+  let* targets = State.lookup_handle st (Ircore.operand ~index:0 op) in
+  List.iter
+    (fun target ->
+      ignore
+        (Greedy.apply ~config:Dutil.greedy_config
+           ~rewriter:(State.rewriter st) st.State.ctx ~patterns:frozen target))
+    targets;
+  Ok ()
+
 (* ------------------------------------------------------------------ *)
 (* Treg registrations                                                  *)
 (* ------------------------------------------------------------------ *)
@@ -209,9 +263,15 @@ let loop_arith_set =
 let register_impls () =
   (* ------------ match_op ------------ *)
   Treg.register ~name:match_op
-    ~summary:
-      "collect payload ops under the given roots, by name, dialect, \
-       implemented interface and/or attribute presence"
+    ~spec:
+      {
+        Treg.default_spec with
+        summary =
+          "collect payload ops under the given roots, by name, dialect, \
+           implemented interface and/or attribute presence";
+        arity = Some 1;
+        pure = true;
+      }
     (fun st op ->
       let str_attr name =
         match Ircore.attr op name with
@@ -266,7 +326,14 @@ let register_impls () =
       set_result st op 0 selected;
       Ok ());
   (* ------------ param_constant ------------ *)
-  Treg.register ~name:param_constant_op ~summary:"constant transform parameter"
+  Treg.register ~name:param_constant_op
+    ~spec:
+      {
+        Treg.default_spec with
+        summary = "constant transform parameter";
+        arity = Some 0;
+        pure = true;
+      }
     (fun st op ->
       match Ircore.attr op "value" with
       | Some v ->
@@ -275,10 +342,14 @@ let register_impls () =
       | None -> Terror.definite "param_constant without value");
   (* ------------ loop_split ------------ *)
   Treg.register ~name:loop_split_op
-    ~summary:"split a loop into a divisible main part and a remainder"
-    ~consumes:Treg.consumes_first
-    ~pre:(fun _ -> scf_for_set)
-    ~post:(fun _ -> loop_arith_set)
+    ~spec:
+      {
+        Treg.default_spec with
+        summary = "split a loop into a divisible main part and a remainder";
+        consumes = Treg.consumes_first;
+        pre = (fun _ -> scf_for_set);
+        post = (fun _ -> loop_arith_set);
+      }
     (fun st op ->
       let* divisor = int_config st op ~attr_name:"div_by" ~operand_index:1 in
       let* divisor =
@@ -304,10 +375,14 @@ let register_impls () =
     | _ -> false
   in
   Treg.register ~name:loop_tile_op
-    ~summary:"tile a perfect loop nest"
-    ~consumes:(fun op -> if tile_is_noop op then [] else [ 0 ])
-    ~pre:(fun _ -> scf_for_set)
-    ~post:(fun _ -> loop_arith_set)
+    ~spec:
+      {
+        Treg.default_spec with
+        summary = "tile a perfect loop nest";
+        consumes = (fun op -> if tile_is_noop op then [] else [ 0 ]);
+        pre = (fun _ -> scf_for_set);
+        post = (fun _ -> loop_arith_set);
+      }
     (fun st op ->
       let* sizes =
         match Ircore.attr op "tile_sizes" with
@@ -353,10 +428,15 @@ let register_impls () =
     | _ -> false
   in
   Treg.register ~name:loop_unroll_op
-    ~summary:"unroll a loop fully or by a factor"
-    ~consumes:(fun op -> if unroll_is_noop op then [] else [ 0 ])
-    ~pre:(fun _ -> scf_for_set)
-    ~post:(fun _ -> [ Opset.exact "arith.constant"; Opset.exact "arith.addi" ])
+    ~spec:
+      {
+        Treg.default_spec with
+        summary = "unroll a loop fully or by a factor";
+        consumes = (fun op -> if unroll_is_noop op then [] else [ 0 ]);
+        pre = (fun _ -> scf_for_set);
+        post =
+          (fun _ -> [ Opset.exact "arith.constant"; Opset.exact "arith.addi" ]);
+      }
     (fun st op ->
       let full = Ircore.has_attr op "full" in
       let rw = State.rewriter st in
@@ -379,10 +459,15 @@ let register_impls () =
           Ok ());
   (* ------------ loop_interchange ------------ *)
   Treg.register ~name:loop_interchange_op
-    ~summary:"interchange a loop with its single nested loop"
-    ~consumes:Treg.consumes_first
-    ~pre:(fun _ -> scf_for_set)
-    ~post:(fun _ -> scf_for_set)
+    ~spec:
+      {
+        Treg.default_spec with
+        summary = "interchange a loop with its single nested loop";
+        arity = Some 1;
+        consumes = Treg.consumes_first;
+        pre = (fun _ -> scf_for_set);
+        post = (fun _ -> scf_for_set);
+      }
     (fun st op ->
       let rw = State.rewriter st in
       let* swapped =
@@ -393,9 +478,13 @@ let register_impls () =
       Ok ());
   (* ------------ loop_hoist ------------ *)
   Treg.register ~name:loop_hoist_op
-    ~summary:"hoist loop-invariant ops out of the loop"
-    ~pre:(fun _ -> scf_for_set)
-    ~post:(fun _ -> [])
+    ~spec:
+      {
+        Treg.default_spec with
+        summary = "hoist loop-invariant ops out of the loop";
+        pre = (fun _ -> scf_for_set);
+        post = (fun _ -> []);
+      }
     (fun st op ->
       let rw = State.rewriter st in
       let* moved =
@@ -406,15 +495,19 @@ let register_impls () =
       Ok ());
   (* ------------ loop_vectorize ------------ *)
   Treg.register ~name:loop_vectorize_op
-    ~summary:"vectorize an innermost loop"
-    ~consumes:Treg.consumes_first
-    ~pre:(fun _ -> scf_for_set)
-    ~post:
-      (fun _ ->
-        [
-          Opset.exact "scf.for"; Opset.exact "vector.load";
-          Opset.exact "vector.store"; Opset.exact "vector.splat";
-        ])
+    ~spec:
+      {
+        Treg.default_spec with
+        summary = "vectorize an innermost loop";
+        consumes = Treg.consumes_first;
+        pre = (fun _ -> scf_for_set);
+        post =
+          (fun _ ->
+            [
+              Opset.exact "scf.for"; Opset.exact "vector.load";
+              Opset.exact "vector.store"; Opset.exact "vector.splat";
+            ]);
+      }
     (fun st op ->
       let* width = int_config st op ~attr_name:"width" ~operand_index:1 in
       let width = Option.value ~default:8 width in
@@ -427,10 +520,15 @@ let register_impls () =
       Ok ());
   (* ------------ loop_fuse ------------ *)
   Treg.register ~name:loop_fuse_op
-    ~summary:"fuse a sibling loop into the target (user-asserted legality)"
-    ~consumes:(fun _ -> [ 0; 1 ])
-    ~pre:(fun _ -> scf_for_set)
-    ~post:(fun _ -> scf_for_set)
+    ~spec:
+      {
+        Treg.default_spec with
+        summary = "fuse a sibling loop into the target (user-asserted legality)";
+        arity = Some 2;
+        consumes = (fun _ -> [ 0; 1 ]);
+        pre = (fun _ -> scf_for_set);
+        post = (fun _ -> scf_for_set);
+      }
     (fun st op ->
       let* a_ops = operand_handle st op 0 in
       let* b_ops = operand_handle st op 1 in
@@ -446,10 +544,15 @@ let register_impls () =
           (List.length a_ops) (List.length b_ops));
   (* ------------ loop_peel ------------ *)
   Treg.register ~name:loop_peel_op
-    ~summary:"peel leading iterations into a separate loop"
-    ~consumes:Treg.consumes_first
-    ~pre:(fun _ -> scf_for_set)
-    ~post:(fun _ -> loop_arith_set)
+    ~spec:
+      {
+        Treg.default_spec with
+        summary = "peel leading iterations into a separate loop";
+        arity = Some 1;
+        consumes = Treg.consumes_first;
+        pre = (fun _ -> scf_for_set);
+        post = (fun _ -> loop_arith_set);
+      }
     (fun st op ->
       let* iterations = int_config st op ~attr_name:"iterations" ~operand_index:1 in
       let* iterations =
@@ -467,10 +570,16 @@ let register_impls () =
       Ok ());
   (* ------------ to_library ------------ *)
   Treg.register ~name:to_library_op
-    ~summary:"replace a matmul loop nest with a microkernel library call"
-    ~consumes:Treg.consumes_first
-    ~pre:(fun _ -> scf_for_set)
-    ~post:(fun _ -> [ Opset.exact "func.call"; Opset.exact "memref.subview" ])
+    ~spec:
+      {
+        Treg.default_spec with
+        summary = "replace a matmul loop nest with a microkernel library call";
+        arity = Some 1;
+        consumes = Treg.consumes_first;
+        pre = (fun _ -> scf_for_set);
+        post =
+          (fun _ -> [ Opset.exact "func.call"; Opset.exact "memref.subview" ]);
+      }
     (fun st op ->
       let library =
         match Ircore.attr op "library" with
@@ -489,15 +598,20 @@ let register_impls () =
   (* ------------ structured transforms on linalg ops ------------ *)
   let linalg_matmul_set = [ Opset.exact "linalg.matmul" ] in
   Treg.register ~name:structured_tile_op
-    ~summary:"tile a linalg.matmul into loops over subviews"
-    ~consumes:Treg.consumes_first
-    ~pre:(fun _ -> linalg_matmul_set)
-    ~post:(fun _ ->
-      [
-        Opset.exact "scf.for"; Opset.exact "scf.yield";
-        Opset.exact "memref.subview"; Opset.exact "linalg.matmul";
-        Opset.exact "arith.constant";
-      ])
+    ~spec:
+      {
+        Treg.default_spec with
+        summary = "tile a linalg.matmul into loops over subviews";
+        consumes = Treg.consumes_first;
+        pre = (fun _ -> linalg_matmul_set);
+        post =
+          (fun _ ->
+            [
+              Opset.exact "scf.for"; Opset.exact "scf.yield";
+              Opset.exact "memref.subview"; Opset.exact "linalg.matmul";
+              Opset.exact "arith.constant";
+            ]);
+      }
     (fun st op ->
       let* sizes =
         match Ircore.attr op "tile_sizes" with
@@ -513,10 +627,15 @@ let register_impls () =
       set_result st op 1 (List.map snd pairs);
       Ok ());
   Treg.register ~name:structured_to_library_op
-    ~summary:"replace a linalg.matmul with a microkernel library call"
-    ~consumes:Treg.consumes_first
-    ~pre:(fun _ -> linalg_matmul_set)
-    ~post:(fun _ -> [ Opset.exact "func.call" ])
+    ~spec:
+      {
+        Treg.default_spec with
+        summary = "replace a linalg.matmul with a microkernel library call";
+        arity = Some 1;
+        consumes = Treg.consumes_first;
+        pre = (fun _ -> linalg_matmul_set);
+        post = (fun _ -> [ Opset.exact "func.call" ]);
+      }
     (fun st op ->
       let library =
         match Ircore.attr op "library" with
@@ -532,16 +651,22 @@ let register_impls () =
       if Ircore.num_results op > 0 then set_result st op 0 calls;
       Ok ());
   Treg.register ~name:structured_to_loops_op
-    ~summary:"lower a linalg.matmul to an scf loop nest"
-    ~consumes:Treg.consumes_first
-    ~pre:(fun _ -> linalg_matmul_set)
-    ~post:(fun _ ->
-      [
-        Opset.exact "scf.for"; Opset.exact "scf.yield";
-        Opset.exact "memref.load"; Opset.exact "memref.store";
-        Opset.exact "arith.mulf"; Opset.exact "arith.addf";
-        Opset.exact "arith.constant";
-      ])
+    ~spec:
+      {
+        Treg.default_spec with
+        summary = "lower a linalg.matmul to an scf loop nest";
+        arity = Some 1;
+        consumes = Treg.consumes_first;
+        pre = (fun _ -> linalg_matmul_set);
+        post =
+          (fun _ ->
+            [
+              Opset.exact "scf.for"; Opset.exact "scf.yield";
+              Opset.exact "memref.load"; Opset.exact "memref.store";
+              Opset.exact "arith.mulf"; Opset.exact "arith.addf";
+              Opset.exact "arith.constant";
+            ]);
+      }
     (fun st op ->
       let rw = State.rewriter st in
       let* _ =
@@ -551,21 +676,28 @@ let register_impls () =
       Ok ());
   (* ------------ apply_registered_pass ------------ *)
   Treg.register ~name:apply_registered_pass_op
-    ~summary:"run a pass from the pass registry on the target payload"
-    ~pre:(fun op ->
-      match Ircore.attr op "pass_name" with
-      | Some (Attr.String name) -> (
-        match Passes.Pass.lookup name with
-        | Some p -> p.Passes.Pass.pre
-        | None -> [])
-      | _ -> [])
-    ~post:(fun op ->
-      match Ircore.attr op "pass_name" with
-      | Some (Attr.String name) -> (
-        match Passes.Pass.lookup name with
-        | Some p -> p.Passes.Pass.post
-        | None -> [])
-      | _ -> [])
+    ~spec:
+      {
+        Treg.default_spec with
+        summary = "run a pass from the pass registry on the target payload";
+        arity = Some 1;
+        pre =
+          (fun op ->
+            match Ircore.attr op "pass_name" with
+            | Some (Attr.String name) -> (
+              match Passes.Pass.lookup name with
+              | Some p -> p.Passes.Pass.pre
+              | None -> [])
+            | _ -> []);
+        post =
+          (fun op ->
+            match Ircore.attr op "pass_name" with
+            | Some (Attr.String name) -> (
+              match Passes.Pass.lookup name with
+              | Some p -> p.Passes.Pass.post
+              | None -> [])
+            | _ -> []);
+      }
     (fun st op ->
       let* pass_name =
         match Ircore.attr op "pass_name" with
@@ -592,59 +724,27 @@ let register_impls () =
         Ok ());
   (* ------------ apply_patterns ------------ *)
   Treg.register ~name:apply_patterns_op
-    ~summary:"greedily apply the listed rewrite patterns to the target"
+    ~spec:
+      {
+        Treg.default_spec with
+        summary = "greedily apply the listed rewrite patterns to the target";
+        arity = Some 1;
+      }
     (fun st op ->
-      (* collect pattern names from the region *)
-      let patterns = ref [] in
-      let missing = ref [] in
-      (match op.Ircore.regions with
-      | [ r ] ->
-        List.iter
-          (fun b ->
-            List.iter
-              (fun ref_op ->
-                let pname =
-                  let n = ref_op.Ircore.op_name in
-                  if n = pattern_ref_op then
-                    match Ircore.attr ref_op "name" with
-                    | Some (Attr.String s) -> Some s
-                    | _ -> None
-                  else
-                    let prefix = "transform.pattern." in
-                    if
-                      String.length n > String.length prefix
-                      && String.sub n 0 (String.length prefix) = prefix
-                    then
-                      Some
-                        (String.sub n (String.length prefix)
-                           (String.length n - String.length prefix))
-                    else None
-                in
-                match pname with
-                | Some name -> (
-                  match Pattern.lookup name with
-                  | Some pat -> patterns := pat :: !patterns
-                  | None -> missing := name :: !missing)
-                | None -> ())
-              (Ircore.block_ops b))
-          (Ircore.region_blocks r)
-      | _ -> ());
-      if !missing <> [] then
-        Terror.definite "unknown patterns: %s" (String.concat ", " !missing)
+      let patterns, missing = collect_patterns op in
+      if missing <> [] then
+        Terror.definite "unknown patterns: %s" (String.concat ", " missing)
       else
-        let* targets = operand_handle st op 0 in
         (* freeze once; the root index is shared across every target *)
-        let frozen = Frozen_patterns.freeze (List.rev !patterns) in
-        List.iter
-          (fun target ->
-            ignore
-              (Greedy.apply ~config:Dutil.greedy_config
-                 ~rewriter:(State.rewriter st) st.State.ctx ~patterns:frozen
-                 target))
-          targets;
-        Ok ());
+        apply_frozen_patterns st op (Frozen_patterns.freeze patterns));
   (* ------------ print ------------ *)
-  Treg.register ~name:print_op ~summary:"print the payload ops of a handle"
+  Treg.register ~name:print_op
+    ~spec:
+      {
+        Treg.default_spec with
+        summary = "print the payload ops of a handle";
+        pure = true;
+      }
     (fun st op ->
       let tag =
         match Ircore.attr op "name" with Some (Attr.String s) -> s | _ -> ""
@@ -661,7 +761,13 @@ let register_impls () =
         Ok ());
   (* ------------ get_parent ------------ *)
   Treg.register ~name:get_parent_op
-    ~summary:"navigate to the closest enclosing op (optionally by name)"
+    ~spec:
+      {
+        Treg.default_spec with
+        summary = "navigate to the closest enclosing op (optionally by name)";
+        arity = Some 1;
+        pure = true;
+      }
     (fun st op ->
       let wanted =
         match Ircore.attr op "op_name" with
@@ -692,7 +798,9 @@ let register_impls () =
       set_result st op 0 parents;
       Ok ());
   (* ------------ merge_handles ------------ *)
-  Treg.register ~name:merge_handles_op ~summary:"concatenate handles"
+  Treg.register ~name:merge_handles_op
+    ~spec:
+      { Treg.default_spec with summary = "concatenate handles"; pure = true }
     (fun st op ->
       let rec go i acc =
         if i >= Ircore.num_operands op then Ok (List.rev acc)
@@ -705,7 +813,13 @@ let register_impls () =
       Ok ());
   (* ------------ split_handle ------------ *)
   Treg.register ~name:split_handle_op
-    ~summary:"split an N-op handle into N single-op handles"
+    ~spec:
+      {
+        Treg.default_spec with
+        summary = "split an N-op handle into N single-op handles";
+        arity = Some 1;
+        pure = true;
+      }
     (fun st op ->
       let* payload = operand_handle st op 0 in
       let n = Ircore.num_results op in
@@ -719,7 +833,12 @@ let register_impls () =
       end);
   (* ------------ annotate ------------ *)
   Treg.register ~name:annotate_op
-    ~summary:"attach a unit or given attribute to the payload ops"
+    ~spec:
+      {
+        Treg.default_spec with
+        summary = "attach a unit or given attribute to the payload ops";
+        arity = Some 1;
+      }
     (fun st op ->
       let* name =
         match Ircore.attr op "name" with

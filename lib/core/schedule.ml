@@ -1,0 +1,517 @@
+(** Compiled transform schedules: the unified entry point for applying a
+    transform script to payload IR.
+
+    The sequential interpreter ({!Interp}) re-walks the script IR on every
+    application: every op re-matches its name against the structural
+    constructs, re-resolves its implementation through {!Treg}, re-resolves
+    [include] targets through symbol lookup and re-freezes the pattern sets
+    of [apply_patterns]. A schedule performs all of that resolution {e once}
+    at compile time and lowers the entry sequence into a flat instruction
+    array:
+
+    - registered transform ops become [Dispatch] instructions carrying the
+      resolved {!Treg.def} and the precomputed consumed-operand list;
+    - [transform.apply_patterns] is compiled to a dispatch of a specialized
+      definition closing over the pattern set frozen once
+      ({!Ir.Frozen_patterns});
+    - [transform.include] is resolved and its callee body compiled inline
+      ([Include]), so calls no longer pay symbol lookup;
+    - dynamic constructs — [foreach], [alternatives], nested sequences,
+      unresolvable includes — compile to [Fallback] thunks that re-enter the
+      sequential interpreter op by op, on the same {!State};
+    - every SSA value of the script is numbered statically, so the state's
+      side tables become flat slot arrays ({!State.install_slots}).
+
+    Execution semantics are identical to interpretation by construction:
+    both paths share {!Interp.dispatch_registered} (pre/post-condition
+    checks, consumption snapshot/commit, the exception barrier, tracing) and
+    the per-op budget/statistics/profiler preamble. Scripts that the static
+    use-after-consume analysis ({!Invalidation}) flags are not compiled at
+    all — they degrade to whole-script interpretation so the dynamic
+    checker reports the exact same errors.
+
+    Schedules are cached content-addressed: {!of_script} keys the cache by
+    the script's structural fingerprint ({!Ir.Fingerprint}), so re-applying
+    a structurally identical script — even one re-parsed from text — reuses
+    the compiled form. Cache traffic is visible as [schedule/cache_hits],
+    [schedule/cache_misses] and [schedule/compile_ms] in {!Ir.Stats};
+    compilation and application record [schedule.compile]/[schedule.apply]
+    spans in {!Ir.Profiler}. *)
+
+open Ir
+
+let ( let* ) = Result.bind
+
+(* global statistics (Ir.Stats), namespaced under component "schedule" *)
+let stat_cache_hits = Stats.counter ~component:"schedule" "cache_hits"
+let stat_cache_misses = Stats.counter ~component:"schedule" "cache_misses"
+
+let stat_fallbacks =
+  Stats.counter ~component:"schedule" "fallbacks"
+    ~desc:"interpreter fallback thunks executed by compiled schedules"
+
+let stat_compiles = Stats.counter ~component:"schedule" "compiles"
+
+let stat_evictions =
+  Stats.counter ~component:"schedule" "cache_evictions"
+    ~desc:"full cache drops after exceeding the capacity bound"
+
+let stat_compile_ms = Stats.histogram ~component:"schedule" "compile_ms"
+
+(* ------------------------------------------------------------------ *)
+(* Compiled form                                                       *)
+(* ------------------------------------------------------------------ *)
+
+type instr =
+  | Dispatch of {
+      i_op : Ircore.op;
+      i_def : Treg.def;  (** resolved at compile time *)
+      i_consumed : int list;  (** precomputed consumed-operand indices *)
+    }
+  | Include of {
+      i_op : Ircore.op;  (** the [transform.include] op *)
+      i_callee : string;
+      i_args : Ircore.value list;  (** callee block arguments *)
+      i_body : instr array;
+      i_yield : Ircore.op option;  (** callee terminator, when present *)
+    }
+  | Fallback of Ircore.op
+      (** re-enter the sequential interpreter for this op *)
+
+type entry_kind =
+  | Entry_named of Ircore.value option
+      (** named_sequence entry; payload root bound to the argument *)
+  | Entry_seq of { e_op : Ircore.op; e_root : Ircore.value option }
+      (** plain [transform.sequence] entry with propagate semantics: the
+          sequence op itself charges one step, like interpretation *)
+  | Entry_top  (** body only (e.g. a single whole-entry fallback thunk) *)
+
+type compiled = {
+  c_kind : entry_kind;
+  c_body : instr array;
+  c_index : (int, int) Hashtbl.t;  (** script value id -> slot *)
+  c_slot_count : int;
+  c_instrs : int;  (** compiled instructions, includes nested *)
+  c_static_fallbacks : int;  (** Fallback instructions, includes nested *)
+}
+
+type form =
+  | Compiled of compiled
+  | Interpreted of string  (** reason the script is not compiled *)
+
+type t = {
+  s_ctx : Context.t;
+  s_script : Ircore.op;
+  s_fingerprint : Fingerprint.t;
+  s_entry : Ircore.op option;
+  s_diags : Invalidation.diagnostic list;
+      (** static use-after-consume diagnostics found at compile time *)
+  s_form : form;
+}
+
+type mode = [ `Compile | `Interpret ]
+
+let fingerprint s = s.s_fingerprint
+let is_compiled s = match s.s_form with Compiled _ -> true | _ -> false
+let static_diags s = s.s_diags
+
+(** Why the schedule interprets instead of dispatching compiled code;
+    [None] when compiled. *)
+let interpreted_reason s =
+  match s.s_form with Compiled _ -> None | Interpreted r -> Some r
+
+let instr_count s =
+  match s.s_form with Compiled c -> c.c_instrs | Interpreted _ -> 0
+
+let fallback_count s =
+  match s.s_form with Compiled c -> c.c_static_fallbacks | Interpreted _ -> 0
+
+let slot_count s =
+  match s.s_form with Compiled c -> c.c_slot_count | Interpreted _ -> 0
+
+(* ------------------------------------------------------------------ *)
+(* Compilation                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* statically number every SSA value of the script: block arguments and op
+   results, in traversal order; the numbering is the slot index shared by
+   every application of this schedule *)
+let build_slot_index script =
+  let index = Hashtbl.create 64 in
+  let next = ref 0 in
+  let number (v : Ircore.value) =
+    if not (Hashtbl.mem index v.Ircore.v_id) then begin
+      Hashtbl.replace index v.Ircore.v_id !next;
+      incr next
+    end
+  in
+  Ircore.walk_op script ~pre:(fun op ->
+      Array.iter number op.Ircore.results;
+      List.iter
+        (fun r ->
+          List.iter
+            (fun b -> List.iter number (Ircore.block_args b))
+            (Ircore.region_blocks r))
+        op.Ircore.regions);
+  (index, !next)
+
+exception Not_compilable of string
+
+let script_root op =
+  let rec up o =
+    match Ircore.parent_op o with None -> o | Some p -> up p
+  in
+  up op
+
+(* resolve an include target exactly like Interp.run_include, but at
+   compile time; None = let the interpreter produce the (identical) error
+   or handle the dynamic case at apply time *)
+let resolve_include root op =
+  match Ircore.attr op "target" with
+  | Some (Attr.Symbol_ref (callee, _)) -> (
+    match Symbol.lookup_in ~table:root callee with
+    | Some t -> Some (callee, t)
+    | None -> (
+      match
+        Symbol.collect root ~f:(fun o ->
+            o.Ircore.op_name = Ops.named_sequence_op
+            && Symbol.symbol_name o = Some callee)
+      with
+      | t :: _ -> Some (callee, t)
+      | [] -> None))
+  | _ -> None
+
+let rec compile_block ~root ~stack (ops : Ircore.op list) : instr list =
+  match ops with
+  | [] -> []
+  | op :: rest ->
+    if op.Ircore.op_name = Ops.yield_op then []
+    else
+      let instrs = compile_op ~root ~stack op in
+      instrs @ compile_block ~root ~stack rest
+
+and compile_op ~root ~stack (op : Ircore.op) : instr list =
+  match op.Ircore.op_name with
+  | "transform.named_sequence" ->
+    (* declaration: skipped during sequential execution *)
+    []
+  | "transform.sequence" | "transform.alternatives" | "transform.foreach" ->
+    (* dynamic control flow (iteration, transactional regions): executed by
+       the interpreter on the shared state *)
+    [ Fallback op ]
+  | "transform.include" -> (
+    match resolve_include root op with
+    | None -> [ Fallback op ] (* unresolved: interpreter reports it *)
+    | Some (callee, target) ->
+      if List.memq target stack then
+        (* recursive include: no finite unrolling; leave it dynamic *)
+        [ Fallback op ]
+      else (
+        match target.Ircore.regions with
+        | [ r ] -> (
+          match Ircore.region_first_block r with
+          | None -> [ Fallback op ]
+          | Some body ->
+            let args = Ircore.block_args body in
+            if List.length args <> Ircore.num_operands op then
+              [ Fallback op ] (* arity mismatch: interpreter reports it *)
+            else
+              let yield =
+                match Ircore.block_last_op body with
+                | Some y when y.Ircore.op_name = Ops.yield_op -> Some y
+                | _ -> None
+              in
+              let body_instrs =
+                compile_block ~root ~stack:(target :: stack)
+                  (Ircore.block_ops body)
+              in
+              [
+                Include
+                  {
+                    i_op = op;
+                    i_callee = callee;
+                    i_args = args;
+                    i_body = Array.of_list body_instrs;
+                    i_yield = yield;
+                  };
+              ])
+        | _ -> [ Fallback op ]))
+  | name -> (
+    match Treg.lookup name with
+    | None -> [ Fallback op ] (* unknown op: interpreter reports it *)
+    | Some def ->
+      if name = Ops.apply_patterns_op then
+        let patterns, missing = Ops.collect_patterns op in
+        if missing <> [] then [ Fallback op ]
+        else
+          (* pre-freeze the pattern set once; applications dispatch a
+             specialized definition through the normal registered path, so
+             interceptors, tracing and the exception barrier still apply *)
+          let frozen = Frozen_patterns.freeze patterns in
+          let fast_def =
+            {
+              def with
+              Treg.t_apply =
+                (fun st op -> Ops.apply_frozen_patterns st op frozen);
+            }
+          in
+          [ Dispatch { i_op = op; i_def = fast_def; i_consumed = [] } ]
+      else
+        [ Dispatch { i_op = op; i_def = def; i_consumed = Treg.consumes def op } ]
+  )
+
+let count_instrs body =
+  let rec go (total, fallbacks) = function
+    | Dispatch _ -> (total + 1, fallbacks)
+    | Fallback _ -> (total + 1, fallbacks + 1)
+    | Include { i_body; _ } ->
+      Array.fold_left go (total + 1, fallbacks) i_body
+  in
+  Array.fold_left go (0, 0) body
+
+let compile ctx script =
+  ignore ctx;
+  let diags = Invalidation.analyze script in
+  if diags <> [] then
+    (* the static checker flagged a use-after-consume: interpret, so the
+       dynamic checker produces exactly the errors callers already expect *)
+    (diags, Interpreted "static use-after-consume diagnostics")
+  else
+    match Interp.find_entry script with
+    | None -> (diags, Interpreted "no entry point")
+    | Some entry -> (
+      let root = script_root entry in
+      let index, slot_count = build_slot_index script in
+      let finish kind body =
+        let instrs, fallbacks = count_instrs body in
+        ( diags,
+          Compiled
+            {
+              c_kind = kind;
+              c_body = body;
+              c_index = index;
+              c_slot_count = slot_count;
+              c_instrs = instrs;
+              c_static_fallbacks = fallbacks;
+            } )
+      in
+      match entry.Ircore.op_name with
+      | "transform.sequence" -> (
+        let suppress =
+          match Ircore.attr entry "failure_propagation" with
+          | Some (Attr.String "suppress") -> true
+          | _ -> false
+        in
+        if suppress then
+          (* transactional entry: keep the interpreter's checkpoint logic,
+             but still run on slot storage *)
+          finish Entry_top [| Fallback entry |]
+        else
+          match entry.Ircore.regions with
+          | [ r ] -> (
+            match Ircore.region_first_block r with
+            | None -> finish Entry_top [||]
+            | Some b ->
+              let e_root =
+                match Ircore.block_args b with [ v ] -> Some v | _ -> None
+              in
+              let body =
+                compile_block ~root ~stack:[] (Ircore.block_ops b)
+              in
+              finish
+                (Entry_seq { e_op = entry; e_root })
+                (Array.of_list body))
+          | _ -> (diags, Interpreted "malformed sequence entry"))
+      | _ -> (
+        match entry.Ircore.regions with
+        | [ r ] -> (
+          match Ircore.region_first_block r with
+          | None -> finish (Entry_named None) [||]
+          | Some b ->
+            let arg =
+              match Ircore.block_args b with v :: _ -> Some v | [] -> None
+            in
+            let body = compile_block ~root ~stack:[] (Ircore.block_ops b) in
+            finish (Entry_named arg) (Array.of_list body))
+        | _ -> (diags, Interpreted "malformed named_sequence entry")))
+
+(* ------------------------------------------------------------------ *)
+(* Content-addressed cache                                             *)
+(* ------------------------------------------------------------------ *)
+
+let cache : (Fingerprint.t, t) Hashtbl.t = Hashtbl.create 16
+
+(** Bound on distinct cached schedules; exceeding it drops the whole cache
+    (autotuning loops generate unbounded families of one-shot scripts). *)
+let cache_capacity = ref 512
+
+let cache_size () = Hashtbl.length cache
+let clear_cache () = Hashtbl.reset cache
+
+(** Lower [script] to a schedule. [`Compile] (default) consults the
+    content-addressed cache and compiles on miss; [`Interpret] returns an
+    uncached schedule whose {!apply} is exactly sequential interpretation. *)
+let of_script ?(mode : mode = `Compile) ctx (script : Ircore.op) : t =
+  match mode with
+  | `Interpret ->
+    {
+      s_ctx = ctx;
+      s_script = script;
+      s_fingerprint = Fingerprint.op script;
+      s_entry = Interp.find_entry script;
+      s_diags = [];
+      s_form = Interpreted "interpretation requested";
+    }
+  | `Compile -> (
+    let fp = Fingerprint.op script in
+    match Hashtbl.find_opt cache fp with
+    | Some cached ->
+      Stats.incr stat_cache_hits;
+      (* structurally identical script: the cached schedule (compiled
+         against its own copy of the script IR) applies unchanged *)
+      { cached with s_ctx = ctx }
+    | None ->
+      Stats.incr stat_cache_misses;
+      Stats.incr stat_compiles;
+      let t0 = Unix.gettimeofday () in
+      let diags, form =
+        Profiler.span ~cat:"schedule" "schedule.compile" @@ fun () ->
+        compile ctx script
+      in
+      Stats.observe stat_compile_ms ((Unix.gettimeofday () -. t0) *. 1e3);
+      let s =
+        {
+          s_ctx = ctx;
+          s_script = script;
+          s_fingerprint = fp;
+          s_entry = Interp.find_entry script;
+          s_diags = diags;
+          s_form = form;
+        }
+      in
+      if Hashtbl.length cache >= !cache_capacity then begin
+        Stats.incr stat_evictions;
+        Hashtbl.reset cache
+      end;
+      Hashtbl.replace cache fp s;
+      s)
+
+(* ------------------------------------------------------------------ *)
+(* Execution                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* per-instruction preamble, identical to Interp.run_op's: one step, one
+   ops_executed tick, one budget unit, one profiler span *)
+let with_preamble st (op : Ircore.op) f =
+  st.State.steps <- st.State.steps + 1;
+  Stats.incr Interp.stat_ops_executed;
+  match Budget.step () with
+  | Some reason ->
+    Terror.silenceable ~loc:op.Ircore.op_loc
+      "transform interpreter stopped: %s" reason
+  | None -> Profiler.span ~cat:"transform" op.Ircore.op_name f
+
+let rec exec_instr st = function
+  | Fallback op ->
+    Stats.incr stat_fallbacks;
+    Interp.run_op st op
+  | Dispatch { i_op; i_def; i_consumed } ->
+    with_preamble st i_op @@ fun () ->
+    Interp.dispatch_registered ~consumed:i_consumed st i_def i_op
+  | Include { i_op; i_args; i_body; i_yield; i_callee = _ } ->
+    with_preamble st i_op @@ fun () ->
+    (* bind arguments: copy handle/param associations, like run_include *)
+    let rec bind i = function
+      | [] -> Ok ()
+      | arg :: rest ->
+        let operand = Ircore.operand ~index:i i_op in
+        let* () =
+          if State.is_param_typ (Ircore.value_typ operand) then
+            let* ps = State.lookup_params st operand in
+            State.set_params st arg ps;
+            Ok ()
+          else
+            let* ops = State.lookup_handle st operand in
+            State.set_handle st arg ops;
+            Ok ()
+        in
+        bind (i + 1) rest
+    in
+    let* () = bind 0 i_args in
+    let* () = exec_body st i_body in
+    (* bind yielded values to include results *)
+    (match i_yield with
+    | Some y ->
+      List.iteri
+        (fun i yielded ->
+          if i < Ircore.num_results i_op then begin
+            if State.is_param_typ (Ircore.value_typ yielded) then
+              match State.lookup_params st yielded with
+              | Ok ps -> State.set_params st (Ircore.result ~index:i i_op) ps
+              | Error _ -> ()
+            else
+              match State.lookup_handle st yielded with
+              | Ok ops -> State.set_handle st (Ircore.result ~index:i i_op) ops
+              | Error _ -> ()
+          end)
+        (Ircore.operands y)
+    | None -> ());
+    Ok ()
+
+and exec_body st (body : instr array) =
+  let n = Array.length body in
+  let rec go i =
+    if i >= n then Ok ()
+    else
+      let* () = exec_instr st body.(i) in
+      go (i + 1)
+  in
+  go 0
+
+let apply_compiled ~config ctx c ~payload =
+  let st = State.create ~config ctx payload in
+  State.install_slots st ~index:c.c_index ~count:c.c_slot_count;
+  let result =
+    (* forced budget check at entry, mirroring Interp.apply_interpreted *)
+    match Budget.checkpoint () with
+    | Some reason ->
+      Terror.silenceable "transform interpreter stopped: %s" reason
+    | None -> (
+      match c.c_kind with
+      | Entry_top -> exec_body st c.c_body
+      | Entry_named arg ->
+        (match arg with
+        | Some root -> State.set_handle st root [ payload ]
+        | None -> ());
+        exec_body st c.c_body
+      | Entry_seq { e_op; e_root } ->
+        (* the sequence op itself is one interpreted step *)
+        with_preamble st e_op @@ fun () ->
+        (match e_root with
+        | Some root -> State.set_handle st root [ payload ]
+        | None -> ());
+        exec_body st c.c_body)
+  in
+  match result with
+  | Ok () -> Ok st.State.steps
+  | Error e -> Error e
+
+(** Apply a schedule to [payload]. Same contract as the interpreter:
+    returns the number of executed transform steps, or the first
+    silenceable/definite error. *)
+let apply ?(config = State.default_config) (s : t) ~payload :
+    (int, Terror.t) result =
+  Profiler.span ~cat:"schedule" "schedule.apply" @@ fun () ->
+  match s.s_form with
+  | Interpreted _ ->
+    Interp.apply_interpreted ~config s.s_ctx ~script:s.s_script ~payload
+  | Compiled c -> apply_compiled ~config s.s_ctx c ~payload
+
+(** One-shot facade: compile (against the cache) and apply. Drop-in
+    replacement for the deprecated [Interp.apply];
+    [run ~mode:`Interpret] is exactly sequential interpretation. *)
+let run ?mode ?config ctx ~script ~payload =
+  apply ?config (of_script ?mode ctx script) ~payload
+
+(** Entry op of the script, as the interpreter would select it. *)
+let entry s = s.s_entry

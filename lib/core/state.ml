@@ -17,6 +17,22 @@ type config = {
 
 let default_config = { expensive_checks = false; check_conditions = false }
 
+(** Flat slot storage installed by compiled schedules ({!Schedule}): every
+    SSA value of the transform script is numbered statically at compile
+    time, so on the hot path the handle/param/consumed side tables become a
+    single int→int probe (the slot index) plus array reads, instead of
+    separate hashtable probes per table. Values outside the index (none, for
+    a fully compiled script) fall back to the hashtables, so interpreter
+    fallback thunks and compiled instructions share one coherent state. *)
+type slots = {
+  sl_index : (int, int) Hashtbl.t;
+      (** transform value id -> slot; owned by the schedule, read-only here *)
+  sl_handles : Ircore.op list option array;
+  sl_params : Attr.t list option array;
+  sl_values : Ircore.value list option array;
+  sl_consumed : string option array;
+}
+
 type t = {
   ctx : Context.t;
   payload_root : Ircore.op;
@@ -29,8 +45,31 @@ type t = {
   invalidated_payload : (int, string) Hashtbl.t;
       (** payload op id -> transform that invalidated it *)
   rewriter : Rewriter.t;
+  mutable slots : slots option;  (** present only under a compiled schedule *)
   mutable steps : int;  (** executed transform ops, for stats *)
 }
+
+(** Install statically numbered slot storage ([count] slots addressed through
+    [index]). Called once per application by the compiled-schedule executor;
+    the arrays are fresh per state, the index is shared with the schedule. *)
+let install_slots t ~index ~count =
+  t.slots <-
+    Some
+      {
+        sl_index = index;
+        sl_handles = Array.make count None;
+        sl_params = Array.make count None;
+        sl_values = Array.make count None;
+        sl_consumed = Array.make count None;
+      }
+
+let slot_of t vid =
+  match t.slots with
+  | None -> None
+  | Some s -> (
+    match Hashtbl.find_opt s.sl_index vid with
+    | Some i -> Some (s, i)
+    | None -> None)
 
 let is_handle_typ = function
   | Typ.Opaque ("transform", body) ->
@@ -54,8 +93,31 @@ let create ?(config = default_config) ctx payload_root =
       consumed = Hashtbl.create 16;
       invalidated_payload = Hashtbl.create 64;
       rewriter = Rewriter.create ();
+      slots = None;
       steps = 0;
     }
+  in
+  (* rewrite every live handle entry — hashtable and slot storage alike —
+     through [f]; [None] keeps the entry unchanged *)
+  let remap_handles f =
+    Hashtbl.iter
+      (fun vid ops ->
+        match f ops with
+        | Some ops' -> Hashtbl.replace t.handles vid ops'
+        | None -> ())
+      (Hashtbl.copy t.handles);
+    match t.slots with
+    | None -> ()
+    | Some s ->
+      Array.iteri
+        (fun i entry ->
+          match entry with
+          | Some ops -> (
+            match f ops with
+            | Some ops' -> s.sl_handles.(i) <- Some ops'
+            | None -> ())
+          | None -> ())
+        s.sl_handles
   in
   (* track payload mutations: update handles on replace, drop on erase *)
   Rewriter.add_listener t.rewriter
@@ -71,23 +133,19 @@ let create ?(config = default_config) ctx payload_root =
                  (fun acc o -> if List.memq o acc then acc else acc @ [ o ])
                  []
           in
-          Hashtbl.iter
-            (fun vid ops ->
+          remap_handles (fun ops ->
               if List.memq op ops then
-                Hashtbl.replace t.handles vid
+                Some
                   (List.concat_map
                      (fun o -> if o == op then replacement_ops else [ o ])
-                     ops))
-            (Hashtbl.copy t.handles))
-      ;
+                     ops)
+              else None));
       on_erased =
         (fun op ->
-          Hashtbl.iter
-            (fun vid ops ->
+          remap_handles (fun ops ->
               if List.memq op ops then
-                Hashtbl.replace t.handles vid
-                  (List.filter (fun o -> not (o == op)) ops))
-            (Hashtbl.copy t.handles));
+                Some (List.filter (fun o -> not (o == op)) ops)
+              else None));
     };
   t
 
@@ -105,19 +163,57 @@ let stat_handle_payloads =
 let set_handle t (v : Ircore.value) ops =
   Stats.incr stat_handles_set;
   Stats.add stat_handle_payloads (List.length ops);
-  Hashtbl.replace t.handles v.Ircore.v_id ops
+  match slot_of t v.Ircore.v_id with
+  | Some (s, i) -> s.sl_handles.(i) <- Some ops
+  | None -> Hashtbl.replace t.handles v.Ircore.v_id ops
 
 let set_params t (v : Ircore.value) attrs =
-  Hashtbl.replace t.params v.Ircore.v_id attrs
+  match slot_of t v.Ircore.v_id with
+  | Some (s, i) -> s.sl_params.(i) <- Some attrs
+  | None -> Hashtbl.replace t.params v.Ircore.v_id attrs
+
+(* slot-aware raw reads; the public lookups layer the consumption and
+   invalidation checks on top *)
+let find_handle t vid =
+  match slot_of t vid with
+  | Some (s, i) -> s.sl_handles.(i)
+  | None -> Hashtbl.find_opt t.handles vid
+
+let find_params t vid =
+  match slot_of t vid with
+  | Some (s, i) -> s.sl_params.(i)
+  | None -> Hashtbl.find_opt t.params vid
+
+let find_consumed t vid =
+  match slot_of t vid with
+  | Some (s, i) -> s.sl_consumed.(i)
+  | None -> Hashtbl.find_opt t.consumed vid
+
+let mark_consumed t vid by =
+  match slot_of t vid with
+  | Some (s, i) -> s.sl_consumed.(i) <- Some by
+  | None -> Hashtbl.replace t.consumed vid by
+
+(** Iterate every live (value id, payload ops) handle association across
+    both stores. *)
+let iter_handles t f =
+  Hashtbl.iter f t.handles;
+  match t.slots with
+  | None -> ()
+  | Some s ->
+    Hashtbl.iter
+      (fun vid i ->
+        match s.sl_handles.(i) with Some ops -> f vid ops | None -> ())
+      s.sl_index
 
 (** Payload ops of a handle; checks consumption. *)
 let lookup_handle t (v : Ircore.value) : (Ircore.op list, Terror.t) result =
-  match Hashtbl.find_opt t.consumed v.Ircore.v_id with
+  match find_consumed t v.Ircore.v_id with
   | Some by ->
     Terror.definite
       "use of a handle invalidated by transform '%s' (handle consumed)" by
   | None -> (
-    match Hashtbl.find_opt t.handles v.Ircore.v_id with
+    match find_handle t v.Ircore.v_id with
     | None -> Terror.definite "use of an undefined handle"
     | Some ops -> (
       (* a handle is also dead if any of its payload ops were invalidated
@@ -138,15 +234,15 @@ let lookup_handle t (v : Ircore.value) : (Ircore.op list, Terror.t) result =
 (** Non-failing peek at the payload size of a handle or parameter value,
     for tracing: does not check consumption and never errors. *)
 let handle_size t (v : Ircore.value) =
-  match Hashtbl.find_opt t.handles v.Ircore.v_id with
+  match find_handle t v.Ircore.v_id with
   | Some ops -> Some (List.length ops)
   | None -> (
-    match Hashtbl.find_opt t.params v.Ircore.v_id with
+    match find_params t v.Ircore.v_id with
     | Some attrs -> Some (List.length attrs)
     | None -> None)
 
 let lookup_params t (v : Ircore.value) : (Attr.t list, Terror.t) result =
-  match Hashtbl.find_opt t.params v.Ircore.v_id with
+  match find_params t v.Ircore.v_id with
   | None -> Terror.definite "use of an undefined parameter"
   | Some attrs -> Ok attrs
 
@@ -174,7 +270,7 @@ let snapshot_consumption t (operands : Ircore.value list) =
   let cs_subtree = Hashtbl.create 32 in
   List.iter
     (fun v ->
-      match Hashtbl.find_opt t.handles v.Ircore.v_id with
+      match find_handle t v.Ircore.v_id with
       | Some ops ->
         List.iter
           (fun op ->
@@ -183,9 +279,19 @@ let snapshot_consumption t (operands : Ircore.value list) =
           ops
       | None -> ())
     operands;
+  let cs_handles = Hashtbl.copy t.handles in
+  (match t.slots with
+  | None -> ()
+  | Some s ->
+    Hashtbl.iter
+      (fun vid i ->
+        match s.sl_handles.(i) with
+        | Some ops -> Hashtbl.replace cs_handles vid ops
+        | None -> ())
+      s.sl_index);
   {
     cs_subtree;
-    cs_handles = Hashtbl.copy t.handles;
+    cs_handles;
     cs_operands = List.map (fun v -> v.Ircore.v_id) operands;
   }
 
@@ -194,7 +300,7 @@ let snapshot_consumption t (operands : Ircore.value list) =
     become invalid; handles produced by the consuming transform itself are
     fresh and stay valid. *)
 let commit_consumption t ~by (snap : consume_snapshot) =
-  List.iter (fun vid -> Hashtbl.replace t.consumed vid by) snap.cs_operands;
+  List.iter (fun vid -> mark_consumed t vid by) snap.cs_operands;
   Hashtbl.iter (fun oid () -> Hashtbl.replace t.invalidated_payload oid by)
     snap.cs_subtree;
   Hashtbl.iter
@@ -202,7 +308,7 @@ let commit_consumption t ~by (snap : consume_snapshot) =
       if
         (not (List.mem vid snap.cs_operands))
         && List.exists (fun o -> Hashtbl.mem snap.cs_subtree o.Ircore.op_id) ops
-      then Hashtbl.replace t.consumed vid by)
+      then mark_consumed t vid by)
     snap.cs_handles
 
 (** Direct consumption of a single handle (no aliasing pass). *)
@@ -234,6 +340,13 @@ let stat_rollbacks =
     copies of every side table keyed by op/value identity. {!rollback}
     restores the payload and refills the tables, remapping payload
     references through the checkpoint's op/value correspondence. *)
+type slot_checkpoint = {
+  sck_handles : Ircore.op list option array;
+  sck_params : Attr.t list option array;
+  sck_values : Ircore.value list option array;
+  sck_consumed : string option array;
+}
+
 type checkpoint = {
   ck_payload : Checkpoint.t;
   ck_handles : (int, Ircore.op list) Hashtbl.t;
@@ -241,6 +354,7 @@ type checkpoint = {
   ck_values : (int, Ircore.value list) Hashtbl.t;
   ck_consumed : (int, string) Hashtbl.t;
   ck_invalidated : (int, string) Hashtbl.t;
+  ck_slots : slot_checkpoint option;
 }
 
 let checkpoint t =
@@ -251,6 +365,17 @@ let checkpoint t =
     ck_values = Hashtbl.copy t.values;
     ck_consumed = Hashtbl.copy t.consumed;
     ck_invalidated = Hashtbl.copy t.invalidated_payload;
+    ck_slots =
+      (match t.slots with
+      | None -> None
+      | Some s ->
+        Some
+          {
+            sck_handles = Array.copy s.sl_handles;
+            sck_params = Array.copy s.sl_params;
+            sck_values = Array.copy s.sl_values;
+            sck_consumed = Array.copy s.sl_consumed;
+          });
   }
 
 (** Restore payload and handle tables to their state at {!checkpoint}.
@@ -264,12 +389,22 @@ let rollback t (ck : checkpoint) =
     Hashtbl.reset dst;
     Hashtbl.iter (fun k v -> Hashtbl.replace dst k (remap v)) src
   in
-  refill t.handles ck.ck_handles
-    (List.filter_map (Checkpoint.remap_op ck.ck_payload));
+  let remap_ops = List.filter_map (Checkpoint.remap_op ck.ck_payload) in
+  let remap_vals = List.filter_map (Checkpoint.remap_value ck.ck_payload) in
+  refill t.handles ck.ck_handles remap_ops;
   refill t.params ck.ck_params Fun.id;
-  refill t.values ck.ck_values
-    (List.filter_map (Checkpoint.remap_value ck.ck_payload));
+  refill t.values ck.ck_values remap_vals;
   refill t.consumed ck.ck_consumed Fun.id;
+  (match (t.slots, ck.ck_slots) with
+  | Some s, Some sck ->
+    let restore dst src remap =
+      Array.iteri (fun i entry -> dst.(i) <- Option.map remap entry) src
+    in
+    restore s.sl_handles sck.sck_handles remap_ops;
+    restore s.sl_params sck.sck_params Fun.id;
+    restore s.sl_values sck.sck_values remap_vals;
+    restore s.sl_consumed sck.sck_consumed Fun.id
+  | _ -> ());
   Hashtbl.reset t.invalidated_payload;
   Hashtbl.iter
     (fun oid by ->
@@ -299,4 +434,16 @@ let prune t =
       let ops' = List.filter alive ops in
       if List.length ops' <> List.length ops then
         Hashtbl.replace t.handles vid ops')
-    (Hashtbl.copy t.handles)
+    (Hashtbl.copy t.handles);
+  match t.slots with
+  | None -> ()
+  | Some s ->
+    Array.iteri
+      (fun i entry ->
+        match entry with
+        | Some ops ->
+          let ops' = List.filter alive ops in
+          if List.length ops' <> List.length ops then
+            s.sl_handles.(i) <- Some ops'
+        | None -> ())
+      s.sl_handles

@@ -6,34 +6,58 @@
 
 open Ir
 
-type def = {
-  t_name : string;
-  t_summary : string;
-  t_consumes : Ircore.op -> int list;
-      (** operand indices whose handles are invalidated (Section 3.1) *)
-  t_pre : Ircore.op -> Opset.t;  (** payload op kinds consumed (Section 3.3) *)
-  t_post : Ircore.op -> Opset.t;  (** payload op kinds introduced *)
-  t_apply : State.t -> Ircore.op -> (unit, Terror.t) result;
-}
-
-let registry : (string, def) Hashtbl.t = Hashtbl.create 32
-
 let no_indices (_ : Ircore.op) = []
 let no_set (_ : Ircore.op) = Opset.empty
 
-let register ?(summary = "") ?(consumes = no_indices) ?(pre = no_set)
-    ?(post = no_set) ~name apply =
+(** Compile-time metadata of a transform op, in one typed place: what the
+    interpreter needs at dispatch time ([consumes], the Section 3.3
+    conditions) and what the schedule compiler ({!Schedule}) needs to plan
+    ahead of time (arity, purity). *)
+type spec = {
+  summary : string;
+  arity : int option;
+      (** fixed operand count, when the op is not variadic; purely
+          informational metadata for introspection tools *)
+  consumes : Ircore.op -> int list;
+      (** operand indices whose handles are invalidated (Section 3.1) *)
+  pure : bool;
+      (** never mutates payload IR (only reads it or manipulates handles
+          and parameters); lets the compiled path skip the
+          [expensive_checks] re-verification after the op *)
+  pre : Ircore.op -> Opset.t;  (** payload op kinds consumed (Section 3.3) *)
+  post : Ircore.op -> Opset.t;  (** payload op kinds introduced *)
+}
+
+let default_spec =
+  {
+    summary = "";
+    arity = None;
+    consumes = no_indices;
+    pure = false;
+    pre = no_set;
+    post = no_set;
+  }
+
+type def = {
+  t_name : string;
+  t_spec : spec;
+  t_apply : State.t -> Ircore.op -> (unit, Terror.t) result;
+}
+
+(* spec accessors: consumers read metadata through these rather than
+   projecting record fields, so the spec can keep growing *)
+let summary def = def.t_spec.summary
+let consumes def op = def.t_spec.consumes op
+let is_pure def = def.t_spec.pure
+let pre def op = def.t_spec.pre op
+let post def op = def.t_spec.post op
+
+let registry : (string, def) Hashtbl.t = Hashtbl.create 32
+
+let register ?(spec = default_spec) ~name apply =
   if Hashtbl.mem registry name then
     invalid_arg (Fmt.str "transform op %s already registered" name);
-  Hashtbl.replace registry name
-    {
-      t_name = name;
-      t_summary = summary;
-      t_consumes = consumes;
-      t_pre = pre;
-      t_post = post;
-      t_apply = apply;
-    }
+  Hashtbl.replace registry name { t_name = name; t_spec = spec; t_apply = apply }
 
 let lookup name = Hashtbl.find_opt registry name
 

@@ -36,7 +36,7 @@ let run_one ctx ~simplify ~config_name ~iconfig () =
   let md = Workloads.Matmul.build_module ~m:32 ~n:32 ~k:16 () in
   let result, seconds =
     time (fun () ->
-        Transform.Interp.apply ~config:iconfig ctx ~script ~payload:md)
+        Transform.Schedule.run ~mode:`Interpret ~config:iconfig ctx ~script ~payload:md)
   in
   match result with
   | Ok steps -> { config = config_name; steps; seconds; ok = true }
@@ -86,7 +86,7 @@ let dynamic_check_overhead ctx =
     Gc.major ();
     let (), t =
       time (fun () ->
-          match Transform.Interp.apply ~config ctx ~script ~payload:md with
+          match Transform.Schedule.run ~mode:`Interpret ~config ctx ~script ~payload:md with
           | Ok _ -> ()
           | Error e -> failwith (Transform.Terror.to_string e))
     in

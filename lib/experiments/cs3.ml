@@ -42,7 +42,7 @@ let probe ctx patterns =
            deltas isolate the pattern subset under test *)
         Transform.Build.apply_patterns rw f patterns)
   in
-  (match Transform.Interp.apply ctx ~script ~payload:md with
+  (match Transform.Schedule.run ctx ~script ~payload:md with
   | Ok _ -> ()
   | Error e -> failwith (Transform.Terror.to_string e));
   let est = (Interp.Fusion_model.estimate (Workloads.Llm.func_of md)).Interp.Fusion_model.total_seconds in

@@ -33,7 +33,7 @@ let run_variant ctx ~name transform_script =
   (match transform_script with
   | None -> ()
   | Some script -> (
-    match Transform.Interp.apply ctx ~script ~payload:md with
+    match Transform.Schedule.run ctx ~script ~payload:md with
     | Ok _ -> ()
     | Error e ->
       failwith (Fmt.str "%s: %s" name (Transform.Terror.to_string e))));
@@ -94,7 +94,7 @@ let structured_variant ctx =
             (fun brw -> Transform.Build.structured_to_loops brw inner);
           ])
   in
-  (match Transform.Interp.apply ctx ~script ~payload:md with
+  (match Transform.Schedule.run ctx ~script ~payload:md with
   | Ok _ -> ()
   | Error e -> failwith (Transform.Terror.to_string e));
   match Workloads.Matmul.run_matmul ~ir_ctx:ctx ~m ~n ~k md with

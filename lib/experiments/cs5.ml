@@ -63,7 +63,7 @@ let script_for cfg =
 (** Simulated runtime of the kernel under configuration [cfg]. *)
 let evaluate ctx cfg =
   let md = Workloads.Matmul.build_module ~order:Workloads.Matmul.Ikj ~m ~n ~k () in
-  match Transform.Interp.apply ctx ~script:(script_for cfg) ~payload:md with
+  match Transform.Schedule.run ctx ~script:(script_for cfg) ~payload:md with
   | Error e ->
     failwith (Fmt.str "cs5 transform failed (%d/%d/%d/%b): %s" cfg.ti cfg.tk
                 cfg.tj cfg.vectorize

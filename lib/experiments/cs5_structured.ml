@@ -47,7 +47,7 @@ let script_for cfg =
 
 let evaluate ctx cfg =
   let md = Workloads.Matmul.build_linalg_module ~m ~n ~k () in
-  match Transform.Interp.apply ctx ~script:(script_for cfg) ~payload:md with
+  match Transform.Schedule.run ctx ~script:(script_for cfg) ~payload:md with
   | Error e ->
     failwith
       (Fmt.str "structured autotune transform failed: %s"

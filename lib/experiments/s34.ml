@@ -101,7 +101,7 @@ let run_level ctx (name, level) =
   let script = script_for level in
   let inferred = Transform.Introspect.infer_add_kinds script in
   let md = payload () in
-  (match Transform.Interp.apply ctx ~script ~payload:md with
+  (match Transform.Schedule.run ctx ~script ~payload:md with
   | Ok _ -> ()
   | Error e -> failwith (Fmt.str "%s: %s" name (Transform.Terror.to_string e)));
   {

@@ -53,7 +53,7 @@ let run_model ?(reps = 5) ctx spec =
     Gc.major ();
     let (), t =
       time (fun () ->
-          match Transform.Interp.apply ctx ~script ~payload:md with
+          match Transform.Schedule.run ~mode:`Interpret ctx ~script ~payload:md with
           | Ok _ -> ()
           | Error e ->
             failwith

@@ -222,7 +222,7 @@ let run_campaign ?config ?(prob = 0.2) ?out_dir
          violations *)
       Context.with_diag_handler ctx ignore (fun () ->
           with_injector inj (fun () ->
-              match Transform.Interp.apply ctx ~script ~payload:m with
+              match Transform.Schedule.run ctx ~script ~payload:m with
               | Ok _ -> `Ok
               | Error (Transform.Terror.Silenceable d) -> `Silenceable d
               | Error (Transform.Terror.Definite d) -> `Definite d

@@ -198,6 +198,129 @@ let run_all ctx ?(pipelines = default_pipelines) m =
       if applicable ~pipeline m then differential ctx ~pipeline m else Ok ())
     (Ok ()) pipelines
 
+(* ------------------------------------------------------------------ *)
+(* Schedule differential: compiled vs interpreted transform execution   *)
+(* ------------------------------------------------------------------ *)
+
+(** Transform scripts the schedule differential cycles through. Each
+    variant targets a distinct slice of the schedule compiler: pure
+    compiled dispatch, handle fan-out, consuming pass application,
+    interpreter-fallback constructs ([alternatives], nested suppress
+    sequences), compile-time [include] inlining, pre-frozen pattern sets
+    and loop transforms that fail silenceably on loop-free payloads —
+    failure parity is part of the contract. *)
+let schedule_script_variants = 8
+
+let schedule_script ~variant =
+  let module B = Transform.Build in
+  match variant mod schedule_script_variants with
+  | 0 ->
+    (* straight-line dispatch: match, annotate, params *)
+    B.script (fun rw root ->
+        let funcs = B.match_op rw ~name:"func.func" root in
+        B.annotate rw ~name:"fuzz.visited" funcs;
+        ignore (B.param_constant rw 42);
+        let all = B.match_op rw ~dialect:"arith" root in
+        B.annotate rw ~name:"fuzz.arith" all)
+  | 1 ->
+    (* handle fan-out: split a two-op match; fails silenceably when the
+       payload has a different arith.addi count — parity either way *)
+    B.script (fun rw root ->
+        let adds = B.match_op rw ~name:"arith.addi" root in
+        match B.split_handle rw ~n:2 adds with
+        | [ a; _ ] -> B.annotate rw ~name:"fuzz.first" a
+        | _ -> ())
+  | 2 ->
+    (* consuming dispatch: registered pass application *)
+    B.script (fun rw root ->
+        let next = B.apply_registered_pass rw ~pass_name:"canonicalize" root in
+        ignore (B.apply_registered_pass rw ~pass_name:"cse" next))
+  | 3 ->
+    (* interpreter fallback: transactional alternatives *)
+    B.script (fun rw root ->
+        B.alternatives rw
+          [
+            (fun brw ->
+              ignore (B.apply_registered_pass brw ~pass_name:"licm" root));
+            (fun brw -> ignore (B.match_op brw ~name:"func.func" root));
+          ])
+  | 4 ->
+    (* interpreter fallback: nested suppress sequence *)
+    B.script (fun rw _root ->
+        ignore
+          (B.nested_sequence rw ~failure_propagation:"suppress"
+             (fun brw seq_root ->
+               ignore
+                 (B.apply_registered_pass brw ~pass_name:"canonicalize"
+                    seq_root))))
+  | 5 ->
+    (* compile-time include inlining with a yielded handle *)
+    let m =
+      B.script (fun rw root ->
+          let inc = B.include_ rw ~target:"helper" [ root ] ~results:1 in
+          B.annotate rw ~name:"fuzz.included" (Ircore.result ~index:0 inc))
+    in
+    ignore
+      (B.named_sequence m ~name:"helper" ~num_args:1 (fun rw args ->
+           let funcs = B.match_op rw ~name:"func.func" (List.hd args) in
+           B.annotate rw ~name:"fuzz.helper" funcs;
+           [ funcs ]));
+    m
+  | 6 ->
+    (* pre-frozen pattern sets (names resolved at compile time) *)
+    B.script (fun rw root ->
+        B.apply_patterns rw root
+          (match Dialects.Shlo_patterns.names () with
+          | a :: b :: _ -> [ a; b ]
+          | names -> names))
+  | _ ->
+    (* loop transform: silenceable failure on loop-free payloads *)
+    B.script (fun rw root ->
+        let loops = B.match_op rw ~name:"scf.for" root in
+        B.loop_unroll rw ~factor:2 loops)
+
+let schedule_outcome_to_string = function
+  | Ok steps -> Fmt.str "ok after %d steps" steps
+  | Error e ->
+    Fmt.str "%s error: %s"
+      (if Transform.Terror.is_silenceable e then "silenceable" else "definite")
+      (Transform.Terror.to_string e)
+
+(** Apply [script] to two clones of [m], once interpreted and once through
+    a freshly compiled (uncached) schedule, and require identical outcomes
+    — same success/error and step count — and byte-identical payload IR. *)
+let schedule_differential ctx ~script m =
+  let module_text = Printer.op_to_string m in
+  let m_interp = Ircore.clone_op m and m_compiled = Ircore.clone_op m in
+  let r_interp =
+    Transform.Schedule.run ~mode:`Interpret ctx ~script ~payload:m_interp
+  in
+  let schedule = Transform.Schedule.of_script ctx script in
+  let r_compiled = Transform.Schedule.apply schedule ~payload:m_compiled in
+  let outcomes_agree =
+    match (r_interp, r_compiled) with
+    | Ok a, Ok b -> a = b
+    | Error a, Error b ->
+      Transform.Terror.is_silenceable a = Transform.Terror.is_silenceable b
+      && String.equal (Transform.Terror.to_string a)
+           (Transform.Terror.to_string b)
+    | _ -> false
+  in
+  if not outcomes_agree then
+    fail ~oracle:"schedule-differential" ~module_text
+      "outcomes diverge: interpreted %s, compiled %s"
+      (schedule_outcome_to_string r_interp)
+      (schedule_outcome_to_string r_compiled)
+  else
+    let s_interp = Printer.op_to_string m_interp in
+    let s_compiled = Printer.op_to_string m_compiled in
+    if String.equal s_interp s_compiled then Ok ()
+    else
+      fail ~oracle:"schedule-differential" ~module_text
+        "payload IR diverges after %s\ninterpreted:\n%s\ncompiled:\n%s"
+        (schedule_outcome_to_string r_interp)
+        s_interp s_compiled
+
 (** Re-runnable check for the shrinker: does [m] still exhibit a failure of
     the same oracle (and pipeline, if any)? *)
 let recheck ctx ?(pipelines = default_pipelines) ~(witness : failure) m =

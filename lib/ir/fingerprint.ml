@@ -1,0 +1,200 @@
+(** Structural fingerprints of IR: a fast FNV-style hash over an op's name,
+    attributes, types, region structure and internal SSA wiring.
+
+    The fingerprint is {e structural}: two ops that print identically hash
+    identically, independent of op/value identities, creation order or
+    source locations. Values are numbered locally in traversal order
+    (block arguments when their block is entered, results when their op is
+    visited, free references on first encounter), so the hash is stable
+    across parse → print → parse roundtrips — the property the
+    content-addressed schedule cache in {!Transform.Schedule} relies on.
+    It is equally usable for CSE-style structural equivalence classes or
+    an [otd_server]-style result cache.
+
+    This is a hash, not a proof of equality: distinct structures can in
+    principle collide (63-bit space), so callers caching by fingerprint
+    trade a vanishingly small collision probability for O(size) keying. *)
+
+(* FNV-1a over the native int width; OCaml ints wrap silently, which is
+   exactly what an avalanche-by-multiplication hash wants *)
+let fnv_prime = 0x100000001b3
+let fnv_offset = 0x3f29ce484222325
+
+type t = int
+
+let to_hex (fp : t) = Fmt.str "%016x" (fp land max_int)
+
+(** Order-dependent combination of two fingerprints. *)
+let combine (a : t) (b : t) : t = (a lxor (b + 0x9e3779b9 + (a lsl 6))) * fnv_prime
+
+type ctx = {
+  mutable h : int;
+  values : (int, int) Hashtbl.t;  (** value id -> local number *)
+  blocks : (int, int) Hashtbl.t;  (** block id -> local number *)
+  mutable next_value : int;
+  mutable next_block : int;
+  typ_memo : (Typ.t, int) Hashtbl.t;
+}
+
+let mix c k = c.h <- (c.h lxor k) * fnv_prime
+
+let mix_string c s =
+  for i = 0 to String.length s - 1 do
+    mix c (Char.code (String.unsafe_get s i))
+  done;
+  (* length separator: "ab"+"c" must differ from "a"+"bc" *)
+  mix c (String.length s lxor 0x5f)
+
+(* numbering is first-encounter order: defs are visited before uses in
+   well-formed IR, and even forward/free references number deterministically
+   because the traversal order itself is deterministic *)
+let value_num c (v : Ircore.value) =
+  match Hashtbl.find_opt c.values v.Ircore.v_id with
+  | Some n -> n
+  | None ->
+    let n = c.next_value in
+    c.next_value <- n + 1;
+    Hashtbl.replace c.values v.Ircore.v_id n;
+    n
+
+let block_num c (b : Ircore.block) =
+  match Hashtbl.find_opt c.blocks b.Ircore.b_id with
+  | Some n -> n
+  | None ->
+    let n = c.next_block in
+    c.next_block <- n + 1;
+    Hashtbl.replace c.blocks b.Ircore.b_id n;
+    n
+
+(* types recur rarely and repeat often; hash each distinct type once via its
+   canonical rendering and memoize by structure *)
+let mix_typ c t =
+  let k =
+    match Hashtbl.find_opt c.typ_memo t with
+    | Some k -> k
+    | None ->
+      let sub =
+        { c with h = fnv_offset; typ_memo = Hashtbl.create 1 }
+      in
+      mix_string sub (Fmt.str "%a" Typ.pp t);
+      Hashtbl.replace c.typ_memo t sub.h;
+      sub.h
+  in
+  mix c k
+
+let rec mix_attr c (a : Attr.t) =
+  match a with
+  | Attr.Unit -> mix c 1
+  | Attr.Bool b -> mix c (if b then 2 else 3)
+  | Attr.Int (v, t) ->
+    mix c 4;
+    mix c v;
+    mix_typ c t
+  | Attr.Float (v, t) ->
+    mix c 5;
+    mix c (Int64.to_int (Int64.bits_of_float v));
+    mix_typ c t
+  | Attr.String s ->
+    mix c 6;
+    mix_string c s
+  | Attr.Type t ->
+    mix c 7;
+    mix_typ c t
+  | Attr.Array xs ->
+    mix c 8;
+    List.iter (mix_attr c) xs;
+    mix c (List.length xs)
+  | Attr.Int_array xs ->
+    mix c 9;
+    List.iter (mix c) xs;
+    mix c (List.length xs)
+  | Attr.Dense_int (xs, t) ->
+    mix c 10;
+    List.iter (mix c) xs;
+    mix c (List.length xs);
+    mix_typ c t
+  | Attr.Dense_float (xs, t) ->
+    mix c 11;
+    List.iter (fun f -> mix c (Int64.to_int (Int64.bits_of_float f))) xs;
+    mix c (List.length xs);
+    mix_typ c t
+  | Attr.Dict kvs ->
+    mix c 12;
+    List.iter
+      (fun (k, v) ->
+        mix_string c k;
+        mix_attr c v)
+      kvs
+  | Attr.Symbol_ref (root, nested) ->
+    mix c 13;
+    mix_string c root;
+    List.iter (mix_string c) nested
+  | Attr.Affine_map m ->
+    mix c 14;
+    mix_string c (Fmt.str "%a" Affine.pp_map m)
+
+let rec mix_op c (op : Ircore.op) =
+  mix c 0x0b;
+  mix_string c op.Ircore.op_name;
+  Array.iter (fun v -> mix c (value_num c v)) op.Ircore.operands;
+  mix c (Array.length op.Ircore.operands);
+  Array.iter
+    (fun (v : Ircore.value) ->
+      mix_typ c v.Ircore.v_typ;
+      ignore (value_num c v))
+    op.Ircore.results;
+  mix c (Array.length op.Ircore.results);
+  List.iter
+    (fun (k, v) ->
+      mix_string c k;
+      mix_attr c v)
+    op.Ircore.attrs;
+  Array.iter (fun b -> mix c (block_num c b)) op.Ircore.successors;
+  List.iter (mix_region c) op.Ircore.regions;
+  mix c (List.length op.Ircore.regions)
+
+and mix_region c r =
+  mix c 0x17;
+  List.iter (mix_block c) (Ircore.region_blocks r)
+
+and mix_block c b =
+  mix c 0x1d;
+  ignore (block_num c b);
+  List.iter
+    (fun (v : Ircore.value) ->
+      mix_typ c v.Ircore.v_typ;
+      ignore (value_num c v))
+    (Ircore.block_args b);
+  List.iter (mix_op c) (Ircore.block_ops b)
+
+(** Structural fingerprint of [op] and everything nested under it. *)
+let op (root : Ircore.op) : t =
+  let c =
+    {
+      h = fnv_offset;
+      values = Hashtbl.create 64;
+      blocks = Hashtbl.create 8;
+      next_value = 0;
+      next_block = 0;
+      typ_memo = Hashtbl.create 16;
+    }
+  in
+  mix_op c root;
+  c.h
+
+(** Fingerprint of an attribute alone (e.g. a configuration dictionary). *)
+let attr (a : Attr.t) : t =
+  let c =
+    {
+      h = fnv_offset;
+      values = Hashtbl.create 1;
+      blocks = Hashtbl.create 1;
+      next_value = 0;
+      next_block = 0;
+      typ_memo = Hashtbl.create 4;
+    }
+  in
+  mix_attr c a;
+  c.h
+
+let equal (a : t) (b : t) = a = b

@@ -298,7 +298,7 @@ let test_trace_transform_ops () =
   let sink = Trace.create () in
   (match
      Trace.with_sink sink (fun () ->
-         Transform.Interp.apply ctx ~script ~payload:md)
+         Transform.Schedule.run ctx ~script ~payload:md)
    with
   | Ok _ -> ()
   | Error e -> Alcotest.fail (Transform.Terror.to_string e));

@@ -23,7 +23,7 @@ let test_transform_tile_preserves_semantics () =
         let _tiles, _points = Transform.Build.loop_tile rw ~sizes:[ 8; 8 ] loop in
         ())
   in
-  (match Transform.Interp.apply ctx ~script ~payload:md with
+  (match Transform.Schedule.run ctx ~script ~payload:md with
   | Ok _ -> ()
   | Error e -> Alcotest.failf "transform failed: %s" (Transform.Terror.to_string e));
   check_verifies "tiled" md;
@@ -52,7 +52,7 @@ let test_split_tile_library () =
           ];
         Transform.Build.loop_unroll_full rw rest)
   in
-  (match Transform.Interp.apply ctx ~script ~payload:md with
+  (match Transform.Schedule.run ctx ~script ~payload:md with
   | Ok _ -> ()
   | Error e -> Alcotest.failf "transform failed: %s" (Transform.Terror.to_string e));
   check_verifies "libraryized" md;

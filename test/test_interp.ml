@@ -335,7 +335,7 @@ let matmul_seconds ?order ?transform ~m ~n ~k () =
   let md = Workloads.Matmul.build_module ?order ~m ~n ~k () in
   (match transform with
   | Some script -> (
-    match Transform.Interp.apply ctx ~script ~payload:md with
+    match Transform.Schedule.run ctx ~script ~payload:md with
     | Ok _ -> ()
     | Error e -> Alcotest.fail (Transform.Terror.to_string e))
   | None -> ());
@@ -528,7 +528,7 @@ let test_fusion_model_culprit_regresses () =
           let f = Transform.Build.match_op rw ~name:"func.func" root in
           if patterns <> [] then Transform.Build.apply_patterns rw f patterns)
     in
-    (match Transform.Interp.apply ctx ~script ~payload:md with
+    (match Transform.Schedule.run ctx ~script ~payload:md with
     | Ok _ -> ()
     | Error e -> Alcotest.fail (Transform.Terror.to_string e));
     (Interp.Fusion_model.estimate (Workloads.Llm.func_of md))

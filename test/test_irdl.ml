@@ -195,7 +195,7 @@ let test_dynamic_check_catches_buggy_pass () =
              root))
   in
   let config = { T.State.default_config with T.State.check_conditions = true } in
-  (match T.Interp.apply ~config ctx ~script ~payload:md with
+  (match T.Schedule.run ~config ctx ~script ~payload:md with
   | Ok _ -> Alcotest.fail "buggy pass not caught"
   | Error (T.Terror.Definite m) ->
     check cb "post-condition violation reported" true (String.length (Diag.message m) > 0)
@@ -209,7 +209,7 @@ let test_dynamic_check_catches_buggy_pass () =
           (T.Build.apply_registered_pass rw ~pass_name:"test-buggy-lowering"
              root))
   in
-  match T.Interp.apply ctx ~script:script2 ~payload:md2 with
+  match T.Schedule.run ctx ~script:script2 ~payload:md2 with
   | Ok _ -> ()
   | Error e -> Alcotest.failf "unchecked run failed: %s" (T.Terror.to_string e)
 
@@ -221,7 +221,7 @@ let test_dynamic_check_accepts_accurate_pass () =
           (T.Build.apply_registered_pass rw ~pass_name:"convert-scf-to-cf" root))
   in
   let config = { T.State.default_config with T.State.check_conditions = true } in
-  match T.Interp.apply ~config ctx ~script ~payload:md with
+  match T.Schedule.run ~config ctx ~script ~payload:md with
   | Ok _ -> ()
   | Error e ->
     Alcotest.failf "accurate pass rejected: %s" (T.Terror.to_string e)
@@ -236,7 +236,7 @@ let test_dynamic_check_expand_strided_metadata () =
              ~pass_name:"expand-strided-metadata" root))
   in
   let config = { T.State.default_config with T.State.check_conditions = true } in
-  match T.Interp.apply ~config ctx ~script ~payload:md with
+  match T.Schedule.run ~config ctx ~script ~payload:md with
   | Ok _ -> ()
   | Error e -> Alcotest.failf "expand rejected: %s" (T.Terror.to_string e)
 

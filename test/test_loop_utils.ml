@@ -417,7 +417,7 @@ let test_fuse_transform_op () =
         let l2 = Transform.Build.match_op rw ~select:"second" ~name:"scf.for" root in
         ignore (Transform.Build.loop_fuse rw l1 l2))
   in
-  (match Transform.Interp.apply ctx ~script ~payload:md with
+  (match Transform.Schedule.run ctx ~script ~payload:md with
   | Ok _ -> ()
   | Error e -> Alcotest.fail (Transform.Terror.to_string e));
   check ci "fused via transform" 1
@@ -431,7 +431,7 @@ let test_peel_transform_op () =
         let peeled, _rest = Transform.Build.loop_peel rw ~iterations:3 l in
         Transform.Build.loop_unroll_full rw peeled)
   in
-  (match Transform.Interp.apply ctx ~script ~payload:md with
+  (match Transform.Schedule.run ctx ~script ~payload:md with
   | Ok _ -> ()
   | Error e -> Alcotest.fail (Transform.Terror.to_string e));
   check cb "correct after peel+unroll" true (run_1d 23 md = expected_1d 23)

@@ -355,7 +355,7 @@ let test_inline_keeps_external_calls () =
         let loop = Transform.Build.match_op rw ~select:"first" ~name:"scf.for" root in
         Transform.Build.to_library rw ~library:"libxsmm" loop)
   in
-  (match Transform.Interp.apply ctx ~script ~payload:md with
+  (match Transform.Schedule.run ctx ~script ~payload:md with
   | Ok _ -> ()
   | Error e -> Alcotest.fail (Transform.Terror.to_string e));
   run_pass "inline" md;

@@ -23,7 +23,11 @@ let raise_op = "transform.test_raise"
    names keep this safe even though every test binary links this module. *)
 let () =
   T.Treg.register ~name:mutate_then_fail_op
-    ~summary:"stamp every target payload op, then fail silenceably"
+    ~spec:
+      {
+        T.Treg.default_spec with
+        summary = "stamp every target payload op, then fail silenceably";
+      }
     (fun st op ->
       match T.State.lookup_handle st (Ircore.operand ~index:0 op) with
       | Error _ as e -> e
@@ -35,7 +39,12 @@ let () =
           "test transform failed after mutating %d payload op(s)"
           (List.length payload));
   T.Treg.register ~name:raise_op
-    ~summary:"raise an OCaml exception mid-transform" (fun st op ->
+    ~spec:
+      {
+        T.Treg.default_spec with
+        summary = "raise an OCaml exception mid-transform";
+      }
+    (fun st op ->
       (match T.State.lookup_handle st (Ircore.operand ~index:0 op) with
       | Ok (p :: _) -> Ircore.set_attr p "test.mutated" Attr.Unit
       | _ -> ());

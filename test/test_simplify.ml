@@ -120,7 +120,7 @@ let test_run_combined_then_execute () =
   (match T.Simplify.run script with
   | Ok (folded, _) -> check cb "folded some" true (folded >= 2)
   | Error e -> Alcotest.fail e);
-  (match T.Interp.apply ctx ~script ~payload:md with
+  (match T.Schedule.run ctx ~script ~payload:md with
   | Ok _ -> ()
   | Error e -> Alcotest.fail (T.Terror.to_string e));
   check ci "tiled" 5 (count "scf.for" md)
@@ -138,10 +138,10 @@ let test_simplified_equals_unsimplified () =
   in
   let md1 = Workloads.Matmul.build_module ~m:8 ~n:8 ~k:4 () in
   let md2 = Workloads.Matmul.build_module ~m:8 ~n:8 ~k:4 () in
-  ignore (T.Interp.apply ctx ~script:(build_script ()) ~payload:md1);
+  ignore (T.Schedule.run ctx ~script:(build_script ()) ~payload:md1);
   let s2 = build_script () in
   (match T.Simplify.run s2 with Ok _ -> () | Error e -> Alcotest.fail e);
-  ignore (T.Interp.apply ctx ~script:s2 ~payload:md2);
+  ignore (T.Schedule.run ctx ~script:s2 ~payload:md2);
   check Alcotest.string "same transformed IR"
     (Printer.op_to_string md1) (Printer.op_to_string md2)
 

@@ -105,7 +105,7 @@ let test_transform_tile_to_library () =
             (fun brw -> T.Build.structured_to_loops brw inner);
           ])
   in
-  (match T.Interp.apply ctx ~script ~payload:md with
+  (match T.Schedule.run ctx ~script ~payload:md with
   | Ok _ -> ()
   | Error e -> Alcotest.fail (T.Terror.to_string e));
   check cb "library call present" true (count "func.call" md >= 1);
@@ -126,7 +126,7 @@ let test_transform_alternative_falls_back_to_loops () =
             (fun brw -> T.Build.structured_to_loops brw inner);
           ])
   in
-  (match T.Interp.apply ctx ~script ~payload:md with
+  (match T.Schedule.run ctx ~script ~payload:md with
   | Ok _ -> ()
   | Error e -> Alcotest.fail (T.Terror.to_string e));
   check ci "no library call (fell back)" 0 (count "func.call" md);
@@ -146,7 +146,7 @@ let test_microkernel_beats_loops () =
             T.Build.structured_to_library rw ~library:"libxsmm" inner
           else T.Build.structured_to_loops rw inner)
     in
-    (match T.Interp.apply ctx ~script ~payload:md with
+    (match T.Schedule.run ctx ~script ~payload:md with
     | Ok _ -> ()
     | Error e -> Alcotest.fail (T.Terror.to_string e));
     (check_matmul ~m ~n ~k md).Interp.Machine.r_seconds

@@ -47,7 +47,7 @@ let test_textual_script_applies () =
   let payload = parse payload_src in
   let script = parse script_src in
   Verifier.verify_or_fail ctx script;
-  (match T.Interp.apply ctx ~script ~payload with
+  (match T.Schedule.run ctx ~script ~payload with
   | Ok steps -> check ci "3 transforms" 3 steps
   | Error e -> Alcotest.fail (T.Terror.to_string e));
   Verifier.verify_or_fail ctx payload;
@@ -87,7 +87,7 @@ let test_shipped_assets () =
     let script = parse (read_file s) in
     Verifier.verify_or_fail ctx payload;
     Verifier.verify_or_fail ctx script;
-    (match T.Interp.apply ctx ~script ~payload with
+    (match T.Schedule.run ctx ~script ~payload with
     | Ok _ -> ()
     | Error e -> Alcotest.fail (T.Terror.to_string e));
     Verifier.verify_or_fail ctx payload;
@@ -115,7 +115,7 @@ let test_bad_script_reports () =
   }) {sym_name = "__transform_main"} : () -> ()
 }) : () -> ()|}
   in
-  match T.Interp.apply ctx ~script:bad ~payload with
+  match T.Schedule.run ctx ~script:bad ~payload with
   | Ok _ -> Alcotest.fail "expected unknown-transform error"
   | Error (T.Terror.Definite m) ->
     check cb "mentions the op" true (String.length (Diag.message m) > 0)

@@ -282,7 +282,7 @@ let test_sequence_suppress () =
     T.Build.sequence ~failure_propagation:"suppress" (fun rw root ->
         ignore (T.Build.match_op rw ~select:"first" ~name:"scf.while" root))
   in
-  match T.Interp.apply ctx ~script:inner_seq ~payload:md with
+  match T.Schedule.run ctx ~script:inner_seq ~payload:md with
   | Ok _ -> ()
   | Error e -> Alcotest.failf "suppression failed: %s" (T.Terror.to_string e)
 
@@ -390,7 +390,7 @@ let test_handles_track_pattern_replacements () =
         (* the handle now points at the replacement op *)
         T.Build.annotate rw ~name:"tracked" negs)
   in
-  (match T.Interp.apply ctx ~script ~payload:md with
+  (match T.Schedule.run ctx ~script ~payload:md with
   | Ok _ -> ()
   | Error e -> Alcotest.fail (T.Terror.to_string e));
   let tracked = Symbol.collect md ~f:(fun o -> Ircore.has_attr o "tracked") in
@@ -419,7 +419,7 @@ let test_handles_drop_erased_payload () =
            error *)
         T.Build.annotate rw ~name:"gone" adds)
   in
-  (match T.Interp.apply ctx ~script ~payload:md with
+  (match T.Schedule.run ctx ~script ~payload:md with
   | Ok _ -> ()
   | Error e -> Alcotest.fail (T.Terror.to_string e));
   check ci "handle emptied" 0

@@ -47,7 +47,7 @@ let check_verifies what m =
 (* ---------------- transform scripts ---------------- *)
 
 let apply ?config script payload =
-  Transform.Interp.apply ?config ctx ~script ~payload
+  Transform.Schedule.run ?config ctx ~script ~payload
 
 let apply_ok ?config script payload =
   match apply ?config script payload with
