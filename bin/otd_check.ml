@@ -13,9 +13,10 @@ let read_file path =
 
 (** What the schedule compiler would make of the script: compiled or
     degraded to interpretation, instruction/fallback/slot counts, the
-    content-address, and any static use-after-consume diagnostics. *)
-let pp_schedule_report ctx script =
-  let s = Transform.Schedule.of_script ctx script in
+    content-address, and any static use-after-consume diagnostics. Takes
+    the already-computed schedule so [--schedule] and [--flow] describe
+    the same lowering decision. *)
+let pp_schedule_report s =
   Fmt.pr "@.// -----// schedule compilation //----- //@.";
   Fmt.pr "fingerprint:   %s@."
     (Ir.Fingerprint.to_hex (Transform.Schedule.fingerprint s));
@@ -33,7 +34,24 @@ let pp_schedule_report ctx script =
     Fmt.pr "static use-after-consume diagnostics:@.";
     List.iter (fun d -> Fmt.pr "  %a@." Transform.Invalidation.pp_diagnostic d) ds
 
-let run pipeline script_file initial final schedule =
+(** Annotation-flow check of a transform script: per-handle property
+    propagation ([requires]/[ensures] of every registered transform)
+    threaded with the op-kind layer. The degradation line is derived from
+    the same schedule as [--schedule], so the two flags agree on it by
+    construction. *)
+let pp_flow_report s ~initial ~final script =
+  let r = Transform.Flowcheck.check ~initial ~final script in
+  Fmt.pr "@.// -----// annotation flow //----- //@.";
+  (match Transform.Schedule.interpreted_reason s with
+  | None -> Fmt.pr "schedule form: compiled@."
+  | Some reason -> Fmt.pr "schedule form: interpreted (%s)@." reason);
+  (match r.Transform.Flowcheck.fr_final with
+  | Some present -> Fmt.pr "final op kinds: %a@." Ir.Opset.pp present
+  | None -> ());
+  Fmt.pr "%a" Transform.Flowcheck.pp_report r;
+  r
+
+let run pipeline script_file initial final schedule flow =
   let ctx = Transform.Register.full_context () in
   let initial = Ir.Opset.parse initial in
   let final = Ir.Opset.parse final in
@@ -57,13 +75,37 @@ let run pipeline script_file initial final schedule =
   | Error e -> `Error (false, e)
   | Ok (report, script) ->
     Fmt.pr "%a" Transform.Conditions.pp_report report;
-    (match (schedule, script) with
-    | true, Some script -> pp_schedule_report ctx script
+    (* one schedule shared by --schedule and --flow, so the two sections
+       cannot disagree about degradation to interpreted form *)
+    let sched =
+      match script with
+      | Some script when schedule || flow ->
+        Some (Transform.Schedule.of_script ctx script)
+      | _ -> None
+    in
+    (match (schedule, sched) with
+    | true, Some s -> pp_schedule_report s
     | true, None ->
       Fmt.epr "note: --schedule needs a transform script, not a pipeline@."
     | false, _ -> ());
-    if Transform.Conditions.ok report then `Ok ()
-    else `Error (false, "pipeline violates its conditions")
+    let flow_report =
+      match (flow, script, sched) with
+      | true, Some script, Some s ->
+        Some (pp_flow_report s ~initial ~final script)
+      | true, _, _ ->
+        Fmt.epr "note: --flow needs a transform script, not a pipeline@.";
+        None
+      | false, _, _ -> None
+    in
+    let flow_ok =
+      match flow_report with
+      | Some r -> Transform.Flowcheck.ok r
+      | None -> true
+    in
+    if Transform.Conditions.ok report && flow_ok then `Ok ()
+    else if not (Transform.Conditions.ok report) then
+      `Error (false, "pipeline violates its conditions")
+    else `Error (false, "script fails the annotation-flow check")
 
 let pipeline =
   Arg.(
@@ -101,10 +143,23 @@ let schedule =
               slots, and the content-address (structural fingerprint) \
               under which applications would be cached.")
 
+let flow =
+  Arg.(
+    value & flag
+    & info [ "flow" ]
+        ~doc:"Also run the static annotation-flow checker over the \
+              transform script: propagate declared payload properties \
+              along handle SSA values (through includes, foreach and \
+              alternatives) and report any transform whose requires-clause \
+              cannot be met, plus flow-sensitive use-after-consume and \
+              op-kind problems. Exits non-zero on any problem.")
+
 let cmd =
   let doc = "static pre-/post-condition checker for lowering pipelines" in
   Cmd.v
     (Cmd.info "otd-check" ~doc)
-    Term.(ret (const run $ pipeline $ script_file $ initial $ final $ schedule))
+    Term.(
+      ret
+        (const run $ pipeline $ script_file $ initial $ final $ schedule $ flow))
 
 let () = exit (Cmd.eval cmd)

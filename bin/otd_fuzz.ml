@@ -47,6 +47,42 @@ let run_faults ctx config seed cases prob out_dir quiet =
   if nviol = 0 then `Ok ()
   else `Error (false, "fault injection found recovery-invariant violations")
 
+let run_flow_diff ctx config seed cases out_dir quiet =
+  let on_case i ~failed =
+    if not quiet then
+      if failed then Fmt.epr "case %d: DIVERGENCE@." i
+      else if i mod 50 = 0 then Fmt.epr "case %d...@." i
+  in
+  let stats =
+    Fuzz.Driver.run_flow_diff ~config ?out_dir ~on_case ctx ~seed ~cases ()
+  in
+  let count c =
+    match Ir.Stats.find_counter ~component:"fuzz" c with
+    | Some c -> Ir.Stats.value c
+    | None -> 0
+  in
+  let nfail = List.length stats.Fuzz.Driver.s_failures in
+  Fmt.pr
+    "otd-fuzz flow-diff: %d cases (%d statically accepted, %d rejected), %d \
+     divergence%s, %.1f s (seed %d)@."
+    stats.Fuzz.Driver.s_cases (count "flow_accepted") (count "flow_rejected")
+    nfail
+    (if nfail = 1 then "" else "s")
+    stats.Fuzz.Driver.s_seconds seed;
+  List.iter
+    (fun r ->
+      Fmt.pr "  case %d: %a%a@." r.Fuzz.Driver.r_case Fuzz.Oracle.pp_failure
+        r.Fuzz.Driver.r_failure
+        (fun fmt -> function
+          | Some p -> Fmt.pf fmt " -> %s" p
+          | None -> ())
+        r.Fuzz.Driver.r_path)
+    stats.Fuzz.Driver.s_failures;
+  if nfail = 0 then `Ok ()
+  else
+    `Error
+      (false, "static annotation-flow checker diverged from the dynamic one")
+
 let run_schedule_diff ctx config seed cases quiet =
   let on_case i ~failed =
     if not quiet then
@@ -71,7 +107,7 @@ let run_schedule_diff ctx config seed cases quiet =
   else `Error (false, "compiled and interpreted schedules diverged")
 
 let run seed cases max_ops max_depth pipeline no_shrink out_dir print_case
-    quiet profile faults schedule_diff =
+    quiet profile faults schedule_diff flow_diff =
   Printexc.record_backtrace true;
   let ctx = Transform.Register.full_context () in
   let config = { Fuzz.Gen.default_config with max_ops; max_depth } in
@@ -81,7 +117,8 @@ let run seed cases max_ops max_depth pipeline no_shrink out_dir print_case
     Fmt.pr "%a@." Ir.Printer.pp_op m;
     `Ok ()
   | None ->
-    if schedule_diff then run_schedule_diff ctx config seed cases quiet
+    if flow_diff then run_flow_diff ctx config seed cases out_dir quiet
+    else if schedule_diff then run_schedule_diff ctx config seed cases quiet
     else (
     match faults with
     | Some prob when prob < 0.0 || prob > 1.0 ->
@@ -138,6 +175,18 @@ let schedule_diff =
            module both through the sequential interpreter and through a \
            freshly compiled schedule, and requires identical outcomes and \
            byte-identical payload IR.")
+
+let flow_diff =
+  Arg.(
+    value & flag
+    & info [ "flow-diff" ]
+        ~doc:
+          "Run the flow-differential campaign instead of the oracle suite: \
+           each case generates a random transform script alongside the \
+           payload module and checks that any script the static \
+           annotation-flow checker accepts never fails a dynamic \
+           annotation-requirement check, interpreted or compiled. \
+           Divergence reproducers (the scripts) go to $(b,--out).")
 
 let seed =
   Arg.(value & opt int 0 & info [ "seed" ] ~docv:"N" ~doc:"Campaign seed.")
@@ -223,10 +272,12 @@ let cmd =
       ret
         (const
            (fun seed cases max_ops max_depth pipeline no_shrink _shrink
-                out_dir print_case quiet profile faults schedule_diff ->
+                out_dir print_case quiet profile faults schedule_diff
+                flow_diff ->
              run seed cases max_ops max_depth pipeline no_shrink out_dir
-               print_case quiet profile faults schedule_diff)
+               print_case quiet profile faults schedule_diff flow_diff)
         $ seed $ cases $ max_ops $ max_depth $ pipeline $ no_shrink $ shrink
-        $ out_dir $ print_case $ quiet $ profile $ faults $ schedule_diff))
+        $ out_dir $ print_case $ quiet $ profile $ faults $ schedule_diff
+        $ flow_diff))
 
 let () = exit (Cmd.eval cmd)

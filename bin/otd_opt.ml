@@ -64,7 +64,7 @@ type json_report = {
   mutable j_ir_after : (string * string) list;  (** pass name, IR text *)
 }
 
-let run input pipeline transform_file no_compile no_verify list_passes timing
+let run input pipeline transform_file no_compile flow_check no_verify list_passes timing
     print_ir_after_all trace diagnostics_format reproducer_path pretty profile
     stats remarks remarks_filter max_steps deadline_ms =
   Printexc.record_backtrace true;
@@ -185,7 +185,18 @@ let run input pipeline transform_file no_compile no_verify list_passes timing
             | Ok script -> (
               let t0 = Unix.gettimeofday () in
               let mode = if no_compile then `Interpret else `Compile in
-              match Transform.Schedule.run ~mode ctx ~script ~payload:m with
+              let config =
+                if flow_check then
+                  {
+                    Transform.State.default_config with
+                    Transform.State.check_annotations = true;
+                  }
+                else Transform.State.default_config
+              in
+              match
+                Transform.Schedule.run ~flow:flow_check ~mode ~config ctx
+                  ~script ~payload:m
+              with
               | Ok steps ->
                 if timing then begin
                   let seconds = Unix.gettimeofday () -. t0 in
@@ -375,6 +386,17 @@ let no_compile =
               by the script's structural fingerprint; see the \
               $(b,schedule/*) counters under $(b,--stats).")
 
+let flow_check =
+  Arg.(
+    value & flag
+    & info [ "flow-check" ]
+        ~doc:"Gate the transform script behind the static annotation-flow \
+              checker: schedules whose declared requires-clauses cannot \
+              be satisfied are rejected with structured diagnostics \
+              before any payload is touched. Also enables the dynamic \
+              annotation checker during execution, so every declared \
+              requirement is re-verified as the script runs.")
+
 let no_verify =
   Arg.(value & flag & info [ "no-verify" ] ~doc:"Skip IR verification.")
 
@@ -495,7 +517,7 @@ let cmd =
     Term.(
       ret
         (const run $ input $ pipeline $ transform_file $ no_compile
-       $ no_verify
+       $ flow_check $ no_verify
        $ list_passes $ timing $ print_ir_after_all $ trace
        $ diagnostics_format $ reproducer_path $ pretty $ profile $ stats
        $ remarks $ remarks_filter $ max_steps $ deadline_ms))

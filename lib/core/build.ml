@@ -180,6 +180,19 @@ let alternatives rw bodies =
   in
   ignore (Rewriter.build rw ~regions Ops.alternatives_op)
 
+(** [foreach rw target body]: iterate the body over each payload op of
+    [target], one at a time. The body receives a rewriter positioned in
+    the region and the per-iteration handle (the single block argument). *)
+let foreach rw target body =
+  let block = Ircore.create_block ~args:[ h ] () in
+  let brw = Rewriter.create ~ip:(Builder.At_end block) () in
+  body brw (Ircore.block_arg block 0);
+  ignore (Rewriter.build brw Ops.yield_op);
+  ignore
+    (Rewriter.build rw ~operands:[ target ]
+       ~regions:[ Ircore.region_with_block block ]
+       Ops.foreach_op)
+
 let split_handle rw ~n target =
   let op =
     Rewriter.build rw ~operands:[ target ]

@@ -62,6 +62,15 @@ let steps_of_script (script : Ircore.op) =
       | None -> ());
   List.rev !out
 
+(** One abstract step over the op-kind set: remove what the pre-condition
+    consumes, add what the post-condition introduces. Shared with the
+    per-handle present-set layer of {!Flowcheck}. *)
+let transfer ~pre ~post before = Opset.union (Opset.remove ~removed:pre before) post
+
+(** Is a step with [pre] vacuous (phase-ordering violation) against the
+    kinds currently [present]? Empty pre-conditions are never vacuous. *)
+let vacuous ~pre present = pre <> [] && not (Opset.overlaps pre present)
+
 (** Abstractly run [steps] from the [initial] op-kind set; [final] is the
     allowed result set. *)
 let check ~initial ~final steps : report =
@@ -71,11 +80,9 @@ let check ~initial ~final steps : report =
   List.iter
     (fun s ->
       let before = !current in
-      if s.s_pre <> [] && not (Opset.overlaps s.s_pre before) then
+      if vacuous ~pre:s.s_pre before then
         problems := Vacuous { step = s.s_name; pre = s.s_pre; present = before } :: !problems;
-      let after =
-        Opset.union (Opset.remove ~removed:s.s_pre before) s.s_post
-      in
+      let after = transfer ~pre:s.s_pre ~post:s.s_post before in
       trace := { t_step = s.s_name; t_before = before; t_after = after } :: !trace;
       current := after)
     steps;

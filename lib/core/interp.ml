@@ -151,6 +151,13 @@ and dispatch_registered ?consumed st (def : Treg.def) (op : Ircore.op) :
   let consumed =
     match consumed with Some c -> c | None -> Treg.consumes def op
   in
+  (* annotation requires-clauses come first: using a handle that lacks a
+     declared property is a script bug (definite), reported before any
+     payload inspection so the static checker can mirror it exactly *)
+  let* () =
+    if st.State.config.State.check_annotations then check_requires st def op
+    else Ok ()
+  in
   (* the dynamic pre-condition check applies to *consuming* transforms
      only: they demand their payload kind to be present, whereas a
      non-consuming transform (pass application, hoisting) with nothing
@@ -235,7 +242,45 @@ and dispatch_registered ?consumed st (def : Treg.def) (op : Ircore.op) :
           diags
     else Ok ()
   in
+  (* ensures-clauses are recorded only after full success, so a failed
+     transform never claims its properties *)
+  if st.State.config.State.check_annotations then record_ensures st def op;
   Ok ()
+
+(** Check the declared {!Annot} requires-clauses of [def] against the
+    accumulated property sets of the operand handles. Failures are definite
+    and tagged with {!Annot.requirement_tag} so the differential fuzz
+    oracle can tell them from other definite error classes. *)
+and check_requires st def op =
+  let rec go = function
+    | [] -> Ok ()
+    | (idx, req) :: rest ->
+      if idx >= Ircore.num_operands op then go rest
+      else
+        let ps = State.get_annots st (Ircore.operand ~index:idx op) in
+        if Annot.satisfies_exact ps req then go rest
+        else
+          Terror.definite ~loc:op.Ircore.op_loc
+            "%s of %s not met on operand #%d: needs %a, handle carries %a"
+            Annot.requirement_tag def.Treg.t_name idx Annot.pp_req req
+            Annot.pp_props ps
+  in
+  go (Treg.requires def op)
+
+(** Record the declared ensures-clauses after a successful application:
+    result targets get a fresh property set, operand targets are refined in
+    place (union). *)
+and record_ensures st def op =
+  List.iter
+    (fun (target, ps) ->
+      match target with
+      | Annot.On_result i ->
+        if i < Ircore.num_results op then
+          State.set_annots st (Ircore.result ~index:i op) ps
+      | Annot.On_operand i ->
+        if i < Ircore.num_operands op then
+          State.add_annots st (Ircore.operand ~index:i op) ps)
+    (Treg.ensures def op)
 
 (** Dynamic post-condition check (Section 3.3): after the transform runs,
 
@@ -370,6 +415,8 @@ and run_include st op =
                 Ok ()
             in
             let* () = bound in
+            if st.State.config.State.check_annotations then
+              State.copy_annots st ~src:operand ~dst:arg;
             bind (i + 1) rest
         in
         let* () = bind 0 args in
@@ -380,14 +427,18 @@ and run_include st op =
           List.iteri
             (fun i yielded ->
               if i < Ircore.num_results op then begin
-                if State.is_param_typ (Ircore.value_typ yielded) then
-                  match State.lookup_params st yielded with
-                  | Ok ps -> State.set_params st (Ircore.result ~index:i op) ps
-                  | Error _ -> ()
-                else
-                  match State.lookup_handle st yielded with
-                  | Ok ops -> State.set_handle st (Ircore.result ~index:i op) ops
-                  | Error _ -> ()
+                (if State.is_param_typ (Ircore.value_typ yielded) then
+                   match State.lookup_params st yielded with
+                   | Ok ps -> State.set_params st (Ircore.result ~index:i op) ps
+                   | Error _ -> ()
+                 else
+                   match State.lookup_handle st yielded with
+                   | Ok ops ->
+                     State.set_handle st (Ircore.result ~index:i op) ops
+                   | Error _ -> ());
+                if st.State.config.State.check_annotations then
+                  State.copy_annots st ~src:yielded
+                    ~dst:(Ircore.result ~index:i op)
               end)
             (Ircore.operands y)
         | _ -> ());
@@ -454,7 +505,12 @@ and run_foreach st op =
               i p.Ircore.op_name
           else begin
             (match Ircore.block_args body with
-            | [ arg ] -> State.set_handle st arg [ p ]
+            | [ arg ] ->
+              State.set_handle st arg [ p ];
+              (* the iteration variable inherits the iterated handle's
+                 properties afresh each round *)
+              if st.State.config.State.check_annotations then
+                State.copy_annots st ~src:(Ircore.operand ~index:0 op) ~dst:arg
             | _ -> ());
             let* () = run_block st body in
             go (i + 1) rest

@@ -28,7 +28,10 @@ type env = {
   mutable diags : diagnostic list;
 }
 
-(* transforms whose results alias (point into) their operand's payload *)
+(** Transforms whose results alias (point into) their operand's payload.
+    Exported: {!Flowcheck} reuses this aliasing relation so its
+    flow-sensitive consumption tracking agrees with this analysis on what
+    a consume invalidates. *)
 let aliasing_results op =
   match op.Ircore.op_name with
   | "transform.match_op" | "transform.get_parent" | "transform.merge_handles" ->

@@ -260,6 +260,23 @@ let loop_arith_set =
     Opset.exact "arith.constant";
   ]
 
+(* annotation-flow declarations ({!Annot}): the property sets established
+   and demanded by the transforms below. The same clauses are read by the
+   dynamic checker ([State.check_annotations]) and by the static
+   {!Flowcheck} pass, so the two can only disagree on control-flow
+   approximation, never on the specs themselves. *)
+let props l = Annot.Props.of_list l
+
+(** Properties established by a (non-identity) tiling: always "tiled",
+    plus the statically known leading tile size when the sizes come from an
+    attribute rather than parameter operands. *)
+let tiled_props op =
+  let base = props [ Annot.flag "tiled" ] in
+  match Ircore.attr op "tile_sizes" with
+  | Some (Attr.Int_array (s0 :: _)) when s0 > 0 ->
+    Annot.Props.add (Annot.keyed "tiled_by" s0) base
+  | _ -> base
+
 let register_impls () =
   (* ------------ match_op ------------ *)
   Treg.register ~name:match_op
@@ -349,6 +366,10 @@ let register_impls () =
         consumes = Treg.consumes_first;
         pre = (fun _ -> scf_for_set);
         post = (fun _ -> loop_arith_set);
+        ensures =
+          (fun _ ->
+            let ps = props [ Annot.flag "split" ] in
+            [ (Annot.On_result 0, ps); (Annot.On_result 1, ps) ]);
       }
     (fun st op ->
       let* divisor = int_config st op ~attr_name:"div_by" ~operand_index:1 in
@@ -382,6 +403,14 @@ let register_impls () =
         consumes = (fun op -> if tile_is_noop op then [] else [ 0 ]);
         pre = (fun _ -> scf_for_set);
         post = (fun _ -> loop_arith_set);
+        ensures =
+          (fun op ->
+            if tile_is_noop op then []
+            else
+              [
+                (Annot.On_result 0, tiled_props op);
+                (Annot.On_result 1, props [ Annot.flag "tiled" ]);
+              ]);
       }
     (fun st op ->
       let* sizes =
@@ -436,6 +465,9 @@ let register_impls () =
         pre = (fun _ -> scf_for_set);
         post =
           (fun _ -> [ Opset.exact "arith.constant"; Opset.exact "arith.addi" ]);
+        requires =
+          (* the scalar unroller does not understand vector loop bodies *)
+          (fun _ -> [ (0, Irdl.Not (Irdl.Atom (Annot.Has "vectorized"))) ]);
       }
     (fun st op ->
       let full = Ircore.has_attr op "full" in
@@ -467,6 +499,8 @@ let register_impls () =
         consumes = Treg.consumes_first;
         pre = (fun _ -> scf_for_set);
         post = (fun _ -> scf_for_set);
+        ensures =
+          (fun _ -> [ (Annot.On_result 0, props [ Annot.flag "interchanged" ]) ]);
       }
     (fun st op ->
       let rw = State.rewriter st in
@@ -484,6 +518,8 @@ let register_impls () =
         summary = "hoist loop-invariant ops out of the loop";
         pre = (fun _ -> scf_for_set);
         post = (fun _ -> []);
+        ensures =
+          (fun _ -> [ (Annot.On_result 0, props [ Annot.flag "hoisted" ]) ]);
       }
     (fun st op ->
       let rw = State.rewriter st in
@@ -507,6 +543,20 @@ let register_impls () =
               Opset.exact "scf.for"; Opset.exact "vector.load";
               Opset.exact "vector.store"; Opset.exact "vector.splat";
             ]);
+        requires =
+          (* the strip-mined vectorizer expects a tiled point loop and
+             refuses to vectorize twice *)
+          (fun _ ->
+            [
+              ( 0,
+                Irdl.All
+                  [
+                    Irdl.Atom (Annot.Has "tiled");
+                    Irdl.Not (Irdl.Atom (Annot.Has "vectorized"));
+                  ] );
+            ]);
+        ensures =
+          (fun _ -> [ (Annot.On_result 0, props [ Annot.flag "vectorized" ]) ]);
       }
     (fun st op ->
       let* width = int_config st op ~attr_name:"width" ~operand_index:1 in
@@ -552,6 +602,10 @@ let register_impls () =
         consumes = Treg.consumes_first;
         pre = (fun _ -> scf_for_set);
         post = (fun _ -> loop_arith_set);
+        ensures =
+          (fun _ ->
+            let ps = props [ Annot.flag "peeled" ] in
+            [ (Annot.On_result 0, ps); (Annot.On_result 1, ps) ]);
       }
     (fun st op ->
       let* iterations = int_config st op ~attr_name:"iterations" ~operand_index:1 in
@@ -610,6 +664,12 @@ let register_impls () =
               Opset.exact "scf.for"; Opset.exact "scf.yield";
               Opset.exact "memref.subview"; Opset.exact "linalg.matmul";
               Opset.exact "arith.constant";
+            ]);
+        ensures =
+          (fun op ->
+            [
+              (Annot.On_result 0, props [ Annot.flag "tiled" ]);
+              (Annot.On_result 1, tiled_props op);
             ]);
       }
     (fun st op ->
@@ -697,6 +757,12 @@ let register_impls () =
               | Some p -> p.Passes.Pass.post
               | None -> [])
             | _ -> []);
+        ensures =
+          (fun op ->
+            match Ircore.attr op "pass_name" with
+            | Some (Attr.String name) when Ircore.num_results op > 0 ->
+              [ (Annot.On_result 0, props [ Annot.flag ("pass." ^ name) ]) ]
+            | _ -> []);
       }
     (fun st op ->
       let* pass_name =
@@ -708,8 +774,15 @@ let register_impls () =
       | None -> Terror.definite "no registered pass named %S" pass_name
       | Some pass ->
         let* targets = operand_handle st op 0 in
+        (* an earlier target's pass run may erase a later target (e.g. a
+           loop nested in one the pass just simplified away); such corpses
+           are detached from the payload root and must not anchor a pass *)
+        let live target =
+          Ircore.is_ancestor ~ancestor:st.State.payload_root target
+        in
         let rec go = function
           | [] -> Ok ()
+          | target :: rest when not (live target) -> go rest
           | target :: rest -> (
             match pass.Passes.Pass.run st.State.ctx target with
             | Ok () -> go rest
@@ -838,6 +911,15 @@ let register_impls () =
         Treg.default_spec with
         summary = "attach a unit or given attribute to the payload ops";
         arity = Some 1;
+        ensures =
+          (fun op ->
+            match Ircore.attr op "name" with
+            | Some (Attr.String name) ->
+              (* refines the operand handle in place: annotate has no
+                 results, so this is what makes joins and fixpoints
+                 observable to the static checker *)
+              [ (Annot.On_operand 0, props [ Annot.flag ("annot." ^ name) ]) ]
+            | _ -> []);
       }
     (fun st op ->
       let* name =

@@ -107,6 +107,12 @@ type t = {
   s_diags : Invalidation.diagnostic list;
       (** static use-after-consume diagnostics found at compile time *)
   s_form : form;
+  s_flow : Flowcheck.report option;
+      (** annotation-flow report, when [of_script ~flow:true] was asked
+          for; a failing report gates {!apply} before any payload is
+          touched. Never stored in the schedule cache — the cache key is
+          the script fingerprint alone, which predates the flow option —
+          so it is recomputed fresh per [of_script] call. *)
 }
 
 type mode = [ `Compile | `Interpret ]
@@ -114,6 +120,7 @@ type mode = [ `Compile | `Interpret ]
 let fingerprint s = s.s_fingerprint
 let is_compiled s = match s.s_form with Compiled _ -> true | _ -> false
 let static_diags s = s.s_diags
+let flow_report s = s.s_flow
 
 (** Why the schedule interprets instead of dispatching compiled code;
     [None] when compiled. *)
@@ -348,10 +355,7 @@ let cache_capacity = ref 512
 let cache_size () = Hashtbl.length cache
 let clear_cache () = Hashtbl.reset cache
 
-(** Lower [script] to a schedule. [`Compile] (default) consults the
-    content-addressed cache and compiles on miss; [`Interpret] returns an
-    uncached schedule whose {!apply} is exactly sequential interpretation. *)
-let of_script ?(mode : mode = `Compile) ctx (script : Ircore.op) : t =
+let schedule_of ?(mode : mode = `Compile) ctx (script : Ircore.op) : t =
   match mode with
   | `Interpret ->
     {
@@ -361,6 +365,7 @@ let of_script ?(mode : mode = `Compile) ctx (script : Ircore.op) : t =
       s_entry = Interp.find_entry script;
       s_diags = [];
       s_form = Interpreted "interpretation requested";
+      s_flow = None;
     }
   | `Compile -> (
     let fp = Fingerprint.op script in
@@ -387,6 +392,7 @@ let of_script ?(mode : mode = `Compile) ctx (script : Ircore.op) : t =
           s_entry = Interp.find_entry script;
           s_diags = diags;
           s_form = form;
+          s_flow = None;
         }
       in
       if Hashtbl.length cache >= !cache_capacity then begin
@@ -395,6 +401,18 @@ let of_script ?(mode : mode = `Compile) ctx (script : Ircore.op) : t =
       end;
       Hashtbl.replace cache fp s;
       s)
+
+(** Lower [script] to a schedule. [`Compile] (default) consults the
+    content-addressed cache and compiles on miss; [`Interpret] returns an
+    uncached schedule whose {!apply} is exactly sequential interpretation.
+    [~flow:true] additionally runs the static annotation-flow checker
+    ({!Flowcheck.check}) over the script; a failing report makes {!apply}
+    return its structured diagnostics as a definite error before any
+    payload is touched. The flow report is attached fresh to the returned
+    schedule and never enters the schedule cache. *)
+let of_script ?(flow = false) ?mode ctx (script : Ircore.op) : t =
+  let s = schedule_of ?mode ctx script in
+  if not flow then s else { s with s_flow = Some (Flowcheck.check script) }
 
 (* ------------------------------------------------------------------ *)
 (* Execution                                                           *)
@@ -435,6 +453,8 @@ let rec exec_instr st = function
             State.set_handle st arg ops;
             Ok ()
         in
+        if st.State.config.State.check_annotations then
+          State.copy_annots st ~src:operand ~dst:arg;
         bind (i + 1) rest
     in
     let* () = bind 0 i_args in
@@ -445,14 +465,17 @@ let rec exec_instr st = function
       List.iteri
         (fun i yielded ->
           if i < Ircore.num_results i_op then begin
-            if State.is_param_typ (Ircore.value_typ yielded) then
-              match State.lookup_params st yielded with
-              | Ok ps -> State.set_params st (Ircore.result ~index:i i_op) ps
-              | Error _ -> ()
-            else
-              match State.lookup_handle st yielded with
-              | Ok ops -> State.set_handle st (Ircore.result ~index:i i_op) ops
-              | Error _ -> ()
+            (if State.is_param_typ (Ircore.value_typ yielded) then
+               match State.lookup_params st yielded with
+               | Ok ps -> State.set_params st (Ircore.result ~index:i i_op) ps
+               | Error _ -> ()
+             else
+               match State.lookup_handle st yielded with
+               | Ok ops -> State.set_handle st (Ircore.result ~index:i i_op) ops
+               | Error _ -> ());
+            if st.State.config.State.check_annotations then
+              State.copy_annots st ~src:yielded
+                ~dst:(Ircore.result ~index:i i_op)
           end)
         (Ircore.operands y)
     | None -> ());
@@ -502,16 +525,23 @@ let apply_compiled ~config ctx c ~payload =
 let apply ?(config = State.default_config) (s : t) ~payload :
     (int, Terror.t) result =
   Profiler.span ~cat:"schedule" "schedule.apply" @@ fun () ->
-  match s.s_form with
-  | Interpreted _ ->
-    Interp.apply_interpreted ~config s.s_ctx ~script:s.s_script ~payload
-  | Compiled c -> apply_compiled ~config s.s_ctx c ~payload
+  match s.s_flow with
+  | Some r when not (Flowcheck.ok r) ->
+    (* flow gate: statically unsound schedules never touch the payload *)
+    Terror.definite_diag (Flowcheck.to_diag r)
+  | _ -> (
+    match s.s_form with
+    | Interpreted _ ->
+      Interp.apply_interpreted ~config s.s_ctx ~script:s.s_script ~payload
+    | Compiled c -> apply_compiled ~config s.s_ctx c ~payload)
 
 (** One-shot facade: compile (against the cache) and apply. Drop-in
     replacement for the deprecated [Interp.apply];
-    [run ~mode:`Interpret] is exactly sequential interpretation. *)
-let run ?mode ?config ctx ~script ~payload =
-  apply ?config (of_script ?mode ctx script) ~payload
+    [run ~mode:`Interpret] is exactly sequential interpretation, and
+    [run ~flow:true] rejects statically unsound annotation flow before
+    touching the payload. *)
+let run ?flow ?mode ?config ctx ~script ~payload =
+  apply ?config (of_script ?flow ?mode ctx script) ~payload
 
 (** Entry op of the script, as the interpreter would select it. *)
 let entry s = s.s_entry

@@ -13,9 +13,17 @@ type config = {
       (** verify the payload after every transform step *)
   check_conditions : bool;
       (** dynamically check declared pre-/post-conditions (Section 3.3) *)
+  check_annotations : bool;
+      (** dynamically check declared annotation requires/ensures clauses
+          ({!Annot}); a violated [requires] is a definite error *)
 }
 
-let default_config = { expensive_checks = false; check_conditions = false }
+let default_config =
+  {
+    expensive_checks = false;
+    check_conditions = false;
+    check_annotations = false;
+  }
 
 (** Flat slot storage installed by compiled schedules ({!Schedule}): every
     SSA value of the transform script is numbered statically at compile
@@ -44,6 +52,10 @@ type t = {
   consumed : (int, string) Hashtbl.t;  (** value id -> consuming transform *)
   invalidated_payload : (int, string) Hashtbl.t;
       (** payload op id -> transform that invalidated it *)
+  annots : (int, Annot.Props.t) Hashtbl.t;
+      (** value id -> accumulated payload-property annotations; no slot
+          path — annotation checking is an opt-in debugging mode, not a
+          hot path *)
   rewriter : Rewriter.t;
   mutable slots : slots option;  (** present only under a compiled schedule *)
   mutable steps : int;  (** executed transform ops, for stats *)
@@ -92,6 +104,7 @@ let create ?(config = default_config) ctx payload_root =
       values = Hashtbl.create 16;
       consumed = Hashtbl.create 16;
       invalidated_payload = Hashtbl.create 64;
+      annots = Hashtbl.create 16;
       rewriter = Rewriter.create ();
       slots = None;
       steps = 0;
@@ -193,6 +206,22 @@ let mark_consumed t vid by =
   match slot_of t vid with
   | Some (s, i) -> s.sl_consumed.(i) <- Some by
   | None -> Hashtbl.replace t.consumed vid by
+
+(* annotation accessors: a missing entry means the empty property set *)
+let get_annots t (v : Ircore.value) =
+  match Hashtbl.find_opt t.annots v.Ircore.v_id with
+  | Some ps -> ps
+  | None -> Annot.Props.empty
+
+let set_annots t (v : Ircore.value) ps =
+  Hashtbl.replace t.annots v.Ircore.v_id ps
+
+let add_annots t (v : Ircore.value) ps =
+  Hashtbl.replace t.annots v.Ircore.v_id (Annot.Props.union (get_annots t v) ps)
+
+(** Copy the accumulated annotations of [src] onto [dst] (include
+    argument/yield binding, foreach iteration binding). *)
+let copy_annots t ~src ~dst = set_annots t dst (get_annots t src)
 
 (** Iterate every live (value id, payload ops) handle association across
     both stores. *)
@@ -354,6 +383,7 @@ type checkpoint = {
   ck_values : (int, Ircore.value list) Hashtbl.t;
   ck_consumed : (int, string) Hashtbl.t;
   ck_invalidated : (int, string) Hashtbl.t;
+  ck_annots : (int, Annot.Props.t) Hashtbl.t;
   ck_slots : slot_checkpoint option;
 }
 
@@ -365,6 +395,7 @@ let checkpoint t =
     ck_values = Hashtbl.copy t.values;
     ck_consumed = Hashtbl.copy t.consumed;
     ck_invalidated = Hashtbl.copy t.invalidated_payload;
+    ck_annots = Hashtbl.copy t.annots;
     ck_slots =
       (match t.slots with
       | None -> None
@@ -395,6 +426,7 @@ let rollback t (ck : checkpoint) =
   refill t.params ck.ck_params Fun.id;
   refill t.values ck.ck_values remap_vals;
   refill t.consumed ck.ck_consumed Fun.id;
+  refill t.annots ck.ck_annots Fun.id;
   (match (t.slots, ck.ck_slots) with
   | Some s, Some sck ->
     let restore dst src remap =
@@ -426,9 +458,10 @@ let rewriter t = t.rewriter
     every handle. Used after running black-box passes (which own their own
     rewriters, so replace/erase events are not observable). *)
 let prune t =
-  let alive op =
-    Ircore.op_parent op <> None || op == t.payload_root
-  in
+  (* climb to the root: an op nested inside an erased subtree still has a
+     parent block (the detached region), so [op_parent <> None] is not
+     enough to prove it is live *)
+  let alive op = Ircore.is_ancestor ~ancestor:t.payload_root op in
   Hashtbl.iter
     (fun vid ops ->
       let ops' = List.filter alive ops in

@@ -26,7 +26,18 @@ type spec = {
           [expensive_checks] re-verification after the op *)
   pre : Ircore.op -> Opset.t;  (** payload op kinds consumed (Section 3.3) *)
   post : Ircore.op -> Opset.t;  (** payload op kinds introduced *)
+  requires : Ircore.op -> (int * Annot.req) list;
+      (** per-operand-index property requirements on the handle's
+          annotation set, checked before application (dynamically when
+          [check_annotations] is set, statically by {!Flowcheck}) *)
+  ensures : Ircore.op -> (Annot.ensure_target * Annot.Props.t) list;
+      (** properties established on success: [On_result] replaces the
+          fresh result handle's set, [On_operand] refines an existing
+          handle in place (union) *)
 }
+
+let no_reqs (_ : Ircore.op) = []
+let no_ensures (_ : Ircore.op) = []
 
 let default_spec =
   {
@@ -36,6 +47,8 @@ let default_spec =
     pure = false;
     pre = no_set;
     post = no_set;
+    requires = no_reqs;
+    ensures = no_ensures;
   }
 
 type def = {
@@ -51,6 +64,8 @@ let consumes def op = def.t_spec.consumes op
 let is_pure def = def.t_spec.pure
 let pre def op = def.t_spec.pre op
 let post def op = def.t_spec.post op
+let requires def op = def.t_spec.requires op
+let ensures def op = def.t_spec.ensures op
 
 let registry : (string, def) Hashtbl.t = Hashtbl.create 32
 

@@ -146,6 +146,8 @@ let splice_region_before rw ~anchor ~arg_values region =
 let () =
   (* a loop with zero iterations yields its init values *)
   Pattern.register_make ~name:"scf.for_zero_trip" ~root:for_op (fun rw op ->
+      if Ircore.num_operands op < 3 then false
+      else
       match
         ( bounds_const (Ircore.operand ~index:0 op),
           bounds_const (Ircore.operand ~index:1 op),
@@ -158,6 +160,8 @@ let () =
       | _ -> false);
   (* a loop with exactly one iteration is its body at iv = lb *)
   Pattern.register_make ~name:"scf.for_single_trip" ~root:for_op (fun rw op ->
+      if Ircore.num_operands op < 3 then false
+      else
       match
         ( bounds_const (Ircore.operand ~index:0 op),
           bounds_const (Ircore.operand ~index:1 op),

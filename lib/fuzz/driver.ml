@@ -118,6 +118,68 @@ let run ?config ?(pipelines = Oracle.default_pipelines) ?(shrink = true)
     identical outcomes and payload IR. Divergences are emitted as
     diagnostics on [ctx]'s engine; no shrinking (the script, not the
     module, is usually the culprit). *)
+(* flow-diff campaign tallies, visible under --stats and to tests *)
+let stat_flow_accepted =
+  Ir.Stats.counter ~component:"fuzz" "flow_accepted"
+    ~desc:"flow-diff cases the static checker accepted"
+
+let stat_flow_rejected =
+  Ir.Stats.counter ~component:"fuzz" "flow_rejected"
+    ~desc:"flow-diff cases the static checker rejected"
+
+(** Flow-differential campaign: each case derives a payload module
+    ({!Gen.generate}) and a random transform script
+    ({!Script_gen.generate}) from the same per-case RNG, then checks the
+    static-accept contract ({!Oracle.flow_diff}). Divergences are emitted
+    as diagnostics and, when [out_dir] is given, written as reproducer
+    files whose body is the {e script} (replayable under
+    [otd_opt --transform ... --flow-check]). No shrinking: the script is
+    the witness and is already small. *)
+let run_flow_diff ?config ?out_dir ?(max_failures = 10)
+    ?(on_case = fun _ ~failed:_ -> ()) ctx ~seed ~cases () =
+  let t0 = Unix.gettimeofday () in
+  let failures = ref [] in
+  let case = ref 0 in
+  while !case < cases && List.length !failures < max_failures do
+    let i = !case in
+    let rng = case_rng ~seed ~case:i in
+    let m = Gen.generate ?config rng in
+    let script = Script_gen.generate rng in
+    (match Oracle.flow_diff ctx ~script m with
+    | Ok Oracle.Flow_rejected ->
+      Stats.incr stat_flow_rejected;
+      on_case i ~failed:false
+    | Ok Oracle.Flow_agreed ->
+      Stats.incr stat_flow_accepted;
+      on_case i ~failed:false
+    | Error f ->
+      let path =
+        Option.map
+          (fun dir -> write_reproducer ~dir ~seed ~case:i f f.Oracle.f_module)
+          out_dir
+      in
+      Diag.emit (Context.diag_engine ctx)
+        (Diag.error
+           ~notes:
+             ([ Diag.note "seed %d, case %d" seed i ]
+             @
+             match path with
+             | Some p -> [ Diag.note "reproducer written to %s" p ]
+             | None -> [])
+           "fuzz oracle '%s' failed: %s" f.Oracle.f_oracle f.Oracle.f_detail);
+      failures :=
+        { r_seed = seed; r_case = i; r_failure = f;
+          r_minimized = f.Oracle.f_module; r_path = path }
+        :: !failures;
+      on_case i ~failed:true);
+    incr case
+  done;
+  {
+    s_cases = !case;
+    s_failures = List.rev !failures;
+    s_seconds = Unix.gettimeofday () -. t0;
+  }
+
 let run_schedule_diff ?config ?(max_failures = 10)
     ?(on_case = fun _ ~failed:_ -> ()) ctx ~seed ~cases () =
   let t0 = Unix.gettimeofday () in

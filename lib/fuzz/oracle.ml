@@ -321,6 +321,67 @@ let schedule_differential ctx ~script m =
         (schedule_outcome_to_string r_interp)
         s_interp s_compiled
 
+(* ------------------------------------------------------------------ *)
+(* Flow differential: static annotation-flow checker vs the dynamic one *)
+(* ------------------------------------------------------------------ *)
+
+type flow_outcome =
+  | Flow_rejected  (** statically rejected: nothing to compare *)
+  | Flow_agreed
+      (** statically accepted, and neither execution mode raised a
+          definite annotation-requirement error *)
+
+let annot_config =
+  {
+    Transform.State.default_config with
+    Transform.State.check_annotations = true;
+  }
+
+(* the dynamic outcome classes the static checker makes a promise about:
+   only a *definite* error carrying the annotation-requirement tag counts
+   — silenceable failures (missing payload, pattern mismatch) and other
+   definite classes (use-after-consume reported by the dynamic state) are
+   outside the static-accept contract *)
+let dynamic_requirement_error = function
+  | Ok _ -> None
+  | Error e ->
+    if Transform.Terror.is_silenceable e then None
+    else
+      let d = Transform.Terror.diag e in
+      if Transform.Annot.is_requirement_diag d then Some (Diag.message d)
+      else None
+
+(** The differential property of the annotation-flow checker: a script the
+    static checker accepts must never fail a {e dynamic} annotation
+    requirement, in either execution mode. One case = one (script,
+    payload) pair; the reproducer text is the script, not the payload. *)
+let flow_diff ctx ~script m : (flow_outcome, failure) result =
+  let script_text = Printer.op_to_string script in
+  let r = Transform.Flowcheck.check script in
+  if not (Transform.Flowcheck.ok r) then Ok Flow_rejected
+  else
+    let check_mode label outcome =
+      match dynamic_requirement_error outcome with
+      | None -> Ok ()
+      | Some detail ->
+        fail ~oracle:"flow-diff" ~module_text:script_text
+          "statically accepted script failed a dynamic annotation \
+           requirement (%s execution): %s"
+          label detail
+    in
+    let ( let* ) = Result.bind in
+    let* () =
+      check_mode "interpreted"
+        (Transform.Schedule.run ~mode:`Interpret ~config:annot_config ctx
+           ~script ~payload:(Ircore.clone_op m))
+    in
+    let* () =
+      check_mode "compiled"
+        (Transform.Schedule.run ~mode:`Compile ~config:annot_config ctx
+           ~script ~payload:(Ircore.clone_op m))
+    in
+    Ok Flow_agreed
+
 (** Re-runnable check for the shrinker: does [m] still exhibit a failure of
     the same oracle (and pipeline, if any)? *)
 let recheck ctx ?(pipelines = default_pipelines) ~(witness : failure) m =

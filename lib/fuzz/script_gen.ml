@@ -1,0 +1,170 @@
+(** Random transform-script generator for the flow-diff differential
+    oracle ({!Oracle.flow_diff}).
+
+    Each generated script is a [__transform_main] named sequence assembled
+    through {!Transform.Build}. The generator keeps a pool of live handles
+    with the properties it believes each one carries — mirroring the
+    [ensures] clauses the registry declares — and emits a weighted random
+    mix of steps:
+
+    - property producers and consumers: [loop_tile], [loop_vectorize],
+      [loop_unroll], [loop_hoist], [loop_peel], [loop_split], matches,
+      [annotate], [apply_registered_pass], [split_handle];
+    - control flow the static checker must approximate: [alternatives]
+      (must-join), [foreach] (fixpoint), nested [failures(suppress)]
+      sequences (rollback join) and [include]s of a shared
+      [@flow_helper] named sequence (summary reuse across call sites);
+    - {e deliberate violations} (~12% of steps): vectorizing a handle
+      that was never tiled, or unrolling one that was already vectorized.
+
+    Violating scripts exercise the static reject path; accepted scripts
+    feed the differential comparison against the dynamic checker. *)
+
+open Ir
+
+let helper_name = "flow_helper"
+
+type entry = {
+  h : Ircore.value;
+  mutable tiled : bool;
+  mutable vectorized : bool;
+  mutable live : bool;
+}
+
+let generate rng : Ircore.op =
+  let module B = Transform.Build in
+  let want_helper = ref false in
+  let m =
+    B.script (fun rw root ->
+        let pool = ref [] in
+        let note ?(tiled = false) ?(vectorized = false) h =
+          pool := { h; tiled; vectorized; live = true } :: !pool
+        in
+        let pick_live () =
+          match List.filter (fun e -> e.live) !pool with
+          | [] -> None
+          | es -> Some (List.nth es (Random.State.int rng (List.length es)))
+        in
+        let do_match rw =
+          let name =
+            match Random.State.int rng 3 with
+            | 0 -> "scf.for"
+            | 1 -> "func.func"
+            | _ -> "arith.addi"
+          in
+          note (B.match_op rw ~name root)
+        in
+        do_match rw;
+        let steps = 4 + Random.State.int rng 8 in
+        for _ = 1 to steps do
+          match pick_live () with
+          | None -> do_match rw
+          | Some e ->
+            let roll = Random.State.int rng 100 in
+            if roll < 12 then begin
+              (* deliberate requires-violation *)
+              if e.vectorized || not e.tiled then begin
+                (* vectorize needs (tiled & !vectorized) *)
+                ignore (B.loop_vectorize rw ~width:4 e.h);
+                e.live <- false
+              end
+              else begin
+                (* unroll needs !vectorized: vectorize, then unroll the
+                   vectorized handle *)
+                let v = B.loop_vectorize rw ~width:4 e.h in
+                e.live <- false;
+                ignore (B.loop_unroll rw ~factor:2 v)
+              end
+            end
+            else if roll < 24 then do_match rw
+            else if roll < 38 then begin
+              (* tile: consumes, both results carry {tiled} *)
+              let l, rest = B.loop_tile rw ~sizes:[ 4 ] e.h in
+              e.live <- false;
+              note ~tiled:true l;
+              note ~tiled:true rest
+            end
+            else if roll < 46 then begin
+              (* legal vectorize; the result carries only {vectorized} *)
+              if e.tiled && not e.vectorized then begin
+                let v = B.loop_vectorize rw ~width:4 e.h in
+                e.live <- false;
+                note ~vectorized:true v
+              end
+              else B.annotate rw ~name:"fuzz.skip" e.h
+            end
+            else if roll < 54 then begin
+              (* legal unroll (consumes, no result) *)
+              if not e.vectorized then begin
+                B.loop_unroll rw ~factor:2 e.h;
+                e.live <- false
+              end
+              else B.annotate rw ~name:"fuzz.skip" e.h
+            end
+            else if roll < 60 then
+              (* hoist: non-consuming, fresh {hoisted} result *)
+              note (B.loop_hoist rw e.h)
+            else if roll < 66 then begin
+              (* peel: consumes, two {peeled} results *)
+              let main, rest = B.loop_peel rw ~iterations:1 e.h in
+              e.live <- false;
+              note main;
+              note rest
+            end
+            else if roll < 72 then begin
+              (* split: consumes the loop operand *)
+              let a, b = B.loop_split rw ~div_by:4 e.h in
+              e.live <- false;
+              note a;
+              note b
+            end
+            else if roll < 78 then
+              B.annotate rw ~name:"fuzz.mark" e.h
+            else if roll < 83 then
+              note (B.apply_registered_pass rw ~pass_name:"canonicalize" e.h)
+            else if roll < 87 then
+              List.iter note (B.split_handle rw ~n:2 e.h)
+            else if roll < 91 then
+              (* must-join: each branch unions a different annotation *)
+              B.alternatives rw
+                [
+                  (fun brw -> B.annotate brw ~name:"alt.a" e.h);
+                  (fun brw -> B.annotate brw ~name:"alt.b" e.h);
+                ]
+            else if roll < 95 then
+              (* fixpoint: the body annotates the iteration handle *)
+              B.foreach rw e.h (fun brw it ->
+                  B.annotate brw ~name:"each.visited" it;
+                  if Random.State.bool rng then ignore (B.loop_hoist brw it))
+            else if roll < 98 then begin
+              (* two include call sites with the same argument state
+                 exercise summary reuse *)
+              want_helper := true;
+              let inc1 = B.include_ rw ~target:helper_name [ e.h ] ~results:1 in
+              note (Ircore.result ~index:0 inc1);
+              if Random.State.bool rng then begin
+                let inc2 =
+                  B.include_ rw ~target:helper_name [ e.h ] ~results:1
+                in
+                note (Ircore.result ~index:0 inc2)
+              end
+            end
+            else
+              (* rollback join: the nested body only touches its own root *)
+              ignore
+                (B.nested_sequence rw ~failure_propagation:"suppress"
+                   (fun brw seq_root ->
+                     ignore
+                       (B.apply_registered_pass brw ~pass_name:"canonicalize"
+                          seq_root)))
+        done)
+  in
+  if !want_helper then
+    ignore
+      (Transform.Build.named_sequence m ~name:helper_name ~num_args:1
+         (fun rw args ->
+           let arg = List.hd args in
+           Transform.Build.annotate rw ~name:"helper.seen" arg;
+           let funcs = Transform.Build.match_op rw ~name:"func.func" arg in
+           [ funcs ]));
+  m

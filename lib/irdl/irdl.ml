@@ -466,6 +466,46 @@ let load_def =
 let builtin_defs =
   [ subview_def; subview_constr_def; reinterpret_cast_def; load_def ]
 
+(* ---------------- generic constraint combinators ---------------- *)
+
+(** A small propositional-constraint language over an abstract atom type,
+    shared by the attribute/type constraints above and by the
+    annotation-flow requires clauses in [Transform.Annot]. Evaluation is
+    three-valued: an atom can be known to hold, known to be refuted, or
+    unknown — so [Not c] holds only when [c] is positively refuted, never
+    merely because [c] is not provable. *)
+type 'a constr =
+  | Ctrue
+  | Atom of 'a
+  | All of 'a constr list
+  | Any of 'a constr list
+  | Not of 'a constr
+
+let rec constr_holds ~atom ~atom_refuted = function
+  | Ctrue -> true
+  | Atom a -> atom a
+  | All cs -> List.for_all (constr_holds ~atom ~atom_refuted) cs
+  | Any cs -> List.exists (constr_holds ~atom ~atom_refuted) cs
+  | Not c -> constr_refuted ~atom ~atom_refuted c
+
+and constr_refuted ~atom ~atom_refuted = function
+  | Ctrue -> false
+  | Atom a -> atom_refuted a
+  | All cs -> List.exists (constr_refuted ~atom ~atom_refuted) cs
+  | Any cs -> List.for_all (constr_refuted ~atom ~atom_refuted) cs
+  | Not c -> constr_holds ~atom ~atom_refuted c
+
+let rec pp_constr pp_atom fmt = function
+  | Ctrue -> Fmt.string fmt "true"
+  | Atom a -> pp_atom fmt a
+  | All [] -> Fmt.string fmt "true"
+  | All cs ->
+    Fmt.pf fmt "(%a)" Fmt.(list ~sep:(any " & ") (pp_constr pp_atom)) cs
+  | Any [] -> Fmt.string fmt "false"
+  | Any cs ->
+    Fmt.pf fmt "(%a)" Fmt.(list ~sep:(any " | ") (pp_constr pp_atom)) cs
+  | Not c -> Fmt.pf fmt "!%a" (pp_constr pp_atom) c
+
 let registered = ref false
 
 let register_builtin () =

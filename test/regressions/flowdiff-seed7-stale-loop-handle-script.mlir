@@ -1,0 +1,12 @@
+// transform script for flowdiff-seed7-stale-loop-handle.mlir: canonicalize
+// through a select=all scf.for handle, then reuse the same (now stale)
+// handle for loop_tile
+"builtin.module"() ({
+  "transform.named_sequence"() ({
+  ^bb0(%root: !transform.any_op):
+    %loops = "transform.match_op"(%root) {op_name = "scf.for", select = "all"} : (!transform.any_op) -> !transform.any_op
+    %after = "transform.apply_registered_pass"(%loops) {pass_name = "canonicalize"} : (!transform.any_op) -> !transform.any_op
+    %tiled:2 = "transform.loop_tile"(%loops) {tile_sizes = array<i64: 4>} : (!transform.any_op) -> (!transform.any_op, !transform.any_op)
+    "transform.yield"() : () -> ()
+  }) {sym_name = "__transform_main"} : () -> ()
+}) : () -> ()

@@ -1,0 +1,30 @@
+// otd-fuzz crash reproducer
+// oracle: flow-diff
+// seed: 7 case: 106 (minimized by hand)
+// detail: a handle held every scf.for; canonicalizing through that handle
+// let the single-trip middle loop be erased, and the splice left the
+// original inner loop as a detached corpse with cleared operands.
+// State.prune kept the corpse (its op_parent still pointed into the
+// detached region), so the next transform on the same handle indexed
+// operand 0 of it: Invalid_argument("index out of bounds").
+// configuration: --transform=flowdiff-seed7-stale-loop-handle-script.mlir
+"builtin.module"() ({
+  "func.func"() ({
+    %lb = "arith.constant"() {value = 0 : index} : () -> index
+    %one = "arith.constant"() {value = 1 : index} : () -> index
+    %ub = "arith.constant"() {value = 8 : index} : () -> index
+    "scf.for"(%lb, %ub, %one) ({
+    ^bb0(%i: index):
+      "scf.for"(%lb, %one, %one) ({
+      ^bb1(%j: index):
+        "scf.for"(%lb, %ub, %one) ({
+        ^bb2(%k: index):
+          "scf.yield"() : () -> ()
+        }) : (index, index, index) -> ()
+        "scf.yield"() : () -> ()
+      }) : (index, index, index) -> ()
+      "scf.yield"() : () -> ()
+    }) : (index, index, index) -> ()
+    "func.return"() : () -> ()
+  }) {sym_name = "stale_handle", function_type = () -> ()} : () -> ()
+}) : () -> ()

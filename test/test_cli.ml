@@ -163,6 +163,83 @@ let test_text_reports_on_stderr () =
   check cb "timing header" true (contains stderr "// -----// timing //----- //");
   check cb "trace lines" true (contains stderr "// trace: pass canonicalize")
 
+(* ---------------- otd-check: --schedule / --flow agreement ---------------- *)
+
+let otd_check = Filename.concat ".." (Filename.concat "bin" "otd_check.exe")
+
+let script_file =
+  Filename.concat ".."
+    (Filename.concat "examples"
+       (Filename.concat "scripts" "tile_and_unroll.mlir"))
+
+let run_otd_check args =
+  let out = Filename.temp_file "otd_check_out" ".txt" in
+  let err = Filename.temp_file "otd_check_err" ".txt" in
+  let cmd =
+    Fmt.str "%s %s > %s 2> %s" (Filename.quote otd_check)
+      (String.concat " " (List.map Filename.quote args))
+      (Filename.quote out) (Filename.quote err)
+  in
+  let code = Sys.command cmd in
+  let stdout = read_file out and stderr = read_file err in
+  Sys.remove out;
+  Sys.remove err;
+  (code, stdout, stderr)
+
+(* the value of a "<label> <form>" report line, e.g. "form:          compiled"
+   or "schedule form: interpreted (...)" *)
+let form_line ~label stdout =
+  String.split_on_char '\n' stdout
+  |> List.find_map (fun line ->
+         let n = String.length label in
+         if String.length line >= n && String.sub line 0 n = label then
+           Some (String.trim (String.sub line n (String.length line - n)))
+         else None)
+
+let check_forms_agree stdout =
+  match (form_line ~label:"form:" stdout, form_line ~label:"schedule form:" stdout)
+  with
+  | Some sched, Some flow ->
+    check cs "--schedule and --flow report the same schedule form" sched flow
+  | _ -> Alcotest.failf "missing form line(s) in output:\n%s" stdout
+
+let test_check_flow_schedule_agree () =
+  (* sound shipped script: both sections present, same (compiled) form *)
+  let code, stdout, stderr =
+    run_otd_check
+      [
+        script_file; "--schedule"; "--flow"; "--final";
+        "{func.*, scf.*, arith.*, memref.*}";
+      ]
+  in
+  check Alcotest.int "exit code" 0 code;
+  check cb "flow verdict" true (contains stdout "OK: annotation flow is sound");
+  check_forms_agree stdout;
+  ignore stderr
+
+let test_check_flow_schedule_agree_degraded () =
+  (* a use-after-consume script degrades the schedule to interpreted form;
+     both sections must say so, and the flow check must reject *)
+  let bad = Filename.temp_file "otd_check_uac" ".mlir" in
+  let oc = open_out bad in
+  output_string oc
+    {|"builtin.module"() ({
+  "transform.named_sequence"() ({
+  ^bb0(%root: !transform.any_op):
+    %loop = "transform.match_op"(%root) {op_name = "scf.for", select = "first"} : (!transform.any_op) -> !transform.any_op
+    %tiled:2 = "transform.loop_tile"(%loop) {tile_sizes = array<i64: 4>} : (!transform.any_op) -> (!transform.any_op, !transform.any_op)
+    "transform.annotate"(%loop) {name = "late"} : (!transform.any_op) -> ()
+    "transform.yield"() : () -> ()
+  }) {sym_name = "__transform_main"} : () -> ()
+}) : () -> ()
+|};
+  close_out oc;
+  let code, stdout, _ = run_otd_check [ bad; "--schedule"; "--flow" ] in
+  Sys.remove bad;
+  check cb "nonzero exit" true (code <> 0);
+  check cb "degraded form reported" true (contains stdout "interpreted");
+  check_forms_agree stdout
+
 let () =
   Alcotest.run "cli"
     [
@@ -173,5 +250,12 @@ let () =
           Alcotest.test_case "reproducer-roundtrip" `Quick
             test_reproducer_roundtrip;
           Alcotest.test_case "text-reports" `Quick test_text_reports_on_stderr;
+        ] );
+      ( "otd-check",
+        [
+          Alcotest.test_case "flow-schedule-agree" `Quick
+            test_check_flow_schedule_agree;
+          Alcotest.test_case "flow-schedule-agree-degraded" `Quick
+            test_check_flow_schedule_agree_degraded;
         ] );
     ]

@@ -149,6 +149,38 @@ let test_schedule_diff_campaign () =
       f.Fuzz.Driver.r_failure);
   check ci "all cases ran" 500 stats.Fuzz.Driver.s_cases
 
+(* ---------------- flow differential ---------------- *)
+
+let test_script_gen_deterministic () =
+  let p seed case =
+    let rng = Random.State.make [| 0x07d; seed; case |] in
+    ignore (Fuzz.Gen.generate rng);
+    Printer.op_to_string (Fuzz.Script_gen.generate rng)
+  in
+  check cs "same (seed, case) -> same script" (p 11 3) (p 11 3);
+  check cb "different case -> different script" true (p 11 3 <> p 11 4)
+
+let test_flow_diff_quick_cases () =
+  (* a handful of inline cases before the big campaigns: every one must be
+     either statically rejected or dynamically agreed, never divergent *)
+  for case = 0 to 24 do
+    let rng = Random.State.make [| 0x07d; 42; case |] in
+    let m = Fuzz.Gen.generate rng in
+    let script = Fuzz.Script_gen.generate rng in
+    match Fuzz.Oracle.flow_diff ctx ~script m with
+    | Ok (Fuzz.Oracle.Flow_rejected | Fuzz.Oracle.Flow_agreed) -> ()
+    | Error f -> Alcotest.failf "case %d: %a" case Fuzz.Oracle.pp_failure f
+  done
+
+let flow_diff_campaign seed () =
+  let stats = Fuzz.Driver.run_flow_diff ctx ~seed ~cases:500 () in
+  (match stats.Fuzz.Driver.s_failures with
+  | [] -> ()
+  | f :: _ ->
+    Alcotest.failf "case %d: %a\nscript:\n%s" f.Fuzz.Driver.r_case
+      Fuzz.Oracle.pp_failure f.Fuzz.Driver.r_failure f.Fuzz.Driver.r_minimized);
+  check ci "all cases ran" 500 stats.Fuzz.Driver.s_cases
+
 let () =
   Alcotest.run "fuzz"
     [
@@ -179,5 +211,14 @@ let () =
           Alcotest.test_case "one-case-per-variant" `Quick
             test_schedule_diff_clean_case;
           Alcotest.test_case "campaign-500" `Slow test_schedule_diff_campaign;
+        ] );
+      ( "flow-diff",
+        [
+          Alcotest.test_case "script-gen-deterministic" `Quick
+            test_script_gen_deterministic;
+          Alcotest.test_case "quick-cases" `Quick test_flow_diff_quick_cases;
+          Alcotest.test_case "campaign-500-seed42" `Slow
+            (flow_diff_campaign 42);
+          Alcotest.test_case "campaign-500-seed7" `Slow (flow_diff_campaign 7);
         ] );
     ]
