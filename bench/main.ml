@@ -235,11 +235,8 @@ let profiler () =
   (* disabled: no ambient profiler installed (explicitly uninstall in case
      the whole bench run is itself being profiled with --profile=FILE) *)
   let ns_disabled =
-    let saved = !Ir.Profiler.current in
-    Ir.Profiler.current := None;
-    Fun.protect
-      ~finally:(fun () -> Ir.Profiler.current := saved)
-      (fun () -> time n_disabled (fun () -> Ir.Profiler.span "bench.noop" body))
+    Ir.Profiler.with_disabled (fun () ->
+        time n_disabled (fun () -> Ir.Profiler.span "bench.noop" body))
   in
   (* enabled: every span records a begin and an end event *)
   let p = Ir.Profiler.create () in
@@ -547,6 +544,144 @@ let schedule_bench () =
       (List.length rows)
 
 (* ------------------------------------------------------------------ *)
+(* Multicore pass manager: speedup vs domain count                      *)
+(* ------------------------------------------------------------------ *)
+
+(** Function-at-a-time parallel scheduling on the two biggest Table-1
+    models, split into 32 [func.func]s so the module has enough
+    isolated-from-above roots to balance across domains. Each degree runs
+    the full Case-Study-1 lowering (canonicalize included) and the output
+    is byte-compared against the sequential run — the speedup curve is
+    only admissible where [ir_equal] holds. *)
+let parallel_bench () =
+  banner "E13 - Multicore pass manager: function-at-a-time scheduling"
+    "per-function passes fan over a domain pool; byte-identical output";
+  let saved_jobs = Ir.Pool.jobs () in
+  let funcs = 32 in
+  let degrees = [ 1; 2; 4; 8 ] in
+  let reps = 5 in
+  let passes =
+    match Passes.Pass.parse_pipeline Workloads.Models.tosa_pipeline_str with
+    | Ok ps -> ps
+    | Error e -> failwith (Ir.Diag.to_string e)
+  in
+  let specs =
+    List.filter
+      (fun s ->
+        List.mem s.Workloads.Models.sp_name [ "gpt2"; "mobilebert" ])
+      Workloads.Models.paper_models
+  in
+  let measure spec jobs =
+    Ir.Pool.set_jobs jobs;
+    let times = Array.make reps 0.0 in
+    let out = ref "" in
+    (* warmup: pools spawn lazily on the first fan-out *)
+    (let md = Workloads.Models.build ~funcs spec in
+     match Passes.Pass.run_pipeline ctx passes md with
+     | Ok _ -> ()
+     | Error e -> failwith (Ir.Diag.to_string e));
+    for i = 0 to reps - 1 do
+      let md = Workloads.Models.build ~funcs spec in
+      let t0 = Unix.gettimeofday () in
+      (match Passes.Pass.run_pipeline ctx passes md with
+      | Ok _ -> ()
+      | Error e -> failwith (Ir.Diag.to_string e));
+      times.(i) <- Unix.gettimeofday () -. t0;
+      out := Ir.Printer.op_to_string md
+    done;
+    Array.sort compare times;
+    (times.(reps / 2), !out)
+  in
+  let cores = Domain.recommended_domain_count () in
+  let rows =
+    Fun.protect
+      ~finally:(fun () -> Ir.Pool.set_jobs saved_jobs)
+      (fun () ->
+        List.map
+          (fun spec ->
+            let name = spec.Workloads.Models.sp_name in
+            let seq_t, seq_ir = measure spec 1 in
+            let points =
+              List.map
+                (fun j ->
+                  if j = 1 then (1, seq_t, 1.0, true)
+                  else begin
+                    let t, ir = measure spec j in
+                    let speedup = if t > 0.0 then seq_t /. t else 0.0 in
+                    (j, t, speedup, String.equal seq_ir ir)
+                  end)
+                degrees
+            in
+            (name, points))
+          specs)
+  in
+  Fmt.pr
+    "lowering pipeline (%s)@.%d functions per model, median of %d reps, %d \
+     core%s available@."
+    Workloads.Models.tosa_pipeline_str funcs reps cores
+    (if cores = 1 then "" else "s");
+  List.iter
+    (fun (name, points) ->
+      Fmt.pr "  %s:@." name;
+      List.iter
+        (fun (j, t, speedup, ir_equal) ->
+          Fmt.pr "    jobs=%d %10.1f ms   speedup %5.2fx   same IR: %b@." j
+            (t *. 1000.) speedup ir_equal)
+        points)
+    rows;
+  let all_ir_equal =
+    List.for_all
+      (fun (_, points) -> List.for_all (fun (_, _, _, e) -> e) points)
+    rows
+  in
+  let json =
+    Ir.Json.Obj
+      [
+        ("benchmark", Ir.Json.String "parallel-pass-manager");
+        ("pipeline", Ir.Json.String Workloads.Models.tosa_pipeline_str);
+        ("functions_per_model", Ir.Json.Int funcs);
+        ("reps", Ir.Json.Int reps);
+        ("cores", Ir.Json.Int cores);
+        ( "models",
+          Ir.Json.List
+            (List.map
+               (fun (name, points) ->
+                 Ir.Json.Obj
+                   [
+                     ("model", Ir.Json.String name);
+                     ( "points",
+                       Ir.Json.List
+                         (List.map
+                            (fun (j, t, speedup, ir_equal) ->
+                              Ir.Json.Obj
+                                [
+                                  ("jobs", Ir.Json.Int j);
+                                  ("wall_ms", Ir.Json.Float (t *. 1000.));
+                                  ("speedup", Ir.Json.Float speedup);
+                                  ("ir_equal", Ir.Json.Bool ir_equal);
+                                ])
+                            points) );
+                   ])
+               rows) );
+        ( "note",
+          Ir.Json.String
+            "speedup = sequential median / parallel median on the same \
+             generated module; ir_equal byte-compares the printed module \
+             against the sequential run. On a single-core host the curve \
+             is flat (the pool adds fan-out overhead, no parallelism); \
+             the CI bench-parallel job regenerates this file on multi-core \
+             runners" );
+      ]
+  in
+  let oc = open_out "BENCH_parallel.json" in
+  output_string oc (Ir.Json.to_string json);
+  output_string oc "\n";
+  close_out oc;
+  Fmt.pr "wrote BENCH_parallel.json@.";
+  if not all_ir_equal then
+    failwith "parallel bench: parallel output IR differs from sequential"
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per experiment kernel       *)
 (* ------------------------------------------------------------------ *)
 
@@ -674,6 +809,31 @@ let () =
         || String.sub a 0 (String.length profile_prefix) <> profile_prefix)
       args
   in
+  (* --jobs=N configures the global pool (0 = auto); the parallel section
+     sweeps degrees itself and restores this setting afterwards *)
+  let jobs_prefix = "--jobs=" in
+  List.iter
+    (fun a ->
+      if
+        String.length a > String.length jobs_prefix
+        && String.sub a 0 (String.length jobs_prefix) = jobs_prefix
+      then
+        match
+          int_of_string_opt
+            (String.sub a (String.length jobs_prefix)
+               (String.length a - String.length jobs_prefix))
+        with
+        | Some 0 -> Ir.Pool.set_jobs (Ir.Pool.default_jobs ())
+        | Some n when n >= 1 -> Ir.Pool.set_jobs n
+        | _ -> failwith (Fmt.str "invalid %s" a))
+    args;
+  let args =
+    List.filter
+      (fun a ->
+        String.length a < String.length jobs_prefix
+        || String.sub a 0 (String.length jobs_prefix) <> jobs_prefix)
+      args
+  in
   let want s = args = [] || List.mem s args in
   Fmt.pr "OCaml Transform-dialect reproduction - benchmark harness@.";
   Fmt.pr "(simulated machine: %.1f GHz, L1 %dK, L2 %dK; see DESIGN.md)@."
@@ -699,6 +859,7 @@ let () =
     if want "profiler" then profiler ();
     if want "checkpoint" then checkpoint ();
     if want "schedule" then schedule_bench ();
+    if want "parallel" then parallel_bench ();
     if (not no_micro) && (args = [] || List.mem "micro" args) then micro ()
   in
   (match profile_path with

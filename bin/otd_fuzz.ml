@@ -106,9 +106,19 @@ let run_schedule_diff ctx config seed cases quiet =
   if nfail = 0 then `Ok ()
   else `Error (false, "compiled and interpreted schedules diverged")
 
+(* [Some 0] auto-sizes; [None] keeps OTD_JOBS (or sequential) *)
+let apply_jobs = function
+  | None -> Ok ()
+  | Some 0 -> Ok (Ir.Pool.set_jobs (Ir.Pool.default_jobs ()))
+  | Some n when n >= 1 -> Ok (Ir.Pool.set_jobs n)
+  | Some n -> Error (Fmt.str "--jobs must be >= 0 (got %d)" n)
+
 let run seed cases max_ops max_depth pipeline no_shrink out_dir print_case
-    quiet profile faults schedule_diff flow_diff =
+    quiet profile faults schedule_diff flow_diff jobs =
   Printexc.record_backtrace true;
+  match apply_jobs jobs with
+  | Error e -> `Error (false, e)
+  | Ok () ->
   let ctx = Transform.Register.full_context () in
   let config = { Fuzz.Gen.default_config with max_ops; max_depth } in
   match print_case with
@@ -264,6 +274,17 @@ let faults =
            case asserts the recovery invariants (byte-identical rollback, \
            verifier-clean IR, contained exceptions).")
 
+let jobs =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:"Fan campaign cases over $(docv) domains. $(b,--jobs=1) runs \
+              fully sequential (no pool); $(b,--jobs=0) auto-sizes to the \
+              runtime's recommended domain count. Defaults to $(b,OTD_JOBS), \
+              else 1. Failures, reproducers and case order are identical at \
+              every degree.")
+
 let cmd =
   let doc = "property-based IR fuzzer and differential tester" in
   Cmd.v
@@ -273,11 +294,11 @@ let cmd =
         (const
            (fun seed cases max_ops max_depth pipeline no_shrink _shrink
                 out_dir print_case quiet profile faults schedule_diff
-                flow_diff ->
+                flow_diff jobs ->
              run seed cases max_ops max_depth pipeline no_shrink out_dir
-               print_case quiet profile faults schedule_diff flow_diff)
+               print_case quiet profile faults schedule_diff flow_diff jobs)
         $ seed $ cases $ max_ops $ max_depth $ pipeline $ no_shrink $ shrink
         $ out_dir $ print_case $ quiet $ profile $ faults $ schedule_diff
-        $ flow_diff))
+        $ flow_diff $ jobs))
 
 let () = exit (Cmd.eval cmd)

@@ -64,10 +64,21 @@ type json_report = {
   mutable j_ir_after : (string * string) list;  (** pass name, IR text *)
 }
 
+(* shared by the binaries: resolve a [--jobs] value against the OTD_JOBS
+   fallback already baked into [Ir.Pool]. [Some 0] means auto-size. *)
+let apply_jobs = function
+  | None -> Ok () (* keep OTD_JOBS (or sequential) *)
+  | Some 0 -> Ok (Ir.Pool.set_jobs (Ir.Pool.default_jobs ()))
+  | Some n when n >= 1 -> Ok (Ir.Pool.set_jobs n)
+  | Some n -> Error (Fmt.str "--jobs must be >= 0 (got %d)" n)
+
 let run input pipeline transform_file no_compile flow_check no_verify list_passes timing
     print_ir_after_all trace diagnostics_format reproducer_path pretty profile
-    stats remarks remarks_filter max_steps deadline_ms =
+    stats remarks remarks_filter max_steps deadline_ms jobs =
   Printexc.record_backtrace true;
+  match apply_jobs jobs with
+  | Error e -> `Error (false, e)
+  | Ok () ->
   let ctx = Transform.Register.full_context () in
   let remark_kinds_r =
     match remarks with
@@ -510,6 +521,19 @@ let deadline_ms =
               interpretation) in milliseconds; exceeded work stops with a \
               clean diagnostic instead of hanging.")
 
+let jobs =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:"Parallelism degree for function-at-a-time pass scheduling: \
+              fan per-function passes over $(docv) domains. $(b,--jobs=1) \
+              runs fully sequential (no pool, no domains); $(b,--jobs=0) \
+              auto-sizes to the runtime's recommended domain count. \
+              Defaults to the $(b,OTD_JOBS) environment variable, else 1. \
+              Output, diagnostics and exit codes are identical at every \
+              degree.")
+
 let cmd =
   let doc = "optimizer driver for the OCaml Transform-dialect reproduction" in
   Cmd.v
@@ -520,6 +544,6 @@ let cmd =
        $ flow_check $ no_verify
        $ list_passes $ timing $ print_ir_after_all $ trace
        $ diagnostics_format $ reproducer_path $ pretty $ profile $ stats
-       $ remarks $ remarks_filter $ max_steps $ deadline_ms))
+       $ remarks $ remarks_filter $ max_steps $ deadline_ms $ jobs))
 
 let () = exit (Cmd.eval cmd)

@@ -217,6 +217,13 @@ type summary = {
 
 let summaries : (int * string, summary) Hashtbl.t = Hashtbl.create 16
 
+(* process-global and reachable from parallel fuzz workers: serialize *)
+let summaries_mu = Mutex.create ()
+
+let with_summaries f =
+  Mutex.lock summaries_mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock summaries_mu) f
+
 let summary_key ~fp arg_infos =
   (fp, String.concat ";" (List.map Annot.info_signature arg_infos))
 
@@ -528,7 +535,7 @@ and flow_include_inline actx env op ~body ~args ~arg_infos ~fp =
 and flow_include_summary actx env op ~body ~args ~arg_infos ~fp =
   let key = summary_key ~fp arg_infos in
   let summary =
-    match Hashtbl.find_opt summaries key with
+    match with_summaries (fun () -> Hashtbl.find_opt summaries key) with
     | Some s ->
       Stats.incr stat_summary_hits;
       s
@@ -564,8 +571,9 @@ and flow_include_summary actx env op ~body ~args ~arg_infos ~fp =
       in
       let sm_results = List.map (info_of env_out) (callee_yields body) in
       let s = { sm_consumed; sm_results; sm_problems = sub.problems } in
-      if Hashtbl.length summaries > 512 then Hashtbl.reset summaries;
-      Hashtbl.replace summaries key s;
+      with_summaries (fun () ->
+          if Hashtbl.length summaries > 512 then Hashtbl.reset summaries;
+          Hashtbl.replace summaries key s);
       s
   in
   actx.problems <- summary.sm_problems @ actx.problems;

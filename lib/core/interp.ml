@@ -584,11 +584,7 @@ let apply_interpreted ?(config = State.default_config) ctx ~script ~payload =
     | Ok () -> Ok st.State.steps
     | Error e -> Error e)
 
-(** Thin deprecated alias of {!apply_interpreted}, kept for one release:
-    the unified entry point is {!Schedule.run} / {!Schedule.of_script} +
-    {!Schedule.apply}, which compiles and caches by default and exposes an
-    [`Interpret] mode equivalent to this function. *)
-let apply = apply_interpreted
-[@@deprecated
-  "use Schedule.run (compiled) or Schedule.run ~mode:`Interpret; \
-   Interp.apply_interpreted remains for internal use"]
+(* the deprecated [apply] alias of {!apply_interpreted} was removed: the
+   unified entry point is {!Schedule.run} / {!Schedule.of_script} +
+   {!Schedule.apply}, which compiles and caches by default and exposes an
+   [`Interpret] mode equivalent to direct interpretation *)

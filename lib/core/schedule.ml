@@ -348,12 +348,21 @@ let compile ctx script =
 
 let cache : (Fingerprint.t, t) Hashtbl.t = Hashtbl.create 16
 
+(* the cache is process-global and parallel fuzz campaigns compile from
+   worker domains, so accesses are serialized (compilation itself runs
+   outside the lock) *)
+let cache_mu = Mutex.create ()
+
+let with_cache f =
+  Mutex.lock cache_mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock cache_mu) f
+
 (** Bound on distinct cached schedules; exceeding it drops the whole cache
     (autotuning loops generate unbounded families of one-shot scripts). *)
 let cache_capacity = ref 512
 
-let cache_size () = Hashtbl.length cache
-let clear_cache () = Hashtbl.reset cache
+let cache_size () = with_cache (fun () -> Hashtbl.length cache)
+let clear_cache () = with_cache (fun () -> Hashtbl.reset cache)
 
 let schedule_of ?(mode : mode = `Compile) ctx (script : Ircore.op) : t =
   match mode with
@@ -369,7 +378,7 @@ let schedule_of ?(mode : mode = `Compile) ctx (script : Ircore.op) : t =
     }
   | `Compile -> (
     let fp = Fingerprint.op script in
-    match Hashtbl.find_opt cache fp with
+    match with_cache (fun () -> Hashtbl.find_opt cache fp) with
     | Some cached ->
       Stats.incr stat_cache_hits;
       (* structurally identical script: the cached schedule (compiled
@@ -395,11 +404,12 @@ let schedule_of ?(mode : mode = `Compile) ctx (script : Ircore.op) : t =
           s_flow = None;
         }
       in
-      if Hashtbl.length cache >= !cache_capacity then begin
-        Stats.incr stat_evictions;
-        Hashtbl.reset cache
-      end;
-      Hashtbl.replace cache fp s;
+      with_cache (fun () ->
+          if Hashtbl.length cache >= !cache_capacity then begin
+            Stats.incr stat_evictions;
+            Hashtbl.reset cache
+          end;
+          Hashtbl.replace cache fp s);
       s)
 
 (** Lower [script] to a schedule. [`Compile] (default) consults the

@@ -62,52 +62,87 @@ let write_reproducer ~dir ~seed ~case f minimized =
 
 (** Run [cases] cases from [seed]. [on_case] is a progress hook (case
     index, failed?). Failures are emitted as diagnostics on [ctx]'s engine
-    and, when [out_dir] is given, written as reproducer files. *)
+    and, when [out_dir] is given, written as reproducer files.
+
+    With [Ir.Pool.jobs () > 1] the cases — each deterministic in (seed,
+    case) alone — fan across the domain pool; only the oracle runs on
+    workers, while shrinking, reproducer writing, diagnostics and the
+    [on_case] hook all replay on the calling domain in case order, so
+    campaign output is byte-identical run-to-run at any job count. The
+    sequential mode stops generating after [max_failures] failed cases;
+    the parallel mode runs every case but reports the same first
+    [max_failures] failures in case order. *)
 let run ?config ?(pipelines = Oracle.default_pipelines) ?(shrink = true)
     ?out_dir ?(max_failures = 10) ?(on_case = fun _ ~failed:_ -> ()) ctx
     ~seed ~cases () =
   let t0 = Unix.gettimeofday () in
   let failures = ref [] in
-  let case = ref 0 in
-  while !case < cases && List.length !failures < max_failures do
-    let i = !case in
-    let m = module_for ?config ~seed ~case:i () in
-    (match Oracle.run_all ctx ~pipelines m with
-    | Ok () -> on_case i ~failed:false
-    | Error f ->
-      let minimized_module =
-        if shrink then
-          Shrink.shrink m ~still_fails:(fun c ->
-              Option.is_some (Oracle.recheck ctx ~pipelines ~witness:f c))
-        else m
-      in
-      let minimized = Printer.op_to_string minimized_module in
-      let path =
-        Option.map
-          (fun dir -> write_reproducer ~dir ~seed ~case:i f minimized)
-          out_dir
-      in
-      Diag.emit (Context.diag_engine ctx)
-        (Diag.error
-           ~notes:
-             ([ Diag.note "seed %d, case %d" seed i ]
-             @ (match f.Oracle.f_pipeline with
-               | Some p -> [ Diag.note "pipeline: %s" p ]
-               | None -> [])
-             @
-             match path with
-             | Some p -> [ Diag.note "reproducer written to %s" p ]
+  let report i m f =
+    let minimized_module =
+      if shrink then
+        Shrink.shrink m ~still_fails:(fun c ->
+            Option.is_some (Oracle.recheck ctx ~pipelines ~witness:f c))
+      else m
+    in
+    let minimized = Printer.op_to_string minimized_module in
+    let path =
+      Option.map
+        (fun dir -> write_reproducer ~dir ~seed ~case:i f minimized)
+        out_dir
+    in
+    Diag.emit (Context.diag_engine ctx)
+      (Diag.error
+         ~notes:
+           ([ Diag.note "seed %d, case %d" seed i ]
+           @ (match f.Oracle.f_pipeline with
+             | Some p -> [ Diag.note "pipeline: %s" p ]
              | None -> [])
-           "fuzz oracle '%s' failed: %s" f.Oracle.f_oracle f.Oracle.f_detail);
-      failures :=
-        { r_seed = seed; r_case = i; r_failure = f; r_minimized = minimized;
-          r_path = path }
-        :: !failures;
-      on_case i ~failed:true);
-    incr case
-  done;
+           @
+           match path with
+           | Some p -> [ Diag.note "reproducer written to %s" p ]
+           | None -> [])
+         "fuzz oracle '%s' failed: %s" f.Oracle.f_oracle f.Oracle.f_detail);
+    failures :=
+      { r_seed = seed; r_case = i; r_failure = f; r_minimized = minimized;
+        r_path = path }
+      :: !failures
+  in
+  let ran =
+    if Pool.jobs () <= 1 || cases <= 1 then begin
+      let case = ref 0 in
+      while !case < cases && List.length !failures < max_failures do
+        let i = !case in
+        let m = module_for ?config ~seed ~case:i () in
+        (match Oracle.run_all ctx ~pipelines m with
+        | Ok () -> on_case i ~failed:false
+        | Error f ->
+          report i m f;
+          on_case i ~failed:true);
+        incr case
+      done;
+      !case
+    end
+    else begin
+      let outcomes = Array.make cases None in
+      Pool.run cases (fun i ->
+          let m = module_for ?config ~seed ~case:i () in
+          outcomes.(i) <- Some (m, Oracle.run_all ctx ~pipelines m));
+      Array.iteri
+        (fun i o ->
+          match o with
+          | None -> ()
+          | Some (_, Ok ()) -> on_case i ~failed:false
+          | Some (m, Error f) ->
+            if List.length !failures < max_failures then begin
+              report i m f;
+              on_case i ~failed:true
+            end)
+        outcomes;
+      cases
+    end
+  in
   {
-    s_cases = !case;
+    s_cases = ran;
     s_failures = List.rev !failures;
     s_seconds = Unix.gettimeofday () -. t0;
   }

@@ -6,23 +6,27 @@
 
     Like {!Profiler} and {!Remark}, the budget is ambient: {!with_budget}
     installs one for a dynamic extent and the check entry points are no-ops
-    (a single ref read) when none is installed. Exhaustion is sticky — once
-    a limit trips, every subsequent check reports the same reason, so
-    nested constructs (e.g. [transform.alternatives] retrying a region
-    after a timeout) fail fast instead of re-burning the budget.
+    (a single domain-local read) when none is installed. The ambient slot
+    is domain-local but one budget instance may be installed on many
+    domains at once — the parallel pass manager shares the pipeline's
+    budget across its workers — so the counters are atomics and limits
+    bind globally across domains. Exhaustion is sticky and shared — once a
+    limit trips on any domain (first writer wins via compare-and-set),
+    every subsequent check on every domain reports the same reason, so
+    parallel workers drain fast instead of re-burning the budget.
 
     The deadline is only sampled every {!deadline_stride} checks (plus at
     forced checkpoints such as pass boundaries), keeping the hot-path cost
-    to a couple of integer operations. *)
+    to a few atomic operations. *)
 
 type t = {
   b_max_steps : int option;  (** interpreter steps (transform ops run) *)
   b_max_rewrites : int option;  (** greedy rewrites/folds/dce *)
   b_deadline : float option;  (** absolute [Unix.gettimeofday] time *)
-  mutable b_steps : int;
-  mutable b_rewrites : int;
-  mutable b_tick : int;  (** deadline-sampling stride counter *)
-  mutable b_exhausted : string option;  (** sticky exhaustion reason *)
+  b_steps : int Atomic.t;
+  b_rewrites : int Atomic.t;
+  b_tick : int Atomic.t;  (** deadline-sampling stride counter *)
+  b_exhausted : string option Atomic.t;  (** sticky exhaustion reason *)
 }
 
 (* global statistics (Ir.Stats) *)
@@ -41,31 +45,32 @@ let create ?max_steps ?max_rewrites ?deadline_ms () =
       Option.map
         (fun ms -> Unix.gettimeofday () +. (float_of_int ms /. 1000.))
         deadline_ms;
-    b_steps = 0;
-    b_rewrites = 0;
-    b_tick = 0;
-    b_exhausted = None;
+    b_steps = Atomic.make 0;
+    b_rewrites = Atomic.make 0;
+    b_tick = Atomic.make 0;
+    b_exhausted = Atomic.make None;
   }
 
-let current : t option ref = ref None
-let active () = !current
+let current : t option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
+let active () = Domain.DLS.get current
 
-(** Install [b] for the duration of [f]. *)
+(** Install [b] for the duration of [f] on this domain. Schedulers that
+    fan work across domains install the {e same} instance per task so the
+    limits stay global. *)
 let with_budget b f =
-  let saved = !current in
-  current := Some b;
-  Fun.protect ~finally:(fun () -> current := saved) f
+  let saved = Domain.DLS.get current in
+  Domain.DLS.set current (Some b);
+  Fun.protect ~finally:(fun () -> Domain.DLS.set current saved) f
 
-let steps b = b.b_steps
-let rewrites b = b.b_rewrites
-let exhausted b = b.b_exhausted
+let steps b = Atomic.get b.b_steps
+let rewrites b = Atomic.get b.b_rewrites
+let exhausted b = Atomic.get b.b_exhausted
 
+(* first writer wins; everyone reports the winning reason *)
 let mark_exhausted b reason =
-  (match b.b_exhausted with
-  | None -> Stats.incr stat_exhausted
-  | Some _ -> ());
-  b.b_exhausted <- Some reason;
-  Some reason
+  if Atomic.compare_and_set b.b_exhausted None (Some reason) then
+    Stats.incr stat_exhausted;
+  Atomic.get b.b_exhausted
 
 let deadline_stride = 64
 
@@ -74,8 +79,8 @@ let check_deadline_of b ~force =
   match b.b_deadline with
   | None -> None
   | Some dl ->
-    b.b_tick <- b.b_tick + 1;
-    if force || b.b_tick land (deadline_stride - 1) = 0 then
+    let tick = Atomic.fetch_and_add b.b_tick 1 + 1 in
+    if force || tick land (deadline_stride - 1) = 0 then
       let now = Unix.gettimeofday () in
       if now > dl then
         mark_exhausted b
@@ -86,51 +91,51 @@ let check_deadline_of b ~force =
 
 (** Charge one interpreter step; [Some reason] once the budget is gone. *)
 let step () =
-  match !current with
+  match Domain.DLS.get current with
   | None -> None
   | Some b -> (
-    b.b_steps <- b.b_steps + 1;
+    let n = Atomic.fetch_and_add b.b_steps 1 + 1 in
     Stats.incr stat_steps;
-    match b.b_exhausted with
+    match Atomic.get b.b_exhausted with
     | Some r -> Some r
     | None -> (
       match b.b_max_steps with
-      | Some m when b.b_steps > m ->
+      | Some m when n > m ->
         mark_exhausted b
           (Fmt.str "interpreter step budget of %d steps exhausted" m)
       | _ -> check_deadline_of b ~force:false))
 
 (** Charge one greedy rewrite (pattern rewrite, fold or DCE). *)
 let rewrite () =
-  match !current with
+  match Domain.DLS.get current with
   | None -> None
   | Some b -> (
-    b.b_rewrites <- b.b_rewrites + 1;
+    let n = Atomic.fetch_and_add b.b_rewrites 1 + 1 in
     Stats.incr stat_rewrites;
-    match b.b_exhausted with
+    match Atomic.get b.b_exhausted with
     | Some r -> Some r
     | None -> (
       match b.b_max_rewrites with
-      | Some m when b.b_rewrites > m ->
+      | Some m when n > m ->
         mark_exhausted b
           (Fmt.str "greedy rewrite budget of %d rewrites exhausted" m)
       | _ -> check_deadline_of b ~force:false))
 
 (** Deadline-only poll for hot loops that charge nothing (amortized). *)
 let poll () =
-  match !current with
+  match Domain.DLS.get current with
   | None -> None
   | Some b -> (
-    match b.b_exhausted with
+    match Atomic.get b.b_exhausted with
     | Some r -> Some r
     | None -> check_deadline_of b ~force:false)
 
 (** Forced check at coarse boundaries (between passes): always samples the
     clock. *)
 let checkpoint () =
-  match !current with
+  match Domain.DLS.get current with
   | None -> None
   | Some b -> (
-    match b.b_exhausted with
+    match Atomic.get b.b_exhausted with
     | Some r -> Some r
     | None -> check_deadline_of b ~force:true)

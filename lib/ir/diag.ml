@@ -137,8 +137,34 @@ let engine () = { handlers = [] }
 (** Fallback when no handler is installed: print to stderr. *)
 let default_handler d = Fmt.epr "%a@." pp d
 
+(* Domain-local capture, consulted before the engine's handler stack. The
+   engine's stack is shared mutable state, so parallel workers must not
+   push/pop on it; instead the pass manager wraps each worker task in
+   [with_domain_capture], which routes everything the task emits — on any
+   engine — into a per-task buffer replayed in source order. *)
+let domain_capture : handler option Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
+
+(** Route every diagnostic this domain emits (to any engine) to [h] while
+    [f] runs, bypassing the engine's shared handler stack. *)
+let with_domain_capture h f =
+  let saved = Domain.DLS.get domain_capture in
+  Domain.DLS.set domain_capture (Some h);
+  Fun.protect ~finally:(fun () -> Domain.DLS.set domain_capture saved) f
+
+(* serialize emissions that do reach the shared stack (or stderr), so
+   untracked emissions from concurrent domains don't interleave *)
+let emit_mu = Mutex.create ()
+
 let emit eng d =
-  match eng.handlers with h :: _ -> h d | [] -> default_handler d
+  match Domain.DLS.get domain_capture with
+  | Some h -> h d
+  | None ->
+    Mutex.lock emit_mu;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock emit_mu)
+      (fun () ->
+        match eng.handlers with h :: _ -> h d | [] -> default_handler d)
 
 let push_handler eng h = eng.handlers <- h :: eng.handlers
 

@@ -5,17 +5,23 @@
     Like {!Trace}, the profiler is ambient: {!with_profiler} installs one
     for a dynamic extent and deeply nested components (a greedy rewrite
     inside a canonicalize pass inside a transform script) report spans
-    without threading the profiler through every signature. When no
+    without threading the profiler through every signature. The ambient
+    slot is domain-local, so the parallel pass manager installs the same
+    profiler instance in every worker and each domain records into its own
+    shard: one [(tid, event buffer, depth)] record per domain, created
+    lazily under the profiler's mutex and cached in domain-local storage so
+    the hot path stays lock-free. Exported events carry the shard's real
+    domain id as [tid], which Perfetto renders as per-domain lanes. When no
     profiler is installed every entry point is a cheap no-op — a single
-    ref read — so instrumentation can stay on in hot paths
-    (the cost is measured by [bench … profiler] into
-    [BENCH_profiler.json]).
+    domain-local read — so instrumentation can stay on in hot paths (the
+    cost is measured by [bench … profiler] into [BENCH_profiler.json]).
 
-    Spans nest strictly: {!span} emits a [B] (begin) event, runs its body
-    and emits the matching [E] (end) event even on exceptions, so the
-    resulting stream is always balanced and Perfetto renders it as a flame
-    graph: pass pipeline → pass → greedy driver, and transform-interpreter
-    op spans. {!counter} emits a [C] (counter sample) event. *)
+    Spans nest strictly {e per domain}: {!span} emits a [B] (begin) event,
+    runs its body and emits the matching [E] (end) event even on
+    exceptions, so each shard's stream is always balanced and Perfetto
+    renders each lane as a flame graph: pass pipeline → pass → greedy
+    driver, and transform-interpreter op spans. {!counter} emits a [C]
+    (counter sample) event. *)
 
 type arg = Aint of int | Afloat of float | Astr of string
 
@@ -29,45 +35,108 @@ type event =
   | End of { e_ts : float }
   | Counter of { c_name : string; c_ts : float; c_value : float }
 
+type shard = {
+  sh_tid : int;  (** the recording domain's id *)
+  mutable sh_rev_events : event list;
+  mutable sh_depth : int;  (** currently open spans on this domain *)
+  mutable sh_max_depth : int;
+  mutable sh_spans : int;  (** completed spans on this domain *)
+}
+
 type t = {
-  mutable rev_events : event list;
-  mutable depth : int;  (** currently open spans *)
-  mutable max_depth : int;
-  mutable spans : int;  (** completed spans *)
+  mutable shards : shard list;  (** guarded by [mu]; one per domain *)
+  mu : Mutex.t;
   t0 : float;  (** creation time, the trace's timestamp origin *)
 }
 
 let now () = Unix.gettimeofday ()
+let create () = { shards = []; mu = Mutex.create (); t0 = now () }
 
-let create () =
-  { rev_events = []; depth = 0; max_depth = 0; spans = 0; t0 = now () }
+(* last (profiler, shard) this domain touched — avoids the mutex on every
+   event when one profiler stays installed, the overwhelmingly common case *)
+let shard_cache : (t * shard) option Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
 
-let events p = List.rev p.rev_events
-let span_count p = p.spans
-let max_depth p = p.max_depth
+let shard_for p =
+  match Domain.DLS.get shard_cache with
+  | Some (p', s) when p' == p -> s
+  | _ ->
+    let tid = (Domain.self () :> int) in
+    Mutex.lock p.mu;
+    let s =
+      match List.find_opt (fun s -> s.sh_tid = tid) p.shards with
+      | Some s -> s
+      | None ->
+        let s =
+          { sh_tid = tid; sh_rev_events = []; sh_depth = 0; sh_max_depth = 0;
+            sh_spans = 0 }
+        in
+        p.shards <- s :: p.shards;
+        s
+    in
+    Mutex.unlock p.mu;
+    Domain.DLS.set shard_cache (Some (p, s));
+    s
 
-(** All begin spans closed — always true outside a {!span} body. *)
-let balanced p = p.depth = 0
+(* shards sorted by domain id, so merged views are deterministic *)
+let sorted_shards p =
+  Mutex.lock p.mu;
+  let shards = p.shards in
+  Mutex.unlock p.mu;
+  List.sort (fun a b -> compare a.sh_tid b.sh_tid) shards
+
+(** All recorded events, grouped by recording domain (ascending domain id),
+    in recording order within each domain. *)
+let events p =
+  List.concat_map (fun s -> List.rev s.sh_rev_events) (sorted_shards p)
+
+let span_count p =
+  List.fold_left (fun acc s -> acc + s.sh_spans) 0 (sorted_shards p)
+
+let max_depth p =
+  List.fold_left (fun acc s -> max acc s.sh_max_depth) 0 (sorted_shards p)
+
+(** All begin spans closed on every domain — always true outside {!span}
+    bodies. *)
+let balanced p =
+  List.for_all (fun s -> s.sh_depth = 0) (sorted_shards p)
 
 let clear p =
-  p.rev_events <- [];
-  p.depth <- 0;
-  p.max_depth <- 0;
-  p.spans <- 0
+  (* reset shards in place: domain-local caches may still point at them *)
+  List.iter
+    (fun s ->
+      s.sh_rev_events <- [];
+      s.sh_depth <- 0;
+      s.sh_max_depth <- 0;
+      s.sh_spans <- 0)
+    (sorted_shards p)
 
 (* ------------------------------------------------------------------ *)
-(* Ambient profiler                                                    *)
+(* Ambient profiler (domain-local)                                     *)
 (* ------------------------------------------------------------------ *)
 
-let current : t option ref = ref None
+let current : t option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
 
-(** Install [p] as the ambient profiler while [f] runs. *)
+(** Install [p] as this domain's ambient profiler while [f] runs. Worker
+    domains start with no profiler; the pass manager re-installs the
+    parent's instance around each parallel task. *)
 let with_profiler p f =
-  let saved = !current in
-  current := Some p;
-  Fun.protect ~finally:(fun () -> current := saved) f
+  let saved = Domain.DLS.get current in
+  Domain.DLS.set current (Some p);
+  Fun.protect ~finally:(fun () -> Domain.DLS.set current saved) f
 
-let profiling () = !current <> None
+(** Run [f] with no ambient profiler (benchmarks use this to measure the
+    disabled-path overhead under an outer [--profile]). *)
+let with_disabled f =
+  let saved = Domain.DLS.get current in
+  Domain.DLS.set current None;
+  Fun.protect ~finally:(fun () -> Domain.DLS.set current saved) f
+
+(** This domain's ambient profiler, for schedulers that propagate it to
+    worker domains. *)
+let active () = Domain.DLS.get current
+
+let profiling () = Domain.DLS.get current <> None
 
 (* ------------------------------------------------------------------ *)
 (* Recording                                                           *)
@@ -76,22 +145,25 @@ let profiling () = !current <> None
 let ts p = (now () -. p.t0) *. 1e6
 
 let begin_on p ~cat ~args name =
-  p.depth <- p.depth + 1;
-  if p.depth > p.max_depth then p.max_depth <- p.depth;
-  p.rev_events <-
+  let s = shard_for p in
+  s.sh_depth <- s.sh_depth + 1;
+  if s.sh_depth > s.sh_max_depth then s.sh_max_depth <- s.sh_depth;
+  s.sh_rev_events <-
     Begin { b_name = name; b_cat = cat; b_ts = ts p; b_args = args }
-    :: p.rev_events
+    :: s.sh_rev_events
 
 let end_on p =
-  p.depth <- p.depth - 1;
-  p.spans <- p.spans + 1;
-  p.rev_events <- End { e_ts = ts p } :: p.rev_events
+  let s = shard_for p in
+  s.sh_depth <- s.sh_depth - 1;
+  s.sh_spans <- s.sh_spans + 1;
+  s.sh_rev_events <- End { e_ts = ts p } :: s.sh_rev_events
 
 (** [span name f] runs [f] inside a profiler span named [name]. With no
-    ambient profiler this is exactly [f ()] after one ref read. The end
-    event is emitted even when [f] raises, so the stream stays balanced. *)
+    ambient profiler this is exactly [f ()] after one domain-local read.
+    The end event is emitted even when [f] raises, so the stream stays
+    balanced. *)
 let span ?(cat = "") ?(args = []) name f =
-  match !current with
+  match Domain.DLS.get current with
   | None -> f ()
   | Some p ->
     begin_on p ~cat ~args name;
@@ -99,11 +171,13 @@ let span ?(cat = "") ?(args = []) name f =
 
 (** Emit a counter sample, e.g. the greedy driver's worklist size. *)
 let counter name value =
-  match !current with
+  match Domain.DLS.get current with
   | None -> ()
   | Some p ->
-    p.rev_events <-
-      Counter { c_name = name; c_ts = ts p; c_value = value } :: p.rev_events
+    let s = shard_for p in
+    s.sh_rev_events <-
+      Counter { c_name = name; c_ts = ts p; c_value = value }
+      :: s.sh_rev_events
 
 (* ------------------------------------------------------------------ *)
 (* Chrome trace-event JSON                                             *)
@@ -114,10 +188,9 @@ let arg_to_json = function
   | Afloat f -> Json.Float f
   | Astr s -> Json.String s
 
-(* every event carries pid/tid: the viewers group events by both *)
-let pid_tid = [ ("pid", Json.Int 1); ("tid", Json.Int 1) ]
-
-let event_to_json = function
+(* every event carries pid/tid: the viewers group events by both; tid is
+   the recording domain's id, giving Perfetto one lane per domain *)
+let event_to_json ~tid = function
   | Begin { b_name; b_cat; b_ts; b_args } ->
     Json.Obj
       ([
@@ -125,8 +198,9 @@ let event_to_json = function
          ("cat", Json.String (if b_cat = "" then "otd" else b_cat));
          ("ph", Json.String "B");
          ("ts", Json.Float b_ts);
+         ("pid", Json.Int 1);
+         ("tid", Json.Int tid);
        ]
-      @ pid_tid
       @
       match b_args with
       | [] -> []
@@ -136,31 +210,47 @@ let event_to_json = function
             Json.Obj (List.map (fun (k, v) -> (k, arg_to_json v)) args) );
         ])
   | End { e_ts } ->
-    Json.Obj ([ ("ph", Json.String "E"); ("ts", Json.Float e_ts) ] @ pid_tid)
+    Json.Obj
+      [
+        ("ph", Json.String "E");
+        ("ts", Json.Float e_ts);
+        ("pid", Json.Int 1);
+        ("tid", Json.Int tid);
+      ]
   | Counter { c_name; c_ts; c_value } ->
     Json.Obj
-      ([
-         ("name", Json.String c_name);
-         ("ph", Json.String "C");
-         ("ts", Json.Float c_ts);
-       ]
-      @ pid_tid
-      @ [ ("args", Json.Obj [ ("value", Json.Float c_value) ]) ])
+      [
+        ("name", Json.String c_name);
+        ("ph", Json.String "C");
+        ("ts", Json.Float c_ts);
+        ("pid", Json.Int 1);
+        ("tid", Json.Int tid);
+        ("args", Json.Obj [ ("value", Json.Float c_value) ]);
+      ]
 
 (** The profile as a Chrome trace-event JSON object (the "JSON object
     format": a [traceEvents] array plus metadata), loadable in Perfetto
-    and [chrome://tracing]. *)
+    and [chrome://tracing]. Events are grouped per recording domain with
+    real [tid]s, so parallel pass runs show one lane per domain. *)
 let to_json p =
+  let shards = sorted_shards p in
+  let trace_events =
+    List.concat_map
+      (fun s ->
+        List.rev_map (event_to_json ~tid:s.sh_tid) s.sh_rev_events)
+      shards
+  in
   Json.Obj
     [
-      ("traceEvents", Json.List (List.map event_to_json (events p)));
+      ("traceEvents", Json.List trace_events);
       ("displayTimeUnit", Json.String "ms");
       ( "otherData",
         Json.Obj
           [
             ("producer", Json.String "otd-opt profiler");
-            ("spans", Json.Int p.spans);
-            ("max_depth", Json.Int p.max_depth);
+            ("spans", Json.Int (span_count p));
+            ("max_depth", Json.Int (max_depth p));
+            ("domains", Json.Int (List.length shards));
           ] );
     ]
 

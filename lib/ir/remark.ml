@@ -53,19 +53,23 @@ let analysis ?loc ?args ~pass fmt = make ?loc ?args Analysis ~pass fmt
 
 type handler = t -> unit
 
-let current : handler option ref = ref None
+(* domain-local: parallel schedulers install a per-task collector on each
+   worker and replay the collected remarks in source order *)
+let current : handler option Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
 
-(** Install [h] as the ambient remark handler while [f] runs. *)
+(** Install [h] as this domain's ambient remark handler while [f] runs. *)
 let with_handler h f =
-  let saved = !current in
-  current := Some h;
-  Fun.protect ~finally:(fun () -> current := saved) f
+  let saved = Domain.DLS.get current in
+  Domain.DLS.set current (Some h);
+  Fun.protect ~finally:(fun () -> Domain.DLS.set current saved) f
 
 (** True when a handler is installed. Emission sites should guard remark
     construction with this so the disabled path does not format messages. *)
-let enabled () = !current <> None
+let enabled () = Domain.DLS.get current <> None
 
-let emit r = match !current with Some h -> h r | None -> ()
+let emit r =
+  match Domain.DLS.get current with Some h -> h r | None -> ()
 
 (* ------------------------------------------------------------------ *)
 (* Filtering                                                           *)

@@ -35,7 +35,22 @@ let remove_listener t l =
 let builder t = t.builder
 let set_ip t ip = Builder.set_ip t.builder ip
 
-let notify_inserted t op = List.iter (fun l -> l.on_inserted op) t.listeners
+(* Ambient (domain-local) listeners, observing every rewriter on this
+   domain for a dynamic extent. Passes create their own rewriter instances
+   internally, so observers that cannot thread a listener into them — the
+   incremental verifier's dirty tracking — attach here instead. *)
+let ambient : listener list Domain.DLS.key = Domain.DLS.new_key (fun () -> [])
+
+(** Observe every rewriter notification on this domain while [f] runs. *)
+let with_listener l f =
+  let saved = Domain.DLS.get ambient in
+  Domain.DLS.set ambient (l :: saved);
+  Fun.protect ~finally:(fun () -> Domain.DLS.set ambient saved) f
+
+let all_listeners t = t.listeners @ Domain.DLS.get ambient
+
+let notify_inserted t op =
+  List.iter (fun l -> l.on_inserted op) (all_listeners t)
 
 let rec notify_erased_tree t op =
   (* nested ops disappear together with their parent *)
@@ -45,7 +60,7 @@ let rec notify_erased_tree t op =
         (fun b -> List.iter (notify_erased_tree t) (Ircore.block_ops b))
         (Ircore.region_blocks r))
     op.Ircore.regions;
-  List.iter (fun l -> l.on_erased op) t.listeners
+  List.iter (fun l -> l.on_erased op) (all_listeners t)
 
 let insert t op =
   ignore (Builder.insert t.builder op);
@@ -64,7 +79,7 @@ let build1 t ?operands ?result_types ?attrs ?regions ?successors ?loc name =
 
 (** Replace [op]'s results by [with_] and erase it. *)
 let replace_op t op ~with_ =
-  List.iter (fun l -> l.on_replaced op with_) t.listeners;
+  List.iter (fun l -> l.on_replaced op with_) (all_listeners t);
   (* notify nested erasures *)
   List.iter
     (fun r ->
@@ -107,7 +122,7 @@ let erase_op_unchecked t op =
     treating the op as erased. *)
 let modify_in_place t op f =
   let r = f () in
-  List.iter (fun l -> l.on_modified op) t.listeners;
+  List.iter (fun l -> l.on_modified op) (all_listeners t);
   r
 
 (** Inline all ops of [block] before [anchor], replacing uses of the block's

@@ -3,98 +3,213 @@
 
     Components intern their statistics once at module-initialization time
     ([let stat_rewrites = Stats.counter ~component:"greedy" "rewrites"]) and
-    bump them with {!incr}/{!add} — a single mutable-field update, cheap
-    enough for hot paths. The registry is process-global so `otd_opt
-    --stats` can render everything any component recorded during a run as
-    an aligned text table or as JSON; {!reset} zeroes all values (the
-    registration set is kept), which the tests use for isolation. *)
+    bump them with {!incr}/{!add}. The hot path is domain-safe without
+    synchronization: each domain owns a private shard (an int array for
+    counters, cells for histograms, both indexed by the statistic's interned
+    id) reached through domain-local storage, so a bump is one unshared
+    array update. Readers ({!value}, {!snapshot}, {!pp}, {!to_json}) merge
+    every live shard under a mutex, which is exactly the
+    shard-per-domain/merge-on-report scheme the multicore pass manager
+    needs. {!reset} zeroes all shards (the registration set is kept), which
+    the tests use for isolation. *)
 
 type counter = {
   c_component : string;
   c_name : string;
   c_desc : string;
-  mutable c_value : int;
+  c_id : int;  (** index into each shard's counter array *)
 }
 
 type histogram = {
   h_component : string;
   h_name : string;
   h_desc : string;
-  mutable h_count : int;
-  mutable h_sum : float;
-  mutable h_min : float;
-  mutable h_max : float;
+  h_id : int;  (** index into each shard's histogram array *)
 }
 
 type entry = Counter of counter | Histogram of histogram
 
 let registry : (string * string, entry) Hashtbl.t = Hashtbl.create 32
+let reg_mu = Mutex.create ()
+let n_counters = ref 0
+let n_histograms = ref 0
+
+(* ------------------------------------------------------------------ *)
+(* Domain-local shards                                                 *)
+(* ------------------------------------------------------------------ *)
+
+type hcell = {
+  mutable hc_n : int;
+  mutable hc_sum : float;
+  mutable hc_min : float;
+  mutable hc_max : float;
+}
+
+type shard = { mutable sc : int array; mutable sh : hcell array }
+
+(* all shards ever created, so readers can merge; domains are long-lived
+   pool workers, so the list stays small *)
+let shards : shard list ref = ref []
+let shards_mu = Mutex.create ()
+
+let new_hcell () =
+  { hc_n = 0; hc_sum = 0.0; hc_min = infinity; hc_max = neg_infinity }
+
+let shard_key =
+  Domain.DLS.new_key (fun () ->
+      let s = { sc = [||]; sh = [||] } in
+      Mutex.lock shards_mu;
+      shards := s :: !shards;
+      Mutex.unlock shards_mu;
+      s)
+
+let my_shard () = Domain.DLS.get shard_key
+
+let ensure_counter s id =
+  if id >= Array.length s.sc then begin
+    let len = max 16 (max (id + 1) (2 * Array.length s.sc)) in
+    let a = Array.make len 0 in
+    Array.blit s.sc 0 a 0 (Array.length s.sc);
+    s.sc <- a
+  end
+
+let ensure_hist s id =
+  if id >= Array.length s.sh then begin
+    let old = s.sh in
+    let len = max 16 (max (id + 1) (2 * Array.length old)) in
+    s.sh <-
+      Array.init len (fun i ->
+          if i < Array.length old then old.(i) else new_hcell ())
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Registration                                                        *)
+(* ------------------------------------------------------------------ *)
 
 (** Intern the counter [component/name]; returns the existing counter when
     already registered (so re-registration is idempotent). *)
 let counter ?(desc = "") ~component name =
-  match Hashtbl.find_opt registry (component, name) with
-  | Some (Counter c) -> c
-  | Some (Histogram _) ->
-    invalid_arg
-      (Fmt.str "statistic %s/%s already registered as a histogram" component
-         name)
-  | None ->
-    let c = { c_component = component; c_name = name; c_desc = desc; c_value = 0 } in
-    Hashtbl.replace registry (component, name) (Counter c);
-    c
+  Mutex.lock reg_mu;
+  let r =
+    match Hashtbl.find_opt registry (component, name) with
+    | Some (Counter c) -> Ok c
+    | Some (Histogram _) ->
+      Error
+        (Fmt.str "statistic %s/%s already registered as a histogram" component
+           name)
+    | None ->
+      let c =
+        { c_component = component; c_name = name; c_desc = desc;
+          c_id = !n_counters }
+      in
+      incr n_counters;
+      Hashtbl.replace registry (component, name) (Counter c);
+      Ok c
+  in
+  Mutex.unlock reg_mu;
+  match r with Ok c -> c | Error msg -> invalid_arg msg
 
 let histogram ?(desc = "") ~component name =
-  match Hashtbl.find_opt registry (component, name) with
-  | Some (Histogram h) -> h
-  | Some (Counter _) ->
-    invalid_arg
-      (Fmt.str "statistic %s/%s already registered as a counter" component
-         name)
-  | None ->
-    let h =
-      {
-        h_component = component;
-        h_name = name;
-        h_desc = desc;
-        h_count = 0;
-        h_sum = 0.0;
-        h_min = infinity;
-        h_max = neg_infinity;
-      }
-    in
-    Hashtbl.replace registry (component, name) (Histogram h);
-    h
+  Mutex.lock reg_mu;
+  let r =
+    match Hashtbl.find_opt registry (component, name) with
+    | Some (Histogram h) -> Ok h
+    | Some (Counter _) ->
+      Error
+        (Fmt.str "statistic %s/%s already registered as a counter" component
+           name)
+    | None ->
+      let h =
+        { h_component = component; h_name = name; h_desc = desc;
+          h_id = !n_histograms }
+      in
+      incr n_histograms;
+      Hashtbl.replace registry (component, name) (Histogram h);
+      Ok h
+  in
+  Mutex.unlock reg_mu;
+  match r with Ok h -> h | Error msg -> invalid_arg msg
 
-let incr c = c.c_value <- c.c_value + 1
-let add c n = c.c_value <- c.c_value + n
-let value c = c.c_value
+(* ------------------------------------------------------------------ *)
+(* Recording (hot path: this domain's shard only, no locks)            *)
+(* ------------------------------------------------------------------ *)
+
+let add c n =
+  let s = my_shard () in
+  ensure_counter s c.c_id;
+  s.sc.(c.c_id) <- s.sc.(c.c_id) + n
+
+let incr c = add c 1
 
 let observe h v =
-  h.h_count <- h.h_count + 1;
-  h.h_sum <- h.h_sum +. v;
-  if v < h.h_min then h.h_min <- v;
-  if v > h.h_max then h.h_max <- v
+  let s = my_shard () in
+  ensure_hist s h.h_id;
+  let hc = s.sh.(h.h_id) in
+  hc.hc_n <- hc.hc_n + 1;
+  hc.hc_sum <- hc.hc_sum +. v;
+  if v < hc.hc_min then hc.hc_min <- v;
+  if v > hc.hc_max then hc.hc_max <- v
 
-let mean h = if h.h_count = 0 then 0.0 else h.h_sum /. float_of_int h.h_count
+(* ------------------------------------------------------------------ *)
+(* Reading (merge across shards)                                       *)
+(* ------------------------------------------------------------------ *)
 
-(** Zero every registered statistic (registrations are kept). *)
+let with_shards f =
+  Mutex.lock shards_mu;
+  let r = f !shards in
+  Mutex.unlock shards_mu;
+  r
+
+let value c =
+  with_shards
+    (List.fold_left
+       (fun acc s ->
+         acc + if c.c_id < Array.length s.sc then s.sc.(c.c_id) else 0)
+       0)
+
+(** Merged view of a histogram: (count, sum, min, max). *)
+let hist_totals h =
+  with_shards
+    (List.fold_left
+       (fun (n, sum, mn, mx) s ->
+         if h.h_id < Array.length s.sh then begin
+           let hc = s.sh.(h.h_id) in
+           ( n + hc.hc_n,
+             sum +. hc.hc_sum,
+             min mn hc.hc_min,
+             max mx hc.hc_max )
+         end
+         else (n, sum, mn, mx))
+       (0, 0.0, infinity, neg_infinity))
+
+let count h =
+  let n, _, _, _ = hist_totals h in
+  n
+
+let mean h =
+  let n, sum, _, _ = hist_totals h in
+  if n = 0 then 0.0 else sum /. float_of_int n
+
+(** Zero every registered statistic in every domain's shard (registrations
+    are kept). *)
 let reset () =
-  Hashtbl.iter
-    (fun _ -> function
-      | Counter c -> c.c_value <- 0
-      | Histogram h ->
-        h.h_count <- 0;
-        h.h_sum <- 0.0;
-        h.h_min <- infinity;
-        h.h_max <- neg_infinity)
-    registry
+  with_shards
+    (List.iter (fun s ->
+         Array.fill s.sc 0 (Array.length s.sc) 0;
+         Array.iter
+           (fun hc ->
+             hc.hc_n <- 0;
+             hc.hc_sum <- 0.0;
+             hc.hc_min <- infinity;
+             hc.hc_max <- neg_infinity)
+           s.sh))
 
 (** Look up a registered counter's value, for tests and light consumers. *)
 let find_counter ~component name =
-  match Hashtbl.find_opt registry (component, name) with
-  | Some (Counter c) -> Some c
-  | _ -> None
+  Mutex.lock reg_mu;
+  let r = Hashtbl.find_opt registry (component, name) in
+  Mutex.unlock reg_mu;
+  match r with Some (Counter c) -> Some c | _ -> None
 
 (* ------------------------------------------------------------------ *)
 (* Rendering                                                           *)
@@ -102,13 +217,17 @@ let find_counter ~component name =
 
 (** All entries, sorted by (component, name). *)
 let snapshot () =
-  Hashtbl.fold (fun _ e acc -> e :: acc) registry []
-  |> List.sort (fun a b ->
-         let key = function
-           | Counter c -> (c.c_component, c.c_name)
-           | Histogram h -> (h.h_component, h.h_name)
-         in
-         compare (key a) (key b))
+  Mutex.lock reg_mu;
+  let entries = Hashtbl.fold (fun _ e acc -> e :: acc) registry [] in
+  Mutex.unlock reg_mu;
+  List.sort
+    (fun a b ->
+      let key = function
+        | Counter c -> (c.c_component, c.c_name)
+        | Histogram h -> (h.h_component, h.h_name)
+      in
+      compare (key a) (key b))
+    entries
 
 let pp fmt () =
   let entries = snapshot () in
@@ -125,13 +244,15 @@ let pp fmt () =
   List.iter
     (fun e ->
       match e with
-      | Counter c -> Fmt.pf fmt "%-*s  %-*s  %d@," wc c.c_component wn c.c_name c.c_value
+      | Counter c ->
+        Fmt.pf fmt "%-*s  %-*s  %d@," wc c.c_component wn c.c_name (value c)
       | Histogram h ->
+        let n, sum, mn, mx = hist_totals h in
         Fmt.pf fmt "%-*s  %-*s  n=%d sum=%g min=%g max=%g mean=%g@," wc
-          h.h_component wn h.h_name h.h_count h.h_sum
-          (if h.h_count = 0 then 0.0 else h.h_min)
-          (if h.h_count = 0 then 0.0 else h.h_max)
-          (mean h))
+          h.h_component wn h.h_name n sum
+          (if n = 0 then 0.0 else mn)
+          (if n = 0 then 0.0 else mx)
+          (if n = 0 then 0.0 else sum /. float_of_int n))
     entries;
   Fmt.pf fmt "@]"
 
@@ -145,18 +266,20 @@ let to_json () =
                ("component", Json.String c.c_component);
                ("name", Json.String c.c_name);
                ("kind", Json.String "counter");
-               ("value", Json.Int c.c_value);
+               ("value", Json.Int (value c));
              ]
          | Histogram h ->
+           let n, sum, mn, mx = hist_totals h in
            Json.Obj
              [
                ("component", Json.String h.h_component);
                ("name", Json.String h.h_name);
                ("kind", Json.String "histogram");
-               ("count", Json.Int h.h_count);
-               ("sum", Json.Float h.h_sum);
-               ("min", Json.Float (if h.h_count = 0 then 0.0 else h.h_min));
-               ("max", Json.Float (if h.h_count = 0 then 0.0 else h.h_max));
-               ("mean", Json.Float (mean h));
+               ("count", Json.Int n);
+               ("sum", Json.Float sum);
+               ("min", Json.Float (if n = 0 then 0.0 else mn));
+               ("max", Json.Float (if n = 0 then 0.0 else mx));
+               ("mean",
+                Json.Float (if n = 0 then 0.0 else sum /. float_of_int n));
              ])
        (snapshot ()))

@@ -28,12 +28,9 @@ type event =
       gr_match_attempts : int;  (** pattern/fold candidates tried *)
       gr_pushes : int;  (** worklist pushes (incl. the initial seeding) *)
     }
-  | Pass of { pa_name : string; pa_seconds : float }
-      (** Deprecated: a flat per-pass wall-seconds event with no nesting.
-          Superseded by {!Profiler} spans (pipeline → pass → greedy /
-          transform op), which carry timestamps and nest; this event is
-          kept as a compatibility emitter ({!record_pass}) so existing
-          consumers of the trace stream keep working. *)
+(* the deprecated [Pass] flat-timing event was removed: pass timing flows
+   through {!Profiler} spans (pipeline → pass → greedy / transform op),
+   which carry timestamps and nest *)
 
 type sink = { mutable rev_events : event list }
 
@@ -46,24 +43,25 @@ let clear sink = sink.rev_events <- []
 (* Ambient sink                                                        *)
 (* ------------------------------------------------------------------ *)
 
-let current : sink option ref = ref None
+(* domain-local: a sink is single-domain state, so parallel schedulers give
+   each worker task its own sink and merge the events in source order *)
+let current : sink option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
 
-(** Install [sink] as the ambient sink while [f] runs. *)
+(** Install [sink] as this domain's ambient sink while [f] runs. *)
 let with_sink sink f =
-  let saved = !current in
-  current := Some sink;
-  Fun.protect ~finally:(fun () -> current := saved) f
+  let saved = Domain.DLS.get current in
+  Domain.DLS.set current (Some sink);
+  Fun.protect ~finally:(fun () -> Domain.DLS.set current saved) f
 
 (** Emit to the ambient sink, if one is installed. Cheap no-op otherwise. *)
-let record e = match !current with Some s -> emit s e | None -> ()
+let record e =
+  match Domain.DLS.get current with Some s -> emit s e | None -> ()
 
-let tracing () = !current <> None
+let tracing () = Domain.DLS.get current <> None
 
-(** Compatibility emitter for the deprecated {!Pass} event: pass timing now
-    flows through {!Profiler} spans; this keeps the flat trace event
-    available to existing consumers of the trace stream. *)
-let record_pass ~name ~seconds =
-  record (Pass { pa_name = name; pa_seconds = seconds })
+(** This domain's ambient sink, for schedulers that need to know whether
+    the parent extent is tracing before fanning out. *)
+let active () = Domain.DLS.get current
 
 (* ------------------------------------------------------------------ *)
 (* Rendering                                                           *)
@@ -90,8 +88,6 @@ let pp_event fmt = function
       gr_root gr_rewrites gr_folds gr_dce gr_iterations gr_match_attempts
       gr_pushes
       (if gr_converged then "" else " (no fixpoint)")
-  | Pass { pa_name; pa_seconds } ->
-    Fmt.pf fmt "pass %s: %.3f ms" pa_name (pa_seconds *. 1000.)
 
 let pp fmt sink =
   List.iter (fun e -> Fmt.pf fmt "// trace: %a@," pp_event e) (events sink)
@@ -129,13 +125,6 @@ let event_to_json = function
         ("converged", Json.Bool gr_converged);
         ("match_attempts", Json.Int gr_match_attempts);
         ("pushes", Json.Int gr_pushes);
-      ]
-  | Pass { pa_name; pa_seconds } ->
-    Json.Obj
-      [
-        ("kind", Json.String "pass");
-        ("pass", Json.String pa_name);
-        ("seconds", Json.Float pa_seconds);
       ]
 
 let to_json sink = Json.List (List.map event_to_json (events sink))

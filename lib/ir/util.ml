@@ -1,12 +1,12 @@
 (** Small shared utilities for the IR library. *)
 
 (** Monotonically increasing unique identifiers used by values, ops, blocks
-    and regions. Deterministic within a process run; never reused. *)
+    and regions. Never reused; atomic so ids stay unique when worker domains
+    build IR concurrently (printed names never depend on raw id values —
+    the printer renumbers per print). *)
 let fresh_id : unit -> int =
-  let counter = ref 0 in
-  fun () ->
-    incr counter;
-    !counter
+  let counter = Atomic.make 0 in
+  fun () -> Atomic.fetch_and_add counter 1 + 1
 
 let pp_list ?(sep = ", ") pp_elt fmt xs =
   Fmt.(list ~sep:(fun fmt () -> Fmt.string fmt sep) pp_elt) fmt xs

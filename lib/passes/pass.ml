@@ -19,13 +19,18 @@ type t = {
   summary : string;
   pre : Opset.t;  (** op kinds consumed/removed by this pass *)
   post : Opset.t;  (** op kinds (potentially) introduced by this pass *)
+  function_parallel : bool;
+      (** the pass only reads and mutates the subtree it is given, so the
+          scheduler may fan it across the isolated-from-above functions of
+          a module on the domain pool *)
   run : Context.t -> Ircore.op -> (unit, Diag.t) result;
       (** runs on any op (module or function); must be idempotent on IR that
           contains none of [pre] *)
 }
 
-let make ?(summary = "") ?(pre = []) ?(post = []) ~name run =
-  { name; summary; pre; post; run }
+let make ?(summary = "") ?(pre = []) ?(post = []) ?(function_parallel = false)
+    ~name run =
+  { name; summary; pre; post; function_parallel; run }
 
 (* ------------------------------------------------------------------ *)
 (* Registry                                                            *)
@@ -240,12 +245,206 @@ let run_contained p ctx op =
     Stdlib.Error
       (Diag.of_exn ~context:(Fmt.str "pass '%s'" p.name) e bt)
 
+(* ------------------------------------------------------------------ *)
+(* Function-at-a-time parallel scheduling                              *)
+(* ------------------------------------------------------------------ *)
+
+let stat_parallel_fanouts =
+  Stats.counter ~component:"pass" "parallel_fanouts"
+    ~desc:"passes fanned across module functions on the domain pool"
+
+let stat_full_verifies =
+  Stats.counter ~component:"pass" "full_verifies"
+    ~desc:"post-pass verifications that re-walked the whole module"
+
+let stat_incremental_verifies =
+  Stats.counter ~component:"pass" "incremental_verifies"
+    ~desc:"post-pass verifications restricted to pass-touched functions"
+
+(** The isolated-from-above ops a per-function pass may be fanned over:
+    the direct children of a [builtin.module] whose single block consists
+    solely of [func.func] ops (two or more — one function has nothing to
+    overlap with). Any other child shape falls back to the sequential
+    whole-module run. *)
+let isolated_funcs op =
+  if op.Ircore.op_name <> Dialects.Builtin.module_op then None
+  else
+    match op.Ircore.regions with
+    | [ r ] -> (
+      match Ircore.region_blocks r with
+      | [ b ] ->
+        let ops = Ircore.block_ops b in
+        if
+          List.compare_length_with ops 1 > 0
+          && List.for_all (fun o -> o.Ircore.op_name = Dialects.Func.func_op) ops
+        then Some ops
+        else None
+      | _ -> None)
+    | _ -> None
+
+(** What the post-pass verifier must re-check. *)
+type dirty = All | Funcs of Ircore.op list
+
+(** Run [p] sequentially on [op]. When [track], an ambient rewriter
+    listener records which top-level children the pass touched, so
+    [verify_each] can re-verify only those; any event on the root, on a
+    direct child itself (function added/erased/renamed), or in a detached
+    tree degrades to a full re-verify. *)
+let run_sequential ~track p ctx op =
+  if not track then (run_contained p ctx op, All)
+  else begin
+    let dirty : (int, Ircore.op) Hashtbl.t = Hashtbl.create 16 in
+    let structural = ref false in
+    let note o =
+      if o == op then structural := true
+      else begin
+        (* the direct child of [op] enclosing [o], if [o] is attached *)
+        let rec climb o =
+          match Ircore.parent_op o with
+          | None -> None
+          | Some parent -> if parent == op then Some o else climb parent
+        in
+        match climb o with
+        | Some c when c != o -> Hashtbl.replace dirty c.Ircore.op_id c
+        | _ -> structural := true
+      end
+    in
+    let listener =
+      Rewriter.
+        {
+          on_inserted = note;
+          on_replaced = (fun o _ -> note o);
+          on_erased = note;
+          on_modified = note;
+        }
+    in
+    let r =
+      Rewriter.with_listener listener (fun () -> run_contained p ctx op)
+    in
+    let d =
+      if !structural || Result.is_error r then All
+      else Funcs (Hashtbl.fold (fun _ o acc -> o :: acc) dirty [])
+    in
+    (r, d)
+  end
+
+(** Fan [p] across [funcs] on the domain pool, one task per function.
+
+    Determinism: each task runs with its own ambient capture — a per-task
+    diagnostic buffer ({!Diag.with_domain_capture}), trace sink and remark
+    buffer — while sharing the parent's budget (atomic counters, so limits
+    bind globally and exhaustion on one domain stops the others at their
+    next check) and the parent's profiler (domain-sharded, so spans land
+    in per-domain Perfetto lanes). After the barrier, the captured
+    diagnostics, trace events and remarks are replayed in source order on
+    the calling domain, and the reported failure is the first failing
+    function in source order — byte-identical output to the sequential
+    schedule regardless of interleaving. *)
+let run_parallel ~track p ctx funcs =
+  Stats.incr stat_parallel_fanouts;
+  let arr = Array.of_list funcs in
+  let n = Array.length arr in
+  let results = Array.make n (Ok ()) in
+  let diags = Array.make n [] in
+  let remarks = Array.make n [] in
+  let sinks = Array.make n None in
+  let changed = Array.make n false in
+  let parent_budget = Budget.active () in
+  let parent_profiler = Profiler.active () in
+  let parent_tracing = Trace.tracing () in
+  let parent_remarking = Remark.enabled () in
+  Pool.run n (fun i ->
+      let func = arr.(i) in
+      let dbuf = ref [] and rbuf = ref [] in
+      let sink = if parent_tracing then Some (Trace.create ()) else None in
+      let with_budget f =
+        match parent_budget with
+        | None -> f ()
+        | Some b -> Budget.with_budget b f
+      in
+      let with_prof f =
+        match parent_profiler with
+        | None -> f ()
+        | Some pr -> Profiler.with_profiler pr f
+      in
+      let with_trace f =
+        match sink with None -> f () | Some s -> Trace.with_sink s f
+      in
+      let with_remark f =
+        if parent_remarking then
+          Remark.with_handler (fun r -> rbuf := r :: !rbuf) f
+        else f ()
+      in
+      let with_track f =
+        if not track then f ()
+        else
+          let mark _ = changed.(i) <- true in
+          Rewriter.with_listener
+            Rewriter.
+              {
+                on_inserted = mark;
+                on_replaced = (fun _ _ -> changed.(i) <- true);
+                on_erased = mark;
+                on_modified = mark;
+              }
+            f
+      in
+      let r =
+        Diag.with_domain_capture (fun d -> dbuf := d :: !dbuf) @@ fun () ->
+        with_budget @@ fun () ->
+        with_prof @@ fun () ->
+        with_trace @@ fun () ->
+        with_remark @@ fun () ->
+        with_track @@ fun () -> run_contained p ctx func
+      in
+      results.(i) <- r;
+      diags.(i) <- List.rev !dbuf;
+      remarks.(i) <- List.rev !rbuf;
+      sinks.(i) <- sink);
+  (* ordered merge: replay what each function captured, in source order *)
+  let eng = Context.diag_engine ctx in
+  let first_error = ref None in
+  for i = 0 to n - 1 do
+    List.iter (Diag.emit eng) diags.(i);
+    (match sinks.(i) with
+    | Some s -> List.iter Trace.record (Trace.events s)
+    | None -> ());
+    List.iter Remark.emit remarks.(i);
+    match (results.(i), !first_error) with
+    | Stdlib.Error d, None -> first_error := Some d
+    | _ -> ()
+  done;
+  match !first_error with
+  | Some d -> (Stdlib.Error d, All)
+  | None ->
+    let dirty = ref [] in
+    for i = n - 1 downto 0 do
+      if changed.(i) then dirty := arr.(i) :: !dirty
+    done;
+    (Ok (), if track then Funcs !dirty else All)
+
+(** Run one pass over [op], parallelizing across module functions when the
+    pass allows it and more than one domain is configured. Returns the
+    result plus what the incremental verifier must re-check ([track]). *)
+let run_scheduled ~track p ctx op =
+  match
+    if p.function_parallel && Pool.jobs () > 1 then isolated_funcs op
+    else None
+  with
+  | Some funcs -> run_parallel ~track p ctx funcs
+  | None -> run_sequential ~track p ctx op
+
 (** Run a pipeline of passes over [op], timing each pass, driving the given
     instrumentations, and reporting to the ambient observability channels:
-    a nested {!Ir.Profiler} span per pipeline/pass/verify, the per-pass
-    {!Ir.Trace} compatibility event, and the [pass] statistics of
-    {!Ir.Stats}. Returns the first failure as a structured diagnostic
-    (with a note naming the failing pass). *)
+    a nested {!Ir.Profiler} span per pipeline/pass/verify and the [pass]
+    statistics of {!Ir.Stats}. Passes declared [function_parallel] are
+    fanned across a module's functions on the {!Ir.Pool} domain pool (when
+    [Pool.jobs () > 1]) with deterministic, source-ordered merging of
+    diagnostics, trace events and remarks. With [verify_each], the
+    post-pass verifier is incremental: rewriter listener events record
+    which functions a pass touched and only those are re-walked. Returns
+    the first failure as a structured diagnostic (with a note naming the
+    failing pass). *)
 let run_pipeline ?(verify_each = false) ?(instrumentations = []) ctx passes op
     =
   Stats.incr stat_pipelines;
@@ -273,18 +472,37 @@ let run_pipeline ?(verify_each = false) ?(instrumentations = []) ctx passes op
       | None -> (
       List.iter (fun i -> i.i_before_pass p op) instrumentations;
       let t0 = Unix.gettimeofday () in
-      match Profiler.span ~cat:"pass" p.name (fun () -> run_contained p ctx op) with
-      | Error d -> fail p (p :: rest) d
-      | Ok () -> (
+      match
+        Profiler.span ~cat:"pass" p.name (fun () ->
+            run_scheduled ~track:verify_each p ctx op)
+      with
+      | Error d, _ -> fail p (p :: rest) d
+      | Ok (), dirty -> (
         Stats.incr stat_passes;
         let t_run = Unix.gettimeofday () -. t0 in
         let verify_result =
           if not verify_each then Ok []
           else
-            match
+            let verified =
               Profiler.span ~cat:"pass" "verify" (fun () ->
-                  Verifier.verify ctx op)
-            with
+                  match dirty with
+                  | All ->
+                    Stats.incr stat_full_verifies;
+                    Verifier.verify ctx op
+                  | Funcs fns ->
+                    (* re-verify only what the pass touched; clean passes
+                       verify nothing *)
+                    Stats.incr stat_incremental_verifies;
+                    let rec check = function
+                      | [] -> Ok ()
+                      | f :: rest -> (
+                        match Verifier.verify ctx f with
+                        | Ok () -> check rest
+                        | Error _ as e -> e)
+                    in
+                    check fns)
+            in
+            match verified with
             | Ok () ->
               Ok
                 [
@@ -305,7 +523,6 @@ let run_pipeline ?(verify_each = false) ?(instrumentations = []) ctx passes op
         | Ok verify_children ->
           List.iter (fun i -> i.i_after_pass p op) instrumentations;
           let t_total = Unix.gettimeofday () -. t0 in
-          Trace.record_pass ~name:p.name ~seconds:t_total;
           let children =
             if verify_each then
               { t_name = "run"; t_seconds = t_run; t_children = [] }

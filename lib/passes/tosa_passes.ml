@@ -113,8 +113,10 @@ let arith_payload_of_tosa = function
   | "tosa.floor" -> Some ("math.floor", 1)
   | "tosa.ceil" -> Some ("math.ceil", 1)
   | "tosa.negate" -> Some ("arith.negf", 1)
+  (* reciprocal and clamp pair the value with a payload-local constant:
+     1.0 / x, and max(x, 0.0) (the relu-shaped clamp of these graphs) *)
   | "tosa.reciprocal" -> Some ("arith.divf", 1)
-  | "tosa.clamp" -> Some ("arith.minimumf", 1)
+  | "tosa.clamp" -> Some ("arith.maximumf", 1)
   | "tosa.cast" | "tosa.rescale" -> Some ("arith.truncf", 1)
   | _ -> None
 
@@ -136,16 +138,28 @@ let run_to_linalg _ctx top =
         Linalg.generic rw ~ins ~outs:[ empty ] ~result_types:[ out_t ]
           (fun brw args ->
             let scalar_args = List.filteri (fun i _ -> i < List.length ins) args in
+            let binary a b =
+              Rewriter.build1 brw ~operands:[ a; b ]
+                ~result_types:[ Ircore.value_typ a ]
+                payload_name
+            in
             let payload =
-              match scalar_args with
-              | [ a ] ->
+              match (op.Ircore.op_name, scalar_args) with
+              | "tosa.reciprocal", [ a ] ->
+                let one =
+                  Dutil.const_float brw ~typ:(Ircore.value_typ a) 1.0
+                in
+                binary one a
+              | "tosa.clamp", [ a ] ->
+                let zero =
+                  Dutil.const_float brw ~typ:(Ircore.value_typ a) 0.0
+                in
+                binary a zero
+              | _, [ a ] ->
                 Rewriter.build1 brw ~operands:[ a ]
                   ~result_types:[ Ircore.value_typ a ]
                   payload_name
-              | [ a; b ] ->
-                Rewriter.build1 brw ~operands:[ a; b ]
-                  ~result_types:[ Ircore.value_typ a ]
-                  payload_name
+              | _, [ a; b ] -> binary a b
               | _ -> failwith "unexpected payload arity"
             in
             [ payload ])
@@ -228,16 +242,16 @@ let d = Opset.dialect
 
 let register () =
   Pass.register
-    (Pass.make ~name:"tosa-optional-decompositions"
+    (Pass.make ~name:"tosa-optional-decompositions" ~function_parallel:true
        ~summary:"decompose composite TOSA ops"
        ~pre:[ o "tosa.fully_connected" ]
        ~post:[ o "tosa.matmul"; o "tosa.add" ]
        run_decompositions);
   Pass.register
-    (Pass.make ~name:"tosa-infer-shapes" ~summary:"propagate static shapes"
+    (Pass.make ~name:"tosa-infer-shapes" ~function_parallel:true ~summary:"propagate static shapes"
        ~pre:[] ~post:[] run_infer_shapes);
   Pass.register
-    (Pass.make ~name:"tosa-to-linalg-named"
+    (Pass.make ~name:"tosa-to-linalg-named" ~function_parallel:true
        ~summary:"lower structured TOSA ops to named linalg ops"
        ~pre:
          [
@@ -252,7 +266,7 @@ let register () =
          ]
        run_to_linalg_named);
   Pass.register
-    (Pass.make ~name:"tosa-to-linalg"
+    (Pass.make ~name:"tosa-to-linalg" ~function_parallel:true
        ~summary:"lower elementwise TOSA ops to linalg.generic"
        (* precise consumed set (not the {tosa.*} wildcard): the pass handles
           only the elementwise and reduction ops, so declaring more would
@@ -270,12 +284,12 @@ let register () =
          ]
        run_to_linalg);
   Pass.register
-    (Pass.make ~name:"tosa-to-arith" ~summary:"lower tosa.const to arith"
+    (Pass.make ~name:"tosa-to-arith" ~function_parallel:true ~summary:"lower tosa.const to arith"
        ~pre:[ o "tosa.const" ]
        ~post:[ o "arith.constant" ]
        run_to_arith);
   Pass.register
-    (Pass.make ~name:"tosa-to-tensor"
+    (Pass.make ~name:"tosa-to-tensor" ~function_parallel:true
        ~summary:"lower TOSA shape ops to the tensor dialect"
        ~pre:
          [

@@ -173,15 +173,18 @@ let run_symbol_dce _ctx top =
 let register () =
   Pass.register
     (Pass.make ~name:"canonicalize"
-       ~summary:"greedy canonicalization and folding" run_canonicalize);
+       ~summary:"greedy canonicalization and folding" ~function_parallel:true
+       run_canonicalize);
   Pass.register
-    (Pass.make ~name:"cse" ~summary:"common subexpression elimination" run_cse);
+    (Pass.make ~name:"cse" ~summary:"common subexpression elimination"
+       ~function_parallel:true run_cse);
   Pass.register
     (Pass.make ~name:"licm" ~summary:"loop-invariant code motion"
        ~pre:[ Opset.exact "scf.for" ]
-       ~post:[]
-       run_licm);
-  Pass.register (Pass.make ~name:"dce" ~summary:"dead code elimination" run_dce);
+       ~post:[] ~function_parallel:true run_licm);
+  Pass.register
+    (Pass.make ~name:"dce" ~summary:"dead code elimination"
+       ~function_parallel:true run_dce);
   Pass.register
     (Pass.make ~name:"symbol-dce" ~summary:"drop dead private symbols"
        run_symbol_dce)

@@ -100,23 +100,18 @@ let ffn_block rw x =
   let normed, n = layer_norm rw res in
   (normed, n + 7)
 
-(** Build a model with exactly [spec.sp_ops] ops in the function body.
-    Blocks are emitted while they fit; the remainder is padded with
-    elementwise ops (the tail of real graphs: dequantize/rescale chains). *)
-let build spec =
-  let md = Builtin.create_module () in
-  let arg_t = match spec.sp_style with Conv -> t4 | Transformer -> t2 in
+(* one function with exactly [budget] body ops (excluding the return) *)
+let emit_func md ~style ~name ~budget =
+  let arg_t = match style with Conv -> t4 | Transformer -> t2 in
   let fop, entry =
-    Func.create ~name:spec.sp_name ~arg_types:[ arg_t ] ~result_types:[ arg_t ]
-      ()
+    Func.create ~name ~arg_types:[ arg_t ] ~result_types:[ arg_t ] ()
   in
   Ircore.insert_at_end (Builtin.body_block md) fop;
   let rw = Dutil.rw_at_end entry in
   let x = ref (Ircore.block_arg entry 0) in
   let emitted = ref 0 in
-  let budget = spec.sp_ops in
   let block_cost, block_fn =
-    match spec.sp_style with
+    match style with
     | Conv -> (19, fun rw x -> fire_block rw x)
     | Transformer ->
       ( 44,
@@ -142,7 +137,27 @@ let build spec =
     x := y;
     incr emitted
   end;
-  Func.return rw ~operands:[ !x ] ();
+  Func.return rw ~operands:[ !x ] ()
+
+(** Build a model with exactly [spec.sp_ops] ops split across [funcs]
+    function bodies (default 1: one function named [sp_name], the Table-1
+    shape). With [funcs > 1] — the multicore pass-manager benchmarks, which
+    need several isolated-from-above roots to fan over — functions are
+    named [sp_name_0 … sp_name_{n-1}] and the op budget is distributed as
+    evenly as possible while keeping the total exact. Blocks are emitted
+    while they fit; the remainder is padded with elementwise ops (the tail
+    of real graphs: dequantize/rescale chains). *)
+let build ?(funcs = 1) spec =
+  if funcs < 1 then invalid_arg "Models.build: funcs must be >= 1";
+  let md = Builtin.create_module () in
+  let per = spec.sp_ops / funcs and rem = spec.sp_ops mod funcs in
+  for i = 0 to funcs - 1 do
+    let name =
+      if funcs = 1 then spec.sp_name else Fmt.str "%s_%d" spec.sp_name i
+    in
+    emit_func md ~style:spec.sp_style ~name
+      ~budget:(per + if i < rem then 1 else 0)
+  done;
   md
 
 (** Number of ops in the module's function bodies (excluding module, funcs

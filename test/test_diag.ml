@@ -277,13 +277,6 @@ let test_trace_pass_and_greedy () =
   | Ok _ -> ()
   | Error d -> Alcotest.fail (Diag.to_string d));
   let events = Trace.events sink in
-  let pass_names =
-    List.filter_map
-      (function Trace.Pass { pa_name; _ } -> Some pa_name | _ -> None)
-      events
-  in
-  check Alcotest.(list string) "pass events in order"
-    [ "canonicalize"; "cse" ] pass_names;
   check cb "greedy driver reported" true
     (List.exists (function Trace.Greedy _ -> true | _ -> false) events);
   check cb "no sink, no recording" false (Trace.tracing ());
