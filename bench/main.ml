@@ -284,6 +284,128 @@ let profiler () =
   Fmt.pr "wrote BENCH_profiler.json@."
 
 (* ------------------------------------------------------------------ *)
+(* Action framework: disabled-site cost, journal cost, macro overhead   *)
+(* ------------------------------------------------------------------ *)
+
+let action_bench () =
+  banner "E13 - Action framework: interception overhead"
+    "disabled = one domain-local read per site; journal = one entry/action";
+  let sink = ref 0 in
+  let body () = incr sink in
+  let time n f =
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to n do
+      f ()
+    done;
+    let dt = Unix.gettimeofday () -. t0 in
+    dt /. float_of_int n *. 1e9
+  in
+  ignore (time 10_000 body);
+  let n_disabled = 2_000_000 and n_enabled = 200_000 in
+  let ns_baseline = time n_disabled body in
+  (* disabled: the hot-site shape — one Action.active () read, then the
+     direct call (explicitly uninstall any ambient context first) *)
+  let root = Dialects.Builtin.create_module () in
+  let ns_disabled =
+    Ir.Action.with_disabled (fun () ->
+        time n_disabled (fun () ->
+            match Ir.Action.active () with
+            | None -> body ()
+            | Some a ->
+              Ir.Action.run_on a ~tag:"bench" ~desc:"noop" ~loc:Ir.Loc.unknown
+                ~root ~skipped:() body))
+  in
+  (* journal-only context: every site allocates and records one entry *)
+  let t = Ir.Action.create () in
+  let ns_journal =
+    Ir.Action.with_context t (fun () ->
+        time n_enabled (fun () ->
+            match Ir.Action.active () with
+            | None -> body ()
+            | Some a ->
+              Ir.Action.run_on a ~tag:"bench" ~desc:"noop" ~loc:Ir.Loc.unknown
+                ~root ~skipped:() body))
+  in
+  (* macro: squeezenet canonicalize with and without the journal; the
+     handlers-off run must stay byte-identical *)
+  let spec = List.hd Workloads.Models.paper_models in
+  let canonicalize md =
+    match
+      Passes.Pass.run_pipeline ctx
+        [ Passes.Pass.lookup_exn "canonicalize" ]
+        md
+    with
+    | Ok (_ : Passes.Pass.run_result) -> ()
+    | Error d -> failwith (Ir.Diag.to_string d)
+  in
+  let wall f =
+    let t0 = Unix.gettimeofday () in
+    f ();
+    Unix.gettimeofday () -. t0
+  in
+  let md_off = Workloads.Models.build spec in
+  let t_off = wall (fun () -> canonicalize md_off) in
+  let ir_off = Ir.Printer.op_to_string md_off in
+  let md_on = Workloads.Models.build spec in
+  let journal = Ir.Action.create ~provenance:true () in
+  let t_on =
+    wall (fun () ->
+        Ir.Action.with_context journal (fun () -> canonicalize md_on))
+  in
+  let ir_on = Ir.Printer.op_to_string md_on in
+  let actions = List.length (Ir.Action.entries journal) in
+  if not (String.equal ir_off ir_on) then
+    failwith "action bench: journaled run diverged from the bare run";
+  (* artifacts CI validates with otd-json *)
+  Ir.Action.write_journal journal ~path:"ACTIONS_squeezenet.jsonl";
+  Ir.Action.write_provenance journal ~root:md_on
+    ~path:"PROVENANCE_squeezenet.json";
+  let overhead_ns = ns_disabled -. ns_baseline in
+  Fmt.pr "per-site cost (body: one int incr):@.";
+  Fmt.pr "  %-36s %10.1f ns@." "bare body" ns_baseline;
+  Fmt.pr "  %-36s %10.1f ns@." "site, actions disabled" ns_disabled;
+  Fmt.pr "  %-36s %10.1f ns@." "site, journal-only context" ns_journal;
+  Fmt.pr "  disabled overhead: %.1f ns/site@." overhead_ns;
+  Fmt.pr
+    "squeezenet canonicalize: %.1f ms bare, %.1f ms journal+provenance (%d \
+     actions), IR byte-identical@."
+    (t_off *. 1000.) (t_on *. 1000.) actions;
+  let json =
+    Ir.Json.Obj
+      [
+        ("benchmark", Ir.Json.String "action-site-overhead");
+        ("sites_disabled", Ir.Json.Int n_disabled);
+        ("sites_journal", Ir.Json.Int n_enabled);
+        ("ns_per_site_baseline", Ir.Json.Float ns_baseline);
+        ("ns_per_site_disabled", Ir.Json.Float ns_disabled);
+        ("ns_per_site_journal", Ir.Json.Float ns_journal);
+        ("ns_disabled_overhead", Ir.Json.Float overhead_ns);
+        ( "macro",
+          Ir.Json.Obj
+            [
+              ("model", Ir.Json.String spec.Workloads.Models.sp_name);
+              ("pipeline", Ir.Json.String "canonicalize");
+              ("wall_ms_off", Ir.Json.Float (t_off *. 1000.));
+              ("wall_ms_journal", Ir.Json.Float (t_on *. 1000.));
+              ("actions", Ir.Json.Int actions);
+              ("ir_byte_identical", Ir.Json.Bool true);
+            ] );
+        ( "note",
+          Ir.Json.String
+            "disabled = no ambient Action context: every instrumented site \
+             (pass, pattern, fold, dce, transform dispatch) pays one \
+             domain-local read before calling through; journal-only = one \
+             entry allocation per action, no handlers, still parallel-safe \
+             via capture/replay" );
+      ]
+  in
+  let oc = open_out "BENCH_action.json" in
+  output_string oc (Ir.Json.to_string json);
+  output_string oc "\n";
+  close_out oc;
+  Fmt.pr "wrote BENCH_action.json@."
+
+(* ------------------------------------------------------------------ *)
 (* Checkpoint: snapshot/restore cost vs payload size                    *)
 (* ------------------------------------------------------------------ *)
 
@@ -857,6 +979,7 @@ let () =
     if want "ablations" then ablations ();
     if want "greedy" then greedy ();
     if want "profiler" then profiler ();
+    if want "action" then action_bench ();
     if want "checkpoint" then checkpoint ();
     if want "schedule" then schedule_bench ();
     if want "parallel" then parallel_bench ();

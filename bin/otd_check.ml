@@ -51,7 +51,91 @@ let pp_flow_report s ~initial ~final script =
   Fmt.pr "%a" Transform.Flowcheck.pp_report r;
   r
 
-let run pipeline script_file initial final schedule flow =
+(* ------------------------------------------------------------------ *)
+(* Provenance queries                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  if m = 0 then true
+  else
+    let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+    go 0
+
+let str_field key j =
+  match Ir.Json.member key j with
+  | Some v -> Ir.Json.to_string_opt v
+  | None -> None
+
+let pp_chain chain =
+  match Ir.Json.to_list chain with
+  | None | Some [] -> Fmt.pr "    (no recorded events: op came from the input)@."
+  | Some evs ->
+    List.iter
+      (fun ev ->
+        let f k = Option.value ~default:"?" (str_field k ev) in
+        match Ir.Json.member "action" ev with
+        | Some (Ir.Json.Int idx) ->
+          Fmt.pr "    %-8s by action #%d %s (%s) [%s]@." (f "kind") idx
+            (f "tag") (f "desc") (f "outcome")
+        | _ -> Fmt.pr "    %-8s (unattributed)@." (f "kind"))
+      evs
+
+(** Query a provenance dump written by [otd-opt --provenance]: print the
+    event chain of every op whose name, location or enclosing function
+    contains [query] as a substring. *)
+let query_provenance ~file ~query =
+  match read_file file with
+  | exception Sys_error e -> `Error (false, e)
+  | src -> (
+    match Ir.Json.parse src with
+    | Error e -> `Error (false, Fmt.str "%s: %s" file e)
+    | Ok json ->
+      let records section =
+        match Ir.Json.member section json with
+        | Some l -> Option.value ~default:[] (Ir.Json.to_list l)
+        | None -> []
+      in
+      let matches r =
+        List.exists
+          (fun k ->
+            match str_field k r with
+            | Some s -> contains s query
+            | None -> false)
+          [ "op"; "loc"; "func" ]
+      in
+      let hits = ref 0 in
+      let show ~erased r =
+        incr hits;
+        let f k = str_field k r in
+        Fmt.pr "%s%s%s%s@."
+          (Option.value ~default:"?" (f "op"))
+          (match f "loc" with Some l -> " (" ^ l ^ ")" | None -> "")
+          (match f "func" with Some fn -> " in " ^ fn | None -> "")
+          (if erased then "  [erased]"
+           else
+             match f "origin" with
+             | Some o -> "  origin: " ^ o
+             | None -> "");
+        match Ir.Json.member "chain" r with
+        | Some chain -> pp_chain chain
+        | None -> ()
+      in
+      List.iter
+        (fun r -> if matches r then show ~erased:false r)
+        (records "ops");
+      List.iter
+        (fun r -> if matches r then show ~erased:true r)
+        (records "erased");
+      if !hits = 0 then
+        `Error (false, Fmt.str "no op matching %S in %s" query file)
+      else `Ok ())
+
+let run pipeline script_file initial final schedule flow provenance
+    provenance_file =
+  match provenance with
+  | Some query -> query_provenance ~file:provenance_file ~query
+  | None ->
   let ctx = Transform.Register.full_context () in
   let initial = Ir.Opset.parse initial in
   let final = Ir.Opset.parse final in
@@ -154,12 +238,31 @@ let flow =
               cannot be met, plus flow-sensitive use-after-consume and \
               op-kind problems. Exits non-zero on any problem.")
 
+let provenance =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "provenance" ] ~docv:"QUERY"
+        ~doc:"Query a provenance dump written by $(b,otd-opt --provenance) \
+              instead of checking a pipeline: print the action chain \
+              (created/modified/replaced/erased, by which action) of every \
+              op whose name, source location or enclosing function \
+              contains $(docv). Exits non-zero when nothing matches.")
+
+let provenance_file =
+  Arg.(
+    value
+    & opt string "provenance.json"
+    & info [ "provenance-file" ] ~docv:"PATH"
+        ~doc:"Provenance dump to query with $(b,--provenance).")
+
 let cmd =
   let doc = "static pre-/post-condition checker for lowering pipelines" in
   Cmd.v
     (Cmd.info "otd-check" ~doc)
     Term.(
       ret
-        (const run $ pipeline $ script_file $ initial $ final $ schedule $ flow))
+        (const run $ pipeline $ script_file $ initial $ final $ schedule
+       $ flow $ provenance $ provenance_file))
 
 let () = exit (Cmd.eval cmd)

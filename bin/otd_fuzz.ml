@@ -113,8 +113,8 @@ let apply_jobs = function
   | Some n when n >= 1 -> Ok (Ir.Pool.set_jobs n)
   | Some n -> Error (Fmt.str "--jobs must be >= 0 (got %d)" n)
 
-let run seed cases max_ops max_depth pipeline no_shrink out_dir print_case
-    quiet profile faults schedule_diff flow_diff jobs =
+let run seed cases max_ops max_depth pipeline no_shrink no_bisect out_dir
+    print_case quiet profile faults schedule_diff flow_diff jobs =
   Printexc.record_backtrace true;
   match apply_jobs jobs with
   | Error e -> `Error (false, e)
@@ -154,7 +154,7 @@ let run seed cases max_ops max_depth pipeline no_shrink out_dir print_case
     let stats =
       with_profiler (fun () ->
           Fuzz.Driver.run ~config ~pipelines ~shrink:(not no_shrink)
-            ?out_dir ~on_case ctx ~seed ~cases ())
+            ~bisect:(not no_bisect) ?out_dir ~on_case ctx ~seed ~cases ())
     in
     (match (profiler, profile) with
     | Some p, Some path -> Ir.Profiler.write p ~path
@@ -166,8 +166,12 @@ let run seed cases max_ops max_depth pipeline no_shrink out_dir print_case
       stats.Fuzz.Driver.s_seconds seed;
     List.iter
       (fun r ->
-        Fmt.pr "  case %d: %a%a@." r.Fuzz.Driver.r_case Fuzz.Oracle.pp_failure
-          r.Fuzz.Driver.r_failure
+        Fmt.pr "  case %d: %a%a%a@." r.Fuzz.Driver.r_case
+          Fuzz.Oracle.pp_failure r.Fuzz.Driver.r_failure
+          (fun fmt -> function
+            | Some c -> Fmt.pf fmt " [bisected: %a]" Fuzz.Bisect.pp_culprit c
+            | None -> ())
+          r.Fuzz.Driver.r_culprit
           (fun fmt -> function
             | Some p -> Fmt.pf fmt " -> %s" p
             | None -> ())
@@ -237,6 +241,18 @@ let shrink =
   (* --shrink is the default; the flag exists so scripts can be explicit *)
   Arg.(value & flag & info [ "shrink" ] ~doc:"Minimize failures (default).")
 
+let no_bisect =
+  Arg.(
+    value & flag
+    & info [ "no-bisect" ]
+        ~doc:
+          "Skip the action-counter bisection of differential failures. By \
+           default each minimized differential failure is replayed under \
+           debug counters to name the exact transformation unit (e.g. \
+           $(b,pattern index 12 of 40)) whose inclusion flips the outcome; \
+           the result is recorded in the reproducer header. Each bisection \
+           costs O(log n) pipeline replays.")
+
 let out_dir =
   Arg.(
     value
@@ -293,12 +309,13 @@ let cmd =
       ret
         (const
            (fun seed cases max_ops max_depth pipeline no_shrink _shrink
-                out_dir print_case quiet profile faults schedule_diff
-                flow_diff jobs ->
-             run seed cases max_ops max_depth pipeline no_shrink out_dir
-               print_case quiet profile faults schedule_diff flow_diff jobs)
+                no_bisect out_dir print_case quiet profile faults
+                schedule_diff flow_diff jobs ->
+             run seed cases max_ops max_depth pipeline no_shrink no_bisect
+               out_dir print_case quiet profile faults schedule_diff
+               flow_diff jobs)
         $ seed $ cases $ max_ops $ max_depth $ pipeline $ no_shrink $ shrink
-        $ out_dir $ print_case $ quiet $ profile $ faults $ schedule_diff
-        $ flow_diff $ jobs))
+        $ no_bisect $ out_dir $ print_case $ quiet $ profile $ faults
+        $ schedule_diff $ flow_diff $ jobs))
 
 let () = exit (Cmd.eval cmd)

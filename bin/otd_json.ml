@@ -14,27 +14,53 @@ let read_file path =
     ~finally:(fun () -> close_in ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
+let check_require require path json =
+  match require with
+  | None -> Ok json
+  | Some key -> (
+    match Ir.Json.member key json with
+    | Some _ -> Ok json
+    | None -> Error (Fmt.str "%s: missing required key %S" path key))
+
 let validate require path =
   match read_file path with
   | exception Sys_error e -> Error e
   | src -> (
     match Ir.Json.parse src with
     | Error e -> Error (Fmt.str "%s: %s" path e)
-    | Ok json -> (
-      match require with
-      | None -> Ok json
-      | Some key -> (
-        match Ir.Json.member key json with
-        | Some _ -> Ok json
-        | None -> Error (Fmt.str "%s: missing required key %S" path key))))
+    | Ok json -> check_require require path json)
 
-let run require quiet files =
+(** JSONL (e.g. the action journal of [otd-opt --action-journal]): every
+    non-empty line must parse on its own; [--require] applies per line. *)
+let validate_jsonl require path =
+  match read_file path with
+  | exception Sys_error e -> Error e
+  | src ->
+    let lines = String.split_on_char '\n' src in
+    let rec go n = function
+      | [] -> Ok (Ir.Json.Null)
+      | line :: rest ->
+        if String.trim line = "" then go (n + 1) rest
+        else (
+          match Ir.Json.parse line with
+          | Error e -> Error (Fmt.str "%s:%d: %s" path n e)
+          | Ok json -> (
+            match check_require require (Fmt.str "%s:%d" path n) json with
+            | Error e -> Error e
+            | Ok _ -> go (n + 1) rest))
+    in
+    go 1 lines
+
+let run require jsonl quiet files =
   if files = [] then `Error (false, "no input files")
   else
     let rec go = function
       | [] -> `Ok ()
       | path :: rest -> (
-        match validate require path with
+        match
+          if jsonl then validate_jsonl require path
+          else validate require path
+        with
         | Ok _ ->
           if not quiet then Fmt.pr "%s: ok@." path;
           go rest
@@ -49,6 +75,14 @@ let require =
     & info [ "require" ] ~docv:"KEY"
         ~doc:"Require the top-level value to be an object with $(docv).")
 
+let jsonl =
+  Arg.(
+    value & flag
+    & info [ "jsonl" ]
+        ~doc:"Treat inputs as JSON Lines: every non-empty line must parse \
+              as a standalone JSON value, and $(b,--require) applies to \
+              each line. Use this for action journals.")
+
 let quiet =
   Arg.(value & flag & info [ "quiet"; "q" ] ~doc:"No per-file output.")
 
@@ -59,6 +93,6 @@ let cmd =
   let doc = "validate JSON files with the repository's Ir.Json parser" in
   Cmd.v
     (Cmd.info "otd-json" ~doc)
-    Term.(ret (const run $ require $ quiet $ files))
+    Term.(ret (const run $ require $ jsonl $ quiet $ files))
 
 let () = exit (Cmd.eval cmd)

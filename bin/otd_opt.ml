@@ -8,7 +8,21 @@
     Observability flags:
     - [--timing] prints the hierarchical timing tree and per-pass op-count
       deltas;
-    - [--print-ir-after-all] dumps the IR after every pass (stderr);
+    - [--print-ir-after-all[=changed|always]] dumps the IR after passes
+      (stderr); the default [changed] mode skips passes that left the
+      module fingerprint-identical, [always] restores unconditional dumps;
+    - [--action-journal[=PATH]] records every transformation unit (pass,
+      pattern, fold, DCE, transform dispatch, schedule compilation) routed
+      through {!Ir.Action} as one JSONL line;
+    - [--debug-counter=TAG:SKIP,COUNT] skips the first SKIP actions of TAG,
+      executes the next COUNT and skips the rest (MLIR DebugCounter
+      semantics) — the manual bisection knob for "which rewrite broke it";
+    - [--print-ir-after-change[=TAGS]] / [--snapshot-after-change=DIR]
+      diff/dump the changed functions after each action whose tag is in
+      TAGS (default [pass,transform]), gated on fingerprint inequality;
+    - [--provenance[=PATH]] dumps per-op provenance — which action created,
+      modified or erased each op — as JSON (queryable via
+      [otd-check --provenance]);
     - [--trace[=text|json]] prints the execution trace (transform ops with
       handle payload sizes, suppressed silenceable errors, greedy-driver
       stats, per-pass events) — both forms go to stderr: [--trace] /
@@ -72,9 +86,15 @@ let apply_jobs = function
   | Some n when n >= 1 -> Ok (Ir.Pool.set_jobs n)
   | Some n -> Error (Fmt.str "--jobs must be >= 0 (got %d)" n)
 
+let split_tags s =
+  String.split_on_char ',' s |> List.map String.trim
+  |> List.filter (fun t -> t <> "")
+
 let run input pipeline transform_file no_compile flow_check no_verify list_passes timing
     print_ir_after_all trace diagnostics_format reproducer_path pretty profile
-    stats remarks remarks_filter max_steps deadline_ms jobs =
+    stats remarks remarks_filter max_steps deadline_ms jobs debug_counters
+    action_journal print_ir_after_change snapshot_after_change provenance_path
+    =
   Printexc.record_backtrace true;
   match apply_jobs jobs with
   | Error e -> `Error (false, e)
@@ -93,9 +113,17 @@ let run input pipeline transform_file no_compile flow_check no_verify list_passe
       with Failure e ->
         Error (Fmt.str "invalid --remarks-filter regex %S: %s" re e))
   in
-  match (remark_kinds_r, remark_re_r) with
-  | Error e, _ | _, Error e -> `Error (false, e)
-  | Ok remark_kinds, Ok remark_re ->
+  let counters_r =
+    List.fold_left
+      (fun acc s ->
+        Result.bind acc (fun cs ->
+            Result.map (fun c -> c :: cs) (Ir.Action.parse_counter s)))
+      (Ok []) debug_counters
+    |> Result.map List.rev
+  in
+  match (remark_kinds_r, remark_re_r, counters_r) with
+  | Error e, _, _ | _, Error e, _ | _, _, Error e -> `Error (false, e)
+  | Ok remark_kinds, Ok remark_re, Ok counters ->
   if list_passes then begin
     List.iter
       (fun p ->
@@ -145,10 +173,15 @@ let run input pipeline transform_file no_compile flow_check no_verify list_passe
                 @ [ (p.Passes.Pass.name, Fmt.str "%a" Ir.Printer.pp_op op) ])
         in
         let instrumentations =
-          (if print_ir_after_all && not json_mode then
-             [ Passes.Pass.print_ir_after_all () ]
-           else [])
-          @ (if print_ir_after_all && json_mode then [ snapshot_instr ]
+          (match print_ir_after_all with
+          | Some mode when not json_mode ->
+            [
+              Passes.Pass.print_ir_after_all
+                ~only_changed:(mode = "changed") ();
+            ]
+          | _ -> [])
+          @ (if print_ir_after_all <> None && json_mode then
+               [ snapshot_instr ]
              else [])
           @ (if timing then [ op_count_instr ] else [])
           @
@@ -262,15 +295,61 @@ let run input pipeline transform_file no_compile flow_check no_verify list_passe
               (Ir.Budget.create ?max_steps ?deadline_ms ())
               f
         in
+        (* action context: built when any action-framework flag is given *)
+        let actx =
+          if
+            counters = [] && action_journal = None
+            && print_ir_after_change = None
+            && snapshot_after_change = None
+            && provenance_path = None
+          then None
+          else begin
+            let t =
+              Ir.Action.create ~counters
+                ~provenance:(provenance_path <> None) ()
+            in
+            (match print_ir_after_change with
+            | Some tags ->
+              Ir.Action.push_handler t
+                (Ir.Action.snapshot_handler
+                   {
+                     Ir.Action.sn_tags = split_tags tags;
+                     sn_mode = Ir.Action.Snap_print Fmt.stderr;
+                   })
+            | None -> ());
+            (match snapshot_after_change with
+            | Some dir ->
+              Ir.Action.push_handler t
+                (Ir.Action.snapshot_handler
+                   {
+                     Ir.Action.sn_tags = Ir.Action.default_snapshot_tags;
+                     sn_mode = Ir.Action.Snap_dir dir;
+                   })
+            | None -> ());
+            Some t
+          end
+        in
+        let with_action f =
+          match actx with
+          | None -> f ()
+          | Some t -> Ir.Action.with_context t f
+        in
         let outcome =
           with_budget (fun () ->
               with_profiler (fun () ->
                   with_remarks (fun () ->
-                      Ir.Trace.with_sink sink (fun () ->
-                          Result.bind (verify ()) (fun () ->
-                              Result.bind (apply_pipeline ()) (fun () ->
-                                  Result.bind (apply_transform ()) verify))))))
+                      with_action (fun () ->
+                          Ir.Trace.with_sink sink (fun () ->
+                              Result.bind (verify ()) (fun () ->
+                                  Result.bind (apply_pipeline ()) (fun () ->
+                                      Result.bind (apply_transform ()) verify)))))))
         in
+        (match (actx, action_journal) with
+        | Some t, Some path -> Ir.Action.write_journal t ~path
+        | _ -> ());
+        (match (actx, provenance_path) with
+        | Some t, Some path -> Ir.Action.write_provenance t ~root:m ~path
+        | _ -> ());
         (match (profiler, profile) with
         | Some p, Some path -> Ir.Profiler.write p ~path
         | _ -> ());
@@ -422,8 +501,69 @@ let timing =
 
 let print_ir_after_all =
   Arg.(
-    value & flag
-    & info [ "print-ir-after-all" ] ~doc:"Print the IR after each pass.")
+    value
+    & opt
+        ~vopt:(Some "changed")
+        (some (enum [ ("changed", "changed"); ("always", "always") ]))
+        None
+    & info [ "print-ir-after-all" ] ~docv:"MODE"
+        ~doc:"Print the IR after passes. The default $(b,changed) mode \
+              skips passes that left the module structurally identical \
+              (fingerprint-gated); $(b,always) dumps after every pass.")
+
+let debug_counters =
+  Arg.(
+    value & opt_all string []
+    & info [ "debug-counter" ] ~docv:"TAG:SKIP,COUNT"
+        ~doc:"Debug counter over the action stream (repeatable): skip the \
+              first $(i,SKIP) actions tagged $(i,TAG) (e.g. $(b,pattern), \
+              $(b,fold), $(b,dce), $(b,transform), $(b,pass)), execute the \
+              next $(i,COUNT) (omitted means all), skip the rest — MLIR \
+              DebugCounter semantics, for bisecting which rewrite broke \
+              the output. Forces sequential scheduling.")
+
+let action_journal =
+  Arg.(
+    value
+    & opt ~vopt:(Some "actions.jsonl") (some string) None
+    & info [ "action-journal" ] ~docv:"PATH"
+        ~doc:"Write the structured action journal to $(docv) as JSONL: one \
+              line per transformation unit (pass, pattern application, \
+              fold, DCE, transform dispatch, schedule compilation) with \
+              tag, per-tag index, location, outcome \
+              (executed/skipped/failed/reverted), duration and profiler \
+              timestamp. Deterministic at any $(b,--jobs) degree.")
+
+let print_ir_after_change =
+  Arg.(
+    value
+    & opt ~vopt:(Some "pass,transform") (some string) None
+    & info [ "print-ir-after-change" ] ~docv:"TAGS"
+        ~doc:"After each action whose tag is in the comma-separated \
+              $(docv) (default $(b,pass,transform)), print a line diff of \
+              the functions it changed to stderr — gated on structural \
+              fingerprint inequality, so actions that change nothing print \
+              nothing. Forces sequential scheduling.")
+
+let snapshot_after_change =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "snapshot-after-change" ] ~docv:"DIR"
+        ~doc:"After each pass/transform action that changed the module \
+              (fingerprint-gated), write the changed functions to a \
+              numbered .mlir snapshot under $(docv). Forces sequential \
+              scheduling.")
+
+let provenance_path =
+  Arg.(
+    value
+    & opt ~vopt:(Some "provenance.json") (some string) None
+    & info [ "provenance" ] ~docv:"PATH"
+        ~doc:"Record per-op provenance — which action created, modified, \
+              replaced or erased each op, fed by rewriter listener events \
+              — and write it to $(docv) as JSON after the run. Query it \
+              with $(b,otd-check --provenance).")
 
 let trace =
   Arg.(
@@ -544,6 +684,8 @@ let cmd =
        $ flow_check $ no_verify
        $ list_passes $ timing $ print_ir_after_all $ trace
        $ diagnostics_format $ reproducer_path $ pretty $ profile $ stats
-       $ remarks $ remarks_filter $ max_steps $ deadline_ms $ jobs))
+       $ remarks $ remarks_filter $ max_steps $ deadline_ms $ jobs
+       $ debug_counters $ action_journal $ print_ir_after_change
+       $ snapshot_after_change $ provenance_path))
 
 let () = exit (Cmd.eval cmd)

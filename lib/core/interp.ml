@@ -100,6 +100,7 @@ and run_op st (op : Ircore.op) : (unit, Terror.t) result =
           (* failures(suppress): the body runs inside a transaction — a
              silenceable failure rolls payload and handles back and is
              downgraded to an emitted (but suppressed) warning *)
+          let acur = Action.cursor () in
           let ck = State.checkpoint st in
           match run_block st b with
           | Ok () ->
@@ -107,6 +108,8 @@ and run_op st (op : Ircore.op) : (unit, Terror.t) result =
             Ok ()
           | Error (Terror.Silenceable d) ->
             State.rollback st ck;
+            (* the rolled-back actions stay journaled, re-marked reverted *)
+            Action.revert_since acur;
             Stats.incr stat_suppressed;
             Trace.record
               (Trace.Suppressed
@@ -146,6 +149,20 @@ and run_op st (op : Ircore.op) : (unit, Terror.t) result =
     and the compiled-schedule executor ({!Schedule}), which resolves [def]
     and [consumed] ahead of time. *)
 and dispatch_registered ?consumed st (def : Treg.def) (op : Ircore.op) :
+    (unit, Terror.t) result =
+  (* the single action site for registered transforms: both sequential
+     interpretation and the compiled-schedule executor land here, so a
+     [--debug-counter=transform:…] bisection sees the same stream either
+     way. A skipped dispatch succeeds vacuously (its result handles stay
+     empty), like a transform whose pre-condition matched nothing. *)
+  match Action.active () with
+  | None -> dispatch_registered_impl ?consumed st def op
+  | Some a ->
+    Action.run_on a ~tag:"transform" ~desc:def.Treg.t_name
+      ~loc:op.Ircore.op_loc ~root:op ~skipped:(Ok ()) (fun () ->
+        dispatch_registered_impl ?consumed st def op)
+
+and dispatch_registered_impl ?consumed st (def : Treg.def) (op : Ircore.op) :
     (unit, Terror.t) result =
   let name = def.Treg.t_name in
   let consumed =
@@ -461,6 +478,7 @@ and run_alternatives st op =
       (* transactional region: checkpoint payload + handle tables, roll
          back on silenceable failure so the next region sees the payload
          exactly as this one did — even if this region mutated it *)
+      let acur = Action.cursor () in
       let ck = State.checkpoint st in
       match run_region st r with
       | Ok () ->
@@ -468,6 +486,9 @@ and run_alternatives st op =
         Ok ()
       | Error (Terror.Silenceable d) ->
         State.rollback st ck;
+        (* journal honesty: the failed alternative's actions executed but
+           their effects were undone — re-mark them reverted *)
+        Action.revert_since acur;
         Stats.incr stat_suppressed;
         Trace.record
           (Trace.Suppressed

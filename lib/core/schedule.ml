@@ -388,11 +388,26 @@ let schedule_of ?(mode : mode = `Compile) ctx (script : Ircore.op) : t =
       Stats.incr stat_cache_misses;
       Stats.incr stat_compiles;
       let t0 = Unix.gettimeofday () in
+      (* schedule compilation is itself an action: a vetoed compile (debug
+         counter) degrades to interpretation instead of running miscompiled
+         code half-built — and is never cached, so later uncounted runs
+         still compile *)
+      let skipped_reason = "schedule compilation skipped by action handler" in
       let diags, form =
-        Profiler.span ~cat:"schedule" "schedule.compile" @@ fun () ->
-        compile ctx script
+        Action.run ~tag:"schedule.compile"
+          ~desc:(Fingerprint.to_hex fp) ~loc:script.Ircore.op_loc
+          ~root:script
+          ~skipped:([], Interpreted skipped_reason)
+          (fun () ->
+            Profiler.span ~cat:"schedule" "schedule.compile" @@ fun () ->
+            compile ctx script)
       in
       Stats.observe stat_compile_ms ((Unix.gettimeofday () -. t0) *. 1e3);
+      let action_skipped =
+        match form with
+        | Interpreted r -> String.equal r skipped_reason
+        | Compiled _ -> false
+      in
       let s =
         {
           s_ctx = ctx;
@@ -404,12 +419,13 @@ let schedule_of ?(mode : mode = `Compile) ctx (script : Ircore.op) : t =
           s_flow = None;
         }
       in
-      with_cache (fun () ->
-          if Hashtbl.length cache >= !cache_capacity then begin
-            Stats.incr stat_evictions;
-            Hashtbl.reset cache
-          end;
-          Hashtbl.replace cache fp s);
+      if not action_skipped then
+        with_cache (fun () ->
+            if Hashtbl.length cache >= !cache_capacity then begin
+              Stats.incr stat_evictions;
+              Hashtbl.reset cache
+            end;
+            Hashtbl.replace cache fp s);
       s)
 
 (** Lower [script] to a schedule. [`Compile] (default) consults the

@@ -17,6 +17,8 @@ type failure_report = {
   r_failure : Oracle.failure;
   r_minimized : string;  (** printed minimized module *)
   r_path : string option;  (** reproducer file, when written *)
+  r_culprit : Bisect.culprit option;
+      (** action-counter bisection result, for differential failures *)
 }
 
 type stats = {
@@ -32,11 +34,19 @@ let case_rng ~seed ~case = Random.State.make [| 0x07d; seed; case |]
 let module_for ?config ~seed ~case () =
   Gen.generate ?config (case_rng ~seed ~case)
 
-let reproducer_text ~seed ~case (f : Oracle.failure) minimized =
+let reproducer_text ?culprit ~seed ~case (f : Oracle.failure) minimized =
   let oneline s = String.map (function '\n' | '\r' -> ' ' | c -> c) s in
   let config_line =
     match f.Oracle.f_pipeline with
     | Some p -> Fmt.str "// configuration: --pass-pipeline=%s\n" p
+    | None -> ""
+  in
+  let bisect_line =
+    match culprit with
+    | Some c ->
+      (* replay just up to the culprit with
+         --debug-counter TAG:0,INDEX+1 under otd-opt *)
+      Fmt.str "// action-bisect: %a\n" Bisect.pp_culprit c
     | None -> ""
   in
   Fmt.str
@@ -44,12 +54,12 @@ let reproducer_text ~seed ~case (f : Oracle.failure) minimized =
      // oracle: %s\n\
      // seed: %d case: %d\n\
      // detail: %s\n\
-     %s%s\n"
+     %s%s%s\n"
     f.Oracle.f_oracle seed case
     (oneline f.Oracle.f_detail)
-    config_line minimized
+    config_line bisect_line minimized
 
-let write_reproducer ~dir ~seed ~case f minimized =
+let write_reproducer ?culprit ~dir ~seed ~case f minimized =
   let path =
     Filename.concat dir
       (Fmt.str "fuzz-seed%d-case%d-%s.mlir" seed case f.Oracle.f_oracle)
@@ -57,7 +67,8 @@ let write_reproducer ~dir ~seed ~case f minimized =
   let oc = open_out path in
   Fun.protect
     ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc (reproducer_text ~seed ~case f minimized));
+    (fun () ->
+      output_string oc (reproducer_text ?culprit ~seed ~case f minimized));
   path
 
 (** Run [cases] cases from [seed]. [on_case] is a progress hook (case
@@ -73,8 +84,8 @@ let write_reproducer ~dir ~seed ~case f minimized =
     the parallel mode runs every case but reports the same first
     [max_failures] failures in case order. *)
 let run ?config ?(pipelines = Oracle.default_pipelines) ?(shrink = true)
-    ?out_dir ?(max_failures = 10) ?(on_case = fun _ ~failed:_ -> ()) ctx
-    ~seed ~cases () =
+    ?(bisect = true) ?out_dir ?(max_failures = 10)
+    ?(on_case = fun _ ~failed:_ -> ()) ctx ~seed ~cases () =
   let t0 = Unix.gettimeofday () in
   let failures = ref [] in
   let report i m f =
@@ -85,9 +96,22 @@ let run ?config ?(pipelines = Oracle.default_pipelines) ?(shrink = true)
       else m
     in
     let minimized = Printer.op_to_string minimized_module in
+    (* differential failures bisect to the culprit transformation unit:
+       each probe replays the oracle on a fresh clone under debug
+       counters, so the reproducer can name the exact action *)
+    let culprit =
+      if bisect && f.Oracle.f_pipeline <> None then
+        Bisect.of_failure
+          ~recheck:(fun () ->
+            Option.is_some
+              (Oracle.recheck ctx ~pipelines ~witness:f
+                 (Ircore.clone_op minimized_module)))
+          ()
+      else None
+    in
     let path =
       Option.map
-        (fun dir -> write_reproducer ~dir ~seed ~case:i f minimized)
+        (fun dir -> write_reproducer ?culprit ~dir ~seed ~case:i f minimized)
         out_dir
     in
     Diag.emit (Context.diag_engine ctx)
@@ -97,6 +121,10 @@ let run ?config ?(pipelines = Oracle.default_pipelines) ?(shrink = true)
            @ (match f.Oracle.f_pipeline with
              | Some p -> [ Diag.note "pipeline: %s" p ]
              | None -> [])
+           @ (match culprit with
+             | Some c ->
+               [ Diag.note "bisected to action %a" Bisect.pp_culprit c ]
+             | None -> [])
            @
            match path with
            | Some p -> [ Diag.note "reproducer written to %s" p ]
@@ -104,7 +132,7 @@ let run ?config ?(pipelines = Oracle.default_pipelines) ?(shrink = true)
          "fuzz oracle '%s' failed: %s" f.Oracle.f_oracle f.Oracle.f_detail);
     failures :=
       { r_seed = seed; r_case = i; r_failure = f; r_minimized = minimized;
-        r_path = path }
+        r_path = path; r_culprit = culprit }
       :: !failures
   in
   let ran =
@@ -204,7 +232,7 @@ let run_flow_diff ?config ?out_dir ?(max_failures = 10)
            "fuzz oracle '%s' failed: %s" f.Oracle.f_oracle f.Oracle.f_detail);
       failures :=
         { r_seed = seed; r_case = i; r_failure = f;
-          r_minimized = f.Oracle.f_module; r_path = path }
+          r_minimized = f.Oracle.f_module; r_path = path; r_culprit = None }
         :: !failures;
       on_case i ~failed:true);
     incr case
@@ -237,7 +265,7 @@ let run_schedule_diff ?config ?(max_failures = 10)
            "fuzz oracle '%s' failed: %s" f.Oracle.f_oracle f.Oracle.f_detail);
       failures :=
         { r_seed = seed; r_case = i; r_failure = f;
-          r_minimized = f.Oracle.f_module; r_path = None }
+          r_minimized = f.Oracle.f_module; r_path = None; r_culprit = None }
         :: !failures;
       on_case i ~failed:true);
     incr case

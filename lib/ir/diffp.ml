@@ -1,0 +1,129 @@
+(** Structural line diffs for IR snapshots.
+
+    The action framework's IR-change snapshots ({!Action}) show what a
+    transformation unit did to the payload. Dumping whole modules after
+    every action is unreadable; this module renders a compact line diff of
+    the printed IR so only changed lines (plus a little context) appear.
+
+    The algorithm is a classic longest-common-subsequence diff over lines,
+    after trimming the common prefix and suffix. The LCS table is
+    quadratic, so inputs whose trimmed middles would exceed a cell budget
+    fall back to a plain delete-all/insert-all rendering — snapshots diff
+    one function at a time, so the fallback is rare. *)
+
+type edit = Keep of string | Del of string | Add of string
+
+let split_lines s =
+  (* a trailing newline does not introduce a phantom empty last line *)
+  let s =
+    let n = String.length s in
+    if n > 0 && s.[n - 1] = '\n' then String.sub s 0 (n - 1) else s
+  in
+  Array.of_list (String.split_on_char '\n' s)
+
+(* cap on LCS table cells: 4M cells ≈ 2000x2000 lines, far beyond any
+   single printed function we snapshot *)
+let max_cells = 4_000_000
+
+(** LCS edit script between two line arrays, or [None] when the table
+    would exceed the cell budget. *)
+let lcs_edits (a : string array) (b : string array) : edit list option =
+  let la = Array.length a and lb = Array.length b in
+  if (la + 1) * (lb + 1) > max_cells then None
+  else begin
+    (* lcs.(i).(j) = LCS length of a[i..] and b[j..] *)
+    let lcs = Array.make_matrix (la + 1) (lb + 1) 0 in
+    for i = la - 1 downto 0 do
+      for j = lb - 1 downto 0 do
+        lcs.(i).(j) <-
+          (if String.equal a.(i) b.(j) then 1 + lcs.(i + 1).(j + 1)
+           else max lcs.(i + 1).(j) lcs.(i).(j + 1))
+      done
+    done;
+    let rec walk i j acc =
+      if i < la && j < lb && String.equal a.(i) b.(j) then
+        walk (i + 1) (j + 1) (Keep a.(i) :: acc)
+      else if j < lb && (i = la || lcs.(i).(j + 1) >= lcs.(i + 1).(j)) then
+        walk i (j + 1) (Add b.(j) :: acc)
+      else if i < la then walk (i + 1) j (Del a.(i) :: acc)
+      else List.rev acc
+    in
+    Some (walk 0 0 [])
+  end
+
+(* collapse runs of unchanged lines: keep [context] lines on each side of
+   a change, eliding the rest as a "..." marker *)
+let render ~context edits =
+  let buf = Buffer.create 256 in
+  let arr = Array.of_list edits in
+  let n = Array.length arr in
+  (* a Keep line is visible when within [context] lines of a change *)
+  let visible = Array.make n false in
+  Array.iteri
+    (fun i e ->
+      match e with
+      | Keep _ -> ()
+      | Del _ | Add _ ->
+        for j = max 0 (i - context) to min (n - 1) (i + context) do
+          visible.(j) <- true
+        done)
+    arr;
+  let eliding = ref false in
+  Array.iteri
+    (fun i e ->
+      if visible.(i) then begin
+        eliding := false;
+        match e with
+        | Keep l -> Buffer.add_string buf ("  " ^ l ^ "\n")
+        | Del l -> Buffer.add_string buf ("- " ^ l ^ "\n")
+        | Add l -> Buffer.add_string buf ("+ " ^ l ^ "\n")
+      end
+      else if not !eliding then begin
+        eliding := true;
+        Buffer.add_string buf "  ...\n"
+      end)
+    arr;
+  Buffer.contents buf
+
+(** [diff before after] renders a line diff between the two printed IR
+    texts: [None] when they are line-identical, otherwise a unified-style
+    rendering with ["- "]/["+ "] markers, [context] unchanged lines around
+    each change and ["..."] elisions between distant changes. Oversized
+    inputs degrade to a full delete/insert rendering rather than failing. *)
+let diff ?(context = 2) before after : string option =
+  if String.equal before after then None
+  else begin
+    let a = split_lines before and b = split_lines after in
+    (* trim the common prefix and suffix: the quadratic LCS then only sees
+       the changed middle *)
+    let la = Array.length a and lb = Array.length b in
+    let p = ref 0 in
+    while !p < la && !p < lb && String.equal a.(!p) b.(!p) do
+      incr p
+    done;
+    let s = ref 0 in
+    while
+      !s < la - !p
+      && !s < lb - !p
+      && String.equal a.(la - 1 - !s) b.(lb - 1 - !s)
+    do
+      incr s
+    done;
+    let mid_a = Array.sub a !p (la - !p - !s) in
+    let mid_b = Array.sub b !p (lb - !p - !s) in
+    let mid_edits =
+      match lcs_edits mid_a mid_b with
+      | Some es -> es
+      | None ->
+        (* over budget: plain replacement of the whole middle *)
+        Array.to_list (Array.map (fun l -> Del l) mid_a)
+        @ Array.to_list (Array.map (fun l -> Add l) mid_b)
+    in
+    let edits =
+      Array.to_list (Array.map (fun l -> Keep l) (Array.sub a 0 !p))
+      @ mid_edits
+      @ Array.to_list
+          (Array.map (fun l -> Keep l) (Array.sub a (la - !s) !s))
+    in
+    Some (render ~context edits)
+  end

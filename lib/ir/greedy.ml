@@ -180,7 +180,16 @@ let fatal_exn = function
     as an error diagnostic (with the backtrace as notes) and treated as a
     non-match, so one broken pattern cannot unwind the whole driver. *)
 let rewrite_contained ctx rewriter (p : Pattern.t) (op : Ircore.op) =
-  match p.Pattern.rewrite rewriter op with
+  match
+    (* route the application through the action framework; with no ambient
+       context this is the direct call (hot path: no closure for Action) *)
+    match Action.active () with
+    | None -> p.Pattern.rewrite rewriter op
+    | Some a ->
+      Action.run_on a ~tag:"pattern" ~desc:p.Pattern.name
+        ~loc:op.Ircore.op_loc ~root:op ~skipped:false (fun () ->
+          p.Pattern.rewrite rewriter op)
+  with
   | applied -> applied
   | exception e when not (fatal_exn e) ->
     let bt = Printexc.get_raw_backtrace () in
@@ -193,7 +202,14 @@ let rewrite_contained ctx rewriter (p : Pattern.t) (op : Ircore.op) =
 
 (** Same barrier around the fold/constant-uniquing path. *)
 let fold_contained ctx rewriter config folder stats (op : Ircore.op) =
-  match try_fold ctx rewriter config folder stats op with
+  match
+    match Action.active () with
+    | None -> try_fold ctx rewriter config folder stats op
+    | Some a ->
+      Action.run_on a ~tag:"fold" ~desc:op.Ircore.op_name
+        ~loc:op.Ircore.op_loc ~root:op ~skipped:false (fun () ->
+          try_fold ctx rewriter config folder stats op)
+  with
   | folded -> folded
   | exception e when not (fatal_exn e) ->
     let bt = Printexc.get_raw_backtrace () in
@@ -325,9 +341,21 @@ let apply ?(config = default_config) ?stats ?rewriter ctx ~patterns root =
           Profiler.counter "greedy.worklist"
             (float_of_int (List.length !stack));
         if config.remove_dead && is_trivially_dead ctx op then begin
-          Rewriter.erase_op rewriter op;
-          stats.dce <- stats.dce + 1;
-          charge ()
+          let erased_now =
+            match Action.active () with
+            | None ->
+              Rewriter.erase_op rewriter op;
+              true
+            | Some a ->
+              Action.run_on a ~tag:"dce" ~desc:op.Ircore.op_name
+                ~loc:op.Ircore.op_loc ~root:op ~skipped:false (fun () ->
+                  Rewriter.erase_op rewriter op;
+                  true)
+          in
+          if erased_now then begin
+            stats.dce <- stats.dce + 1;
+            charge ()
+          end
         end
         else if
           config.fold && fold_contained ctx rewriter config folder stats op

@@ -51,6 +51,16 @@ let still_valid b v =
     the start of the block and records it. Detached anchors fall back to
     un-uniqued materialization just before the anchor's position. *)
 let materialize t rw materialize_fn ~anchor attr typ =
+  (* constant materialization is its own action: skipping it makes the
+     enclosing fold give up cleanly (a [None] result aborts the fold) *)
+  let materialize_fn rw attr typ =
+    match Action.active () with
+    | None -> materialize_fn rw attr typ
+    | Some a ->
+      Action.run_on a ~tag:"fold.materialize" ~desc:anchor.Ircore.op_name
+        ~loc:anchor.Ircore.op_loc ~root:anchor ~skipped:None (fun () ->
+          materialize_fn rw attr typ)
+  in
   match Ircore.op_parent anchor with
   | None ->
     Rewriter.set_ip rw (Builder.Before anchor);

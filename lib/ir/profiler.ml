@@ -138,6 +138,14 @@ let active () = Domain.DLS.get current
 
 let profiling () = Domain.DLS.get current <> None
 
+(** Microseconds since the ambient profiler's creation, or [None] with no
+    profiler installed — lets other journals (e.g. {!Action}) stamp their
+    records on the same timebase as the exported trace spans. *)
+let timestamp () =
+  match Domain.DLS.get current with
+  | None -> None
+  | Some p -> Some ((now () -. p.t0) *. 1e6)
+
 (* ------------------------------------------------------------------ *)
 (* Recording                                                           *)
 (* ------------------------------------------------------------------ *)

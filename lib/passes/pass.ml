@@ -113,12 +113,26 @@ let instrumentation ?(before_pass = nop2) ?(after_pass = nop2)
     i_on_failure = on_failure;
   }
 
-(** Print the IR after each pass (mlir-opt's [-print-ir-after-all]). *)
-let print_ir_after_all ?(ppf = Fmt.stderr) () =
+(** Print the IR after each pass (mlir-opt's [-print-ir-after-all]). With
+    [only_changed], dumps are gated on {!Ir.Fingerprint} inequality: a pass
+    that left the module structurally identical prints nothing
+    ([--print-ir-after-all=always] restores the old behavior). *)
+let print_ir_after_all ?(ppf = Fmt.stderr) ?(only_changed = false) () =
+  let before = ref None in
   instrumentation "print-ir-after-all"
+    ~before_pass:(fun _ op ->
+      if only_changed then before := Some (Fingerprint.op op))
     ~after_pass:(fun p op ->
-      Fmt.pf ppf "// -----// IR dump after pass '%s' //----- //@.%a@." p.name
-        Printer.pp_op op)
+      let changed =
+        (not only_changed)
+        ||
+        match !before with
+        | Some fp -> not (Fingerprint.equal fp (Fingerprint.op op))
+        | None -> true
+      in
+      if changed then
+        Fmt.pf ppf "// -----// IR dump after pass '%s' //----- //@.%a@." p.name
+          Printer.pp_op op)
 
 let count_ops_by_name op =
   let counts = Hashtbl.create 64 in
@@ -349,10 +363,12 @@ let run_parallel ~track p ctx funcs =
   let remarks = Array.make n [] in
   let sinks = Array.make n None in
   let changed = Array.make n false in
+  let captures = Array.make n None in
   let parent_budget = Budget.active () in
   let parent_profiler = Profiler.active () in
   let parent_tracing = Trace.tracing () in
   let parent_remarking = Remark.enabled () in
+  let parent_action = Action.active () in
   Pool.run n (fun i ->
       let func = arr.(i) in
       let dbuf = ref [] and rbuf = ref [] in
@@ -375,6 +391,16 @@ let run_parallel ~track p ctx funcs =
           Remark.with_handler (fun r -> rbuf := r :: !rbuf) f
         else f ()
       in
+      let with_action f =
+        (* like diagnostics: record actions and provenance into a per-task
+           capture, replayed in source order after the barrier *)
+        match parent_action with
+        | None -> f ()
+        | Some a ->
+          let c = Action.capture a in
+          captures.(i) <- Some c;
+          Action.with_capture c f
+      in
       let with_track f =
         if not track then f ()
         else
@@ -395,6 +421,7 @@ let run_parallel ~track p ctx funcs =
         with_prof @@ fun () ->
         with_trace @@ fun () ->
         with_remark @@ fun () ->
+        with_action @@ fun () ->
         with_track @@ fun () -> run_contained p ctx func
       in
       results.(i) <- r;
@@ -410,6 +437,9 @@ let run_parallel ~track p ctx funcs =
     | Some s -> List.iter Trace.record (Trace.events s)
     | None -> ());
     List.iter Remark.emit remarks.(i);
+    (match (parent_action, captures.(i)) with
+    | Some a, Some c -> Action.replay a c
+    | _ -> ());
     match (results.(i), !first_error) with
     | Stdlib.Error d, None -> first_error := Some d
     | _ -> ()
@@ -428,7 +458,12 @@ let run_parallel ~track p ctx funcs =
     result plus what the incremental verifier must re-check ([track]). *)
 let run_scheduled ~track p ctx op =
   match
-    if p.function_parallel && Pool.jobs () > 1 then isolated_funcs op
+    (* action handlers (debug counters, snapshots) steer a globally ordered
+       action stream; with one installed the fan-out must not happen *)
+    if
+      p.function_parallel && Pool.jobs () > 1
+      && not (Action.sequential_only ())
+    then isolated_funcs op
     else None
   with
   | Some funcs -> run_parallel ~track p ctx funcs
@@ -474,7 +509,12 @@ let run_pipeline ?(verify_each = false) ?(instrumentations = []) ctx passes op
       let t0 = Unix.gettimeofday () in
       match
         Profiler.span ~cat:"pass" p.name (fun () ->
-            run_scheduled ~track:verify_each p ctx op)
+            (* the pass-level action: a vetoed pass reports success with
+               nothing dirty, exactly like a pass that matched nothing *)
+            Action.run ~tag:"pass" ~desc:p.name ~loc:op.Ircore.op_loc
+              ~root:op
+              ~skipped:(Ok (), Funcs [])
+              (fun () -> run_scheduled ~track:verify_each p ctx op))
       with
       | Error d, _ -> fail p (p :: rest) d
       | Ok (), dirty -> (
