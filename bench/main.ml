@@ -8,6 +8,13 @@
 
 let ctx = Transform.Register.full_context ()
 
+(* bulky non-report artifacts (lowered models, journals, reproducers) live
+   under the gitignored _artifacts/; the BENCH_*.json reports stay at the
+   repository root where CI collects them *)
+let artifacts_dir () =
+  (try Sys.mkdir "_artifacts" 0o755 with Sys_error _ -> ());
+  "_artifacts"
+
 let banner title paper =
   Fmt.pr "@.============================================================@.";
   Fmt.pr "%s@." title;
@@ -357,9 +364,11 @@ let action_bench () =
   if not (String.equal ir_off ir_on) then
     failwith "action bench: journaled run diverged from the bare run";
   (* artifacts CI validates with otd-json *)
-  Ir.Action.write_journal journal ~path:"ACTIONS_squeezenet.jsonl";
+  let adir = artifacts_dir () in
+  Ir.Action.write_journal journal
+    ~path:(Filename.concat adir "ACTIONS_squeezenet.jsonl");
   Ir.Action.write_provenance journal ~root:md_on
-    ~path:"PROVENANCE_squeezenet.json";
+    ~path:(Filename.concat adir "PROVENANCE_squeezenet.json");
   let overhead_ns = ns_disabled -. ns_baseline in
   Fmt.pr "per-site cost (body: one int incr):@.";
   Fmt.pr "  %-36s %10.1f ns@." "bare body" ns_baseline;
@@ -804,6 +813,100 @@ let parallel_bench () =
     failwith "parallel bench: parallel output IR differs from sequential"
 
 (* ------------------------------------------------------------------ *)
+(* Compilation server: load generator over a unix-socket daemon        *)
+(* ------------------------------------------------------------------ *)
+
+let server_bench () =
+  banner "Compilation server: throughput, latency, cache hit-rate"
+    "repeated-job workload over the otd_server wire protocol";
+  let clients = 4 and per_client = 120 and corpus_size = 6 in
+  let policy =
+    {
+      Server.Engine.default_policy with
+      Server.Engine.p_jobs = 3;
+      p_queue_depth = clients * per_client;
+      p_backoff_ms = 0;
+    }
+  in
+  let engine = Server.Engine.create ~policy () in
+  let sock = Filename.concat (artifacts_dir ()) "bench-server.sock" in
+  let listener =
+    Server.Transport.serve_unix engine ~path:sock ~conns:clients
+  in
+  let corpus =
+    Array.init corpus_size (fun k ->
+        Ir.Printer.op_to_string (Fuzz.Driver.module_for ~seed:11 ~case:k ()))
+  in
+  let count name =
+    match Ir.Stats.find_counter ~component:"server" name with
+    | Some c -> Ir.Stats.value c
+    | None -> 0
+  in
+  let hits0 = count "cache_hits" and misses0 = count "cache_misses" in
+  let request ~client:_ ~i =
+    Ir.Json.Obj
+      [
+        ("kind", Ir.Json.String "compile");
+        ("payload", Ir.Json.String corpus.(i mod corpus_size));
+        ("pipeline", Ir.Json.String "canonicalize,cse");
+      ]
+  in
+  let report =
+    Fun.protect
+      ~finally:(fun () ->
+        Server.Transport.stop_listener listener;
+        Server.Engine.close engine)
+      (fun () ->
+        Server.Load.run ~clients ~requests_per_client:per_client
+          ~connect:(fun _ -> Server.Load.socket_conn sock)
+          ~request)
+  in
+  let hits = count "cache_hits" - hits0
+  and misses = count "cache_misses" - misses0 in
+  let lookups = hits + misses in
+  let hit_rate =
+    if lookups = 0 then 0.0 else float_of_int hits /. float_of_int lookups
+  in
+  Fmt.pr "%a@." Server.Load.pp_report report;
+  Fmt.pr
+    "result cache: %d hits / %d lookups (%.1f%% hit-rate; %d distinct jobs)@."
+    hits lookups (100. *. hit_rate) corpus_size;
+  let json =
+    Ir.Json.Obj
+      [
+        ("benchmark", Ir.Json.String "server-load");
+        ("clients", Ir.Json.Int clients);
+        ("requests_per_client", Ir.Json.Int per_client);
+        ("distinct_jobs", Ir.Json.Int corpus_size);
+        ("pipeline", Ir.Json.String "canonicalize,cse");
+        ("load", Server.Load.report_json report);
+        ("cache_hits", Ir.Json.Int hits);
+        ("cache_misses", Ir.Json.Int misses);
+        ("cache_hit_rate", Ir.Json.Float hit_rate);
+        ( "note",
+          Ir.Json.String
+            "each client replays the same small job corpus over the unix \
+             socket; after the first misses warm the content-addressed \
+             result cache every response is served from it, so hit-rate \
+             approaches (requests - distinct_jobs) / requests" );
+      ]
+  in
+  let oc = open_out "BENCH_server.json" in
+  output_string oc (Ir.Json.to_string json);
+  output_string oc "\n";
+  close_out oc;
+  Fmt.pr "wrote BENCH_server.json@.";
+  if report.Server.Load.r_ok <> report.Server.Load.r_requests then
+    failwith
+      (Fmt.str "server bench: %d of %d requests did not return ok"
+         (report.Server.Load.r_requests - report.Server.Load.r_ok)
+         report.Server.Load.r_requests);
+  if hit_rate < 0.9 then
+    failwith
+      (Fmt.str "server bench: cache hit-rate %.2f below the 0.90 floor"
+         hit_rate)
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per experiment kernel       *)
 (* ------------------------------------------------------------------ *)
 
@@ -983,6 +1086,7 @@ let () =
     if want "checkpoint" then checkpoint ();
     if want "schedule" then schedule_bench ();
     if want "parallel" then parallel_bench ();
+    if want "server" then server_bench ();
     if (not no_micro) && (args = [] || List.mem "micro" args) then micro ()
   in
   (match profile_path with

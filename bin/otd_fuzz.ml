@@ -47,6 +47,24 @@ let run_faults ctx config seed cases prob out_dir quiet =
   if nviol = 0 then `Ok ()
   else `Error (false, "fault injection found recovery-invariant violations")
 
+let run_server_faults cases out_dir =
+  let s = Fuzz.Server_faults.run ~cases ?reproducer_dir:out_dir () in
+  let nviol = List.length s.Fuzz.Server_faults.sf_violations in
+  Fmt.pr
+    "otd-fuzz server-faults: %d frames (%d poisoned), %d ok, %d contained, \
+     %d invalid, %d closed, %d canaries, %d cache hits, %d reproducers, %d \
+     violation%s, %.1f s@."
+    s.Fuzz.Server_faults.sf_jobs s.Fuzz.Server_faults.sf_poisoned
+    s.Fuzz.Server_faults.sf_ok s.Fuzz.Server_faults.sf_contained
+    s.Fuzz.Server_faults.sf_invalid s.Fuzz.Server_faults.sf_closed
+    s.Fuzz.Server_faults.sf_canaries s.Fuzz.Server_faults.sf_cache_hits
+    s.Fuzz.Server_faults.sf_reproducers nviol
+    (if nviol = 1 then "" else "s")
+    s.Fuzz.Server_faults.sf_seconds;
+  List.iter (Fmt.pr "  VIOLATION: %s@.") s.Fuzz.Server_faults.sf_violations;
+  if nviol = 0 then `Ok ()
+  else `Error (false, "server fault campaign found violations")
+
 let run_flow_diff ctx config seed cases out_dir quiet =
   let on_case i ~failed =
     if not quiet then
@@ -114,11 +132,19 @@ let apply_jobs = function
   | Some n -> Error (Fmt.str "--jobs must be >= 0 (got %d)" n)
 
 let run seed cases max_ops max_depth pipeline no_shrink no_bisect out_dir
-    print_case quiet profile faults schedule_diff flow_diff jobs =
+    print_case quiet profile faults schedule_diff flow_diff server_faults
+    jobs =
   Printexc.record_backtrace true;
+  (* SIGINT raises Sys.Break: campaigns stop at the next case boundary
+     with a clean diagnostic (reproducers written so far stay on disk)
+     instead of a bare backtrace *)
+  Sys.catch_break true;
+  try
   match apply_jobs jobs with
   | Error e -> `Error (false, e)
   | Ok () ->
+  if server_faults then run_server_faults cases out_dir
+  else
   let ctx = Transform.Register.full_context () in
   let config = { Fuzz.Gen.default_config with max_ops; max_depth } in
   match print_case with
@@ -151,14 +177,25 @@ let run seed cases max_ops max_depth pipeline no_shrink no_bisect out_dir
       | None -> f ()
       | Some p -> Ir.Profiler.with_profiler p f
     in
-    let stats =
-      with_profiler (fun () ->
-          Fuzz.Driver.run ~config ~pipelines ~shrink:(not no_shrink)
-            ~bisect:(not no_bisect) ?out_dir ~on_case ctx ~seed ~cases ())
+    let stats_r =
+      try
+        Ok
+          (with_profiler (fun () ->
+               Fuzz.Driver.run ~config ~pipelines ~shrink:(not no_shrink)
+                 ~bisect:(not no_bisect) ?out_dir ~on_case ctx ~seed ~cases ()))
+      with Sys.Break -> Error ()
     in
+    (* the profiler trace flushes even on an interrupted campaign *)
     (match (profiler, profile) with
     | Some p, Some path -> Ir.Profiler.write p ~path
     | _ -> ());
+    match stats_r with
+    | Error () ->
+      `Error
+        ( false,
+          "interrupted (SIGINT): partial profiler trace flushed; crash \
+           reproducers written so far remain in --out" )
+    | Ok stats ->
     let nfail = List.length stats.Fuzz.Driver.s_failures in
     Fmt.pr "otd-fuzz: %d cases, %d failure%s, %.1f s (seed %d)@."
       stats.Fuzz.Driver.s_cases nfail
@@ -178,6 +215,8 @@ let run seed cases max_ops max_depth pipeline no_shrink no_bisect out_dir
           r.Fuzz.Driver.r_path)
       stats.Fuzz.Driver.s_failures;
     if nfail = 0 then `Ok () else `Error (false, "fuzzing found failures"))
+  with Sys.Break ->
+    `Error (false, "interrupted (SIGINT): campaign stopped cleanly")
 
 let schedule_diff =
   Arg.(
@@ -201,6 +240,19 @@ let flow_diff =
            annotation-flow checker accepts never fails a dynamic \
            annotation-requirement check, interpreted or compiled. \
            Divergence reproducers (the scripts) go to $(b,--out).")
+
+let server_faults =
+  Arg.(
+    value & flag
+    & info [ "server-faults" ]
+        ~doc:
+          "Run the server fault-injection campaign instead of the oracle \
+           suite: boot an in-process $(b,otd-server) daemon on a Unix \
+           socket and drive it with a mix of valid jobs, byte-identity \
+           canaries, budget busters, crash-poisoned transforms and \
+           malformed frames ($(b,--cases) frames total), asserting zero \
+           daemon deaths, zero cross-request contamination and a \
+           reproducer per contained failure. Reproducers go to $(b,--out).")
 
 let seed =
   Arg.(value & opt int 0 & info [ "seed" ] ~docv:"N" ~doc:"Campaign seed.")
@@ -310,12 +362,12 @@ let cmd =
         (const
            (fun seed cases max_ops max_depth pipeline no_shrink _shrink
                 no_bisect out_dir print_case quiet profile faults
-                schedule_diff flow_diff jobs ->
+                schedule_diff flow_diff server_faults jobs ->
              run seed cases max_ops max_depth pipeline no_shrink no_bisect
                out_dir print_case quiet profile faults schedule_diff
-               flow_diff jobs)
+               flow_diff server_faults jobs)
         $ seed $ cases $ max_ops $ max_depth $ pipeline $ no_shrink $ shrink
         $ no_bisect $ out_dir $ print_case $ quiet $ profile $ faults
-        $ schedule_diff $ flow_diff $ jobs))
+        $ schedule_diff $ flow_diff $ server_faults $ jobs))
 
 let () = exit (Cmd.eval cmd)

@@ -4,7 +4,13 @@
     bench reports) are well-formed without reaching for external tools.
 
     With [--require KEY] the top-level value must additionally be an
-    object carrying $(i,KEY) (e.g. [traceEvents] for a Chrome trace). *)
+    object carrying $(i,KEY) (e.g. [traceEvents] for a Chrome trace).
+
+    With [--schema=server] every value must additionally satisfy the
+    [otd-server] protocol schema ({!Server.Protocol.validate_json}):
+    objects with a [kind] member are checked as requests, objects with a
+    [status] member as responses. Combined with [--jsonl] this validates
+    the response journals the fault campaign and CI write. *)
 
 open Cmdliner
 
@@ -22,17 +28,28 @@ let check_require require path json =
     | Some _ -> Ok json
     | None -> Error (Fmt.str "%s: missing required key %S" path key))
 
-let validate require path =
+let check_schema schema path json =
+  match schema with
+  | None -> Ok json
+  | Some `Server -> (
+    match Server.Protocol.validate_json json with
+    | Ok () -> Ok json
+    | Error e -> Error (Fmt.str "%s: schema violation: %s" path e))
+
+let validate ?schema require path =
   match read_file path with
   | exception Sys_error e -> Error e
   | src -> (
     match Ir.Json.parse src with
     | Error e -> Error (Fmt.str "%s: %s" path e)
-    | Ok json -> check_require require path json)
+    | Ok json -> (
+      match check_require require path json with
+      | Error _ as e -> e
+      | Ok json -> check_schema schema path json))
 
 (** JSONL (e.g. the action journal of [otd-opt --action-journal]): every
     non-empty line must parse on its own; [--require] applies per line. *)
-let validate_jsonl require path =
+let validate_jsonl ?schema require path =
   match read_file path with
   | exception Sys_error e -> Error e
   | src ->
@@ -45,21 +62,25 @@ let validate_jsonl require path =
           match Ir.Json.parse line with
           | Error e -> Error (Fmt.str "%s:%d: %s" path n e)
           | Ok json -> (
-            match check_require require (Fmt.str "%s:%d" path n) json with
+            let at = Fmt.str "%s:%d" path n in
+            match check_require require at json with
             | Error e -> Error e
-            | Ok _ -> go (n + 1) rest))
+            | Ok json -> (
+              match check_schema schema at json with
+              | Error e -> Error e
+              | Ok _ -> go (n + 1) rest)))
     in
     go 1 lines
 
-let run require jsonl quiet files =
+let run require schema jsonl quiet files =
   if files = [] then `Error (false, "no input files")
   else
     let rec go = function
       | [] -> `Ok ()
       | path :: rest -> (
         match
-          if jsonl then validate_jsonl require path
-          else validate require path
+          if jsonl then validate_jsonl ?schema require path
+          else validate ?schema require path
         with
         | Ok _ ->
           if not quiet then Fmt.pr "%s: ok@." path;
@@ -74,6 +95,14 @@ let require =
     & opt (some string) None
     & info [ "require" ] ~docv:"KEY"
         ~doc:"Require the top-level value to be an object with $(docv).")
+
+let schema =
+  Arg.(
+    value
+    & opt (some (enum [ ("server", `Server) ])) None
+    & info [ "schema" ] ~docv:"NAME"
+        ~doc:"Validate values against a protocol schema. $(b,server) \
+              checks otd-server request/response objects.")
 
 let jsonl =
   Arg.(
@@ -93,6 +122,6 @@ let cmd =
   let doc = "validate JSON files with the repository's Ir.Json parser" in
   Cmd.v
     (Cmd.info "otd-json" ~doc)
-    Term.(ret (const run $ require $ jsonl $ quiet $ files))
+    Term.(ret (const run $ require $ schema $ jsonl $ quiet $ files))
 
 let () = exit (Cmd.eval cmd)

@@ -96,6 +96,10 @@ let run input pipeline transform_file no_compile flow_check no_verify list_passe
     action_journal print_ir_after_change snapshot_after_change provenance_path
     =
   Printexc.record_backtrace true;
+  (* SIGINT raises Sys.Break at the next safe point instead of killing the
+     process: open journals, traces and reports still flush below, and the
+     user gets a clean diagnostic rather than a bare backtrace *)
+  Sys.catch_break true;
   match apply_jobs jobs with
   | Error e -> `Error (false, e)
   | Ok () ->
@@ -335,14 +339,21 @@ let run input pipeline transform_file no_compile flow_check no_verify list_passe
           | Some t -> Ir.Action.with_context t f
         in
         let outcome =
-          with_budget (fun () ->
-              with_profiler (fun () ->
-                  with_remarks (fun () ->
-                      with_action (fun () ->
-                          Ir.Trace.with_sink sink (fun () ->
-                              Result.bind (verify ()) (fun () ->
-                                  Result.bind (apply_pipeline ()) (fun () ->
-                                      Result.bind (apply_transform ()) verify)))))))
+          try
+            with_budget (fun () ->
+                with_profiler (fun () ->
+                    with_remarks (fun () ->
+                        with_action (fun () ->
+                            Ir.Trace.with_sink sink (fun () ->
+                                Result.bind (verify ()) (fun () ->
+                                    Result.bind (apply_pipeline ())
+                                      (fun () ->
+                                        Result.bind (apply_transform ())
+                                          verify)))))))
+          with Sys.Break ->
+            Error
+              "interrupted (SIGINT): partial action journals, traces and \
+               profiles were still flushed"
         in
         (match (actx, action_journal) with
         | Some t, Some path -> Ir.Action.write_journal t ~path

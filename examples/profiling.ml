@@ -15,7 +15,7 @@
        attribute in the .mlir file.
 
     The same data is available from the CLI:
-      otd_opt squeezenet_lowered.mlir -p canonicalize,cse \
+      otd_opt _artifacts/squeezenet_lowered.mlir -p canonicalize,cse \
         --profile=profile.json --stats --remarks=all
 
     Run from the repository root: dune exec examples/profiling.exe *)
@@ -74,7 +74,9 @@ let parse_payload path =
 let () =
   (* --- 1. profile canonicalize,cse on lowered squeezenet ------------- *)
   let md = squeezenet_lowered () in
-  let mlir_path = "squeezenet_lowered.mlir" in
+  (* bulky artifacts go under the gitignored _artifacts/ *)
+  (try Sys.mkdir "_artifacts" 0o755 with Sys_error _ -> ());
+  let mlir_path = Filename.concat "_artifacts" "squeezenet_lowered.mlir" in
   let oc = open_out mlir_path in
   output_string oc (Printer.op_to_string md);
   output_string oc "\n";
@@ -86,7 +88,9 @@ let () =
       with
       | Ok _ -> ()
       | Error e -> failwith (Diag.to_string e));
-  let profile_path = "squeezenet_canonicalize_profile.json" in
+  let profile_path =
+    Filename.concat "_artifacts" "squeezenet_canonicalize_profile.json"
+  in
   Profiler.write p ~path:profile_path;
   Fmt.pr "=== profile: canonicalize,cse on lowered squeezenet ===@.";
   Fmt.pr "wrote %s (%d spans, max depth %d) — load it at ui.perfetto.dev@."

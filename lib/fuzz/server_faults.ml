@@ -1,0 +1,592 @@
+(** Server fault-injection campaign: {!Fault}'s sabotage discipline turned
+    against a live [otd-server] daemon.
+
+    The campaign boots a real engine behind a real Unix-domain socket in
+    this process, installs a transform-application interceptor that
+    sabotages and then raises inside any job whose payload root carries the
+    [fuzz.server_crash] marker, and drives the daemon from several client
+    domains with a deterministic mix of:
+
+    - valid compile jobs over a generated corpus (repeats exercise the
+      result cache and single-flight deduplication);
+    - a fixed {e canary} job, repeated throughout — every canary response
+      must be byte-identical regardless of interleaving (the
+      zero-cross-request-contamination invariant, checked on the wire);
+    - budget busters: a constant-fold chain under [max_rewrites = 1], once
+      with a retry allowance (must eventually succeed at an escalated
+      tier) and once without (must fail with [class = budget]);
+    - crash-poisoned jobs: marker payloads whose transform application
+      raises after mutating the payload — each must come back as a
+      contained [class = crash] error with an on-disk reproducer;
+    - malformed frames: truncated prefixes and bodies, oversized and
+      negative length prefixes, invalid UTF-8, broken JSON and schema
+      violations — each must yield a structured [invalid] response or a
+      clean close, and the UTF-8/JSON/schema cases must leave the
+      connection serving (proved with a follow-up ping on the same
+      connection).
+
+    Throughout: the daemon must never die, never shed (the queue is sized
+    for the drive), and the engine's contamination counter must not move.
+    Run via [otd-server --self-test] or [otd-fuzz --server-faults]. *)
+
+open Ir
+
+type stats = {
+  sf_jobs : int;  (** frames sent, well-formed and malformed *)
+  sf_poisoned : int;  (** busters + crash jobs + malformed frames *)
+  sf_ok : int;
+  sf_contained : int;  (** structured error responses *)
+  sf_invalid : int;  (** structured protocol-error responses *)
+  sf_closed : int;  (** clean closes after desynchronizing frames *)
+  sf_canaries : int;
+  sf_cache_hits : int;
+  sf_reproducers : int;
+  sf_violations : string list;
+  sf_seconds : float;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Fixed corpus                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let canary_payload =
+  {|"builtin.module"() ({
+  "func.func"() ({
+  ^bb0(%a: i64):
+    %c1 = "arith.constant"() {value = 1 : i64} : () -> i64
+    %s = "arith.addi"(%a, %c1) : (i64, i64) -> i64
+    "func.return"(%s) : (i64) -> ()
+  }) {sym_name = "canary", function_type = (i64) -> i64} : () -> ()
+}) : () -> ()|}
+
+(* a fold chain: canonicalizing it needs well over [max_rewrites = 1]
+   budget charges (folds plus DCE of the dead chain), so the first retry
+   tiers exhaust and an escalated one succeeds. Greedy exhaustion surfaces
+   at the next pass boundary's [Budget.checkpoint], so the buster pipeline
+   must have a pass after canonicalize. *)
+let buster_pipeline = "canonicalize,cse"
+
+let buster_payload =
+  let b = Buffer.create 512 in
+  Buffer.add_string b
+    "\"builtin.module\"() ({\n  \"func.func\"() ({\n  ^bb0:\n";
+  Buffer.add_string b
+    "    %v0 = \"arith.constant\"() {value = 1 : i64} : () -> i64\n";
+  for i = 1 to 4 do
+    Buffer.add_string b
+      (Fmt.str
+         "    %%v%d = \"arith.addi\"(%%v%d, %%v%d) : (i64, i64) -> i64\n" i
+         (i - 1) (i - 1))
+  done;
+  Buffer.add_string b "    \"func.return\"(%v4) : (i64) -> ()\n";
+  Buffer.add_string b
+    "  }) {sym_name = \"buster\", function_type = () -> i64} : () -> ()\n\
+     }) : () -> ()";
+  Buffer.contents b
+
+(* distinct per index so every crash is a fresh contained failure with its
+   own reproducer, not a cache hit on the first one *)
+let crash_payload i =
+  Fmt.str
+    {|"builtin.module"() ({
+  "func.func"() ({
+  ^bb0(%%a: i64):
+    %%c = "arith.constant"() {value = %d : i64} : () -> i64
+    %%s = "arith.addi"(%%a, %%c) : (i64, i64) -> i64
+    "func.return"(%%s) : (i64) -> ()
+  }) {sym_name = "poison_%d", function_type = (i64) -> i64} : () -> ()
+}) {fuzz.server_crash = 1 : i64} : () -> ()|}
+    i i
+
+let crash_script =
+  {|"builtin.module"() ({
+  "transform.named_sequence"() ({
+  ^bb0(%root: !transform.any_op):
+    "transform.annotate"(%root) {name = "poisoned"} : (!transform.any_op) -> ()
+    "transform.yield"() : () -> ()
+  }) {sym_name = "__transform_main"} : () -> ()
+}) : () -> ()|}
+
+let marker = "fuzz.server_crash"
+
+(* sabotage-then-raise, exactly the failure mode [Fault] injects into
+   transforms — but only for marked payloads, so the valid share of the
+   drive is untouched and the campaign stays deterministic *)
+let interceptor def st op =
+  let root = st.Transform.State.payload_root in
+  if Ircore.has_attr root marker then begin
+    Ircore.set_attr root "fuzz.sabotaged" (Attr.int 1);
+    failwith "injected server fault (post-mutation raise)"
+  end
+  else def.Transform.Treg.t_apply st op
+
+(* ------------------------------------------------------------------ *)
+(* Request builders                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let compile_req ?id ?script ?pipeline ?max_rewrites ?attempts payload =
+  Json.Obj
+    (List.concat
+       [
+         (match id with Some id -> [ ("id", Json.String id) ] | None -> []);
+         [ ("kind", Json.String "compile"); ("payload", Json.String payload) ];
+         (match script with
+         | Some s -> [ ("script", Json.String s) ]
+         | None -> []);
+         (match pipeline with
+         | Some p -> [ ("pipeline", Json.String p) ]
+         | None -> []);
+         (match max_rewrites with
+         | Some n ->
+           [ ("budget", Json.Obj [ ("max_rewrites", Json.Int n) ]) ]
+         | None -> []);
+         (match attempts with
+         | Some n -> [ ("retry", Json.Obj [ ("attempts", Json.Int n) ]) ]
+         | None -> []);
+       ])
+
+let ping_req = Json.Obj [ ("kind", Json.String "ping") ]
+
+(* ------------------------------------------------------------------ *)
+(* Raw client plumbing (the campaign asserts on response bytes)        *)
+(* ------------------------------------------------------------------ *)
+
+type reply = Body of string | Closed of string
+
+let send_json fd j = Server.Protocol.write_frame fd (Json.to_line j)
+
+let recv_raw fd : reply =
+  match Server.Protocol.read_frame fd with
+  | Ok body -> Body body
+  | Error fe -> Closed (Server.Protocol.frame_error_message fe)
+  | exception Unix.Unix_error (e, _, _) -> Closed (Unix.error_message e)
+
+let rpc_raw fd j : reply =
+  match send_json fd j with
+  | () -> recv_raw fd
+  | exception Unix.Unix_error (e, _, _) -> Closed (Unix.error_message e)
+
+let with_conn path f =
+  let fd = Server.Transport.connect_retry path in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () -> f fd)
+
+(* ------------------------------------------------------------------ *)
+(* Case mix                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type observation = {
+  ob_case : int;
+  ob_kind : string;
+  ob_reply : reply;
+  ob_extra : reply option;  (** recovery probe after in-band faults *)
+}
+
+let corpus_size = 12
+
+let malformed_variants = 7
+
+(* the deterministic mix: indices mod 10 — half valid, a canary slot, two
+   buster slots, a crash slot, a malformed-frame slot (40% poisoned) *)
+let kind_of i =
+  match i mod 10 with
+  | 0 | 1 | 2 | 3 | 4 -> `Valid
+  | 5 -> `Canary
+  | 6 -> `Buster_retry
+  | 7 -> `Buster_oneshot
+  | 8 -> `Crash
+  | _ -> `Malformed ((i / 10) mod malformed_variants)
+
+let is_poisoned i =
+  match kind_of i with
+  | `Valid | `Canary -> false
+  | `Buster_retry | `Buster_oneshot | `Crash | `Malformed _ -> true
+
+let run_case ~path ~corpus i : observation =
+  let obs kind reply extra =
+    { ob_case = i; ob_kind = kind; ob_reply = reply; ob_extra = extra }
+  in
+  match kind_of i with
+  | `Valid ->
+    let payload = corpus.((i / 10) mod Array.length corpus) in
+    with_conn path (fun fd ->
+        obs "valid"
+          (rpc_raw fd
+             (compile_req ~id:(Fmt.str "job-%d" i) ~pipeline:"canonicalize,cse"
+                payload))
+          None)
+  | `Canary ->
+    (* no id: canary responses must be byte-identical on the wire *)
+    with_conn path (fun fd ->
+        obs "canary"
+          (rpc_raw fd (compile_req ~pipeline:"canonicalize" canary_payload))
+          None)
+  | `Buster_retry ->
+    with_conn path (fun fd ->
+        obs "buster-retry"
+          (rpc_raw fd
+             (compile_req ~pipeline:buster_pipeline ~max_rewrites:1
+                ~attempts:4 buster_payload))
+          None)
+  | `Buster_oneshot ->
+    with_conn path (fun fd ->
+        obs "buster-oneshot"
+          (rpc_raw fd
+             (compile_req ~pipeline:buster_pipeline ~max_rewrites:1
+                ~attempts:1 buster_payload))
+          None)
+  | `Crash ->
+    with_conn path (fun fd ->
+        obs "crash"
+          (rpc_raw fd
+             (compile_req ~id:(Fmt.str "poison-%d" i) ~script:crash_script
+                (crash_payload i)))
+          None)
+  | `Malformed v -> (
+    match v with
+    | 0 ->
+      (* truncated length prefix, then hang up *)
+      with_conn path (fun fd ->
+          Server.Transport.send_raw fd "\x00\x00";
+          Unix.shutdown fd Unix.SHUTDOWN_SEND;
+          obs "malformed-truncated-prefix" (recv_raw fd) None)
+    | 1 ->
+      (* prefix promises 64 bytes, body delivers 5 *)
+      with_conn path (fun fd ->
+          Server.Transport.send_raw fd "\x00\x00\x00\x40hello";
+          Unix.shutdown fd Unix.SHUTDOWN_SEND;
+          obs "malformed-truncated-body" (recv_raw fd) None)
+    | 2 ->
+      (* oversized declared length *)
+      with_conn path (fun fd ->
+          Server.Transport.send_raw fd "\x7f\xff\xff\xff";
+          obs "malformed-oversized" (recv_raw fd) None)
+    | 3 ->
+      (* negative length prefix *)
+      with_conn path (fun fd ->
+          Server.Transport.send_raw fd "\xff\xff\xff\xff";
+          obs "malformed-negative" (recv_raw fd) None)
+    | 4 ->
+      (* well-framed garbage bytes: invalid UTF-8; the connection must
+         keep serving afterwards *)
+      with_conn path (fun fd ->
+          let body = "\xc0\x80\xfe{}" in
+          Server.Transport.send_raw fd
+            (Fmt.str "\x00\x00\x00%c%s"
+               (Char.chr (String.length body))
+               body);
+          let first = recv_raw fd in
+          obs "malformed-utf8" first (Some (rpc_raw fd ping_req)))
+    | 5 ->
+      (* valid UTF-8, broken JSON; connection must keep serving *)
+      with_conn path (fun fd ->
+          let body = "{\"kind\": " in
+          Server.Transport.send_raw fd
+            (Fmt.str "\x00\x00\x00%c%s"
+               (Char.chr (String.length body))
+               body);
+          let first = recv_raw fd in
+          obs "malformed-json" first (Some (rpc_raw fd ping_req)))
+    | _ ->
+      (* schema violation; connection must keep serving *)
+      with_conn path (fun fd ->
+          let first =
+            rpc_raw fd (Json.Obj [ ("kind", Json.String "frobnicate") ])
+          in
+          obs "malformed-schema" first (Some (rpc_raw fd ping_req))))
+
+(* ------------------------------------------------------------------ *)
+(* Assertions                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let member_str key j = Option.bind (Json.member key j) Json.to_string_opt
+
+let contains ~sub s =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let status_of body =
+  match Json.parse body with
+  | Error e -> Error (Fmt.str "unparseable response: %s" e)
+  | Ok j -> (
+    match member_str "status" j with
+    | Some s -> Ok (s, j)
+    | None -> Error "response without status")
+
+let error_class j =
+  Option.bind (Json.member "error" j) (member_str "class")
+
+let reproducer_of j =
+  Option.bind (Json.member "error" j) (member_str "reproducer")
+
+let check_observation violations (ob : observation) =
+  let fail fmt =
+    Fmt.kstr (fun m -> violations := Fmt.str "case %d [%s]: %s" ob.ob_case ob.ob_kind m :: !violations) fmt
+  in
+  let with_status f =
+    match ob.ob_reply with
+    | Closed why -> fail "connection closed instead of a response (%s)" why
+    | Body body -> (
+      match status_of body with
+      | Error e -> fail "%s" e
+      | Ok (status, j) -> f status j)
+  in
+  (match ob.ob_kind with
+  | "valid" | "canary" ->
+    with_status (fun status j ->
+        if status <> "ok" then
+          fail "expected ok, got %s (%s)" status
+            (Option.value (Option.bind (Json.member "error" j) (member_str "message")) ~default:"?"))
+  | "buster-retry" ->
+    with_status (fun status j ->
+        if status <> "ok" then fail "escalated retries should succeed, got %s" status
+        else
+          match Option.bind (Json.member "attempts" j) Json.to_int_opt with
+          | Some a when a >= 2 -> ()
+          | Some a -> fail "succeeded without escalation (attempts = %d)" a
+          | None -> fail "ok response without attempts")
+  | "buster-oneshot" ->
+    with_status (fun status j ->
+        if status <> "error" then fail "expected budget error, got %s" status
+        else if error_class j <> Some "budget" then
+          fail "expected class budget, got %s"
+            (Option.value (error_class j) ~default:"<none>"))
+  | "crash" ->
+    (* the raise is contained by whichever barrier is innermost: the
+       transform interpreter's (class transform) or the cell's (class
+       crash) — either way it must be structured, carry the injected
+       message, and leave a replayable reproducer on disk *)
+    with_status (fun status j ->
+        if status <> "error" then fail "expected contained crash, got %s" status
+        else if
+          not
+            (List.mem (error_class j) [ Some "crash"; Some "transform" ])
+        then
+          fail "expected class crash or transform, got %s"
+            (Option.value (error_class j) ~default:"<none>")
+        else begin
+          (match
+             Option.bind (Json.member "error" j) (member_str "message")
+           with
+          | Some m when contains ~sub:"injected server fault" m -> ()
+          | Some m -> fail "containment lost the fault message (%s)" m
+          | None -> fail "error without message");
+          match reproducer_of j with
+          | None -> fail "contained crash without a reproducer"
+          | Some p when not (Sys.file_exists p) ->
+            fail "reproducer %s does not exist" p
+          | Some _ -> ()
+        end)
+  | "malformed-truncated-prefix" | "malformed-truncated-body" -> (
+    (* a desynchronized stream may yield a best-effort invalid response or
+       a clean close — both are acceptable; a daemon death is not, which
+       the post-campaign liveness probe catches *)
+    match ob.ob_reply with
+    | Closed _ -> ()
+    | Body body -> (
+      match status_of body with
+      | Ok ("invalid", _) -> ()
+      | Ok (s, _) -> fail "expected invalid or close, got %s" s
+      | Error e -> fail "%s" e))
+  | "malformed-oversized" | "malformed-negative" ->
+    with_status (fun status _ ->
+        if status <> "invalid" then fail "expected invalid, got %s" status)
+  | "malformed-utf8" | "malformed-json" | "malformed-schema" -> (
+    with_status (fun status _ ->
+        if status <> "invalid" then fail "expected invalid, got %s" status);
+    match ob.ob_extra with
+    | Some (Body body) -> (
+      match status_of body with
+      | Ok ("ok", _) -> ()
+      | Ok (s, _) -> fail "recovery ping answered %s" s
+      | Error e -> fail "recovery ping: %s" e)
+    | Some (Closed why) -> fail "connection dead after in-band fault (%s)" why
+    | None -> fail "missing recovery probe")
+  | k -> fail "unknown observation kind %s" k);
+  ()
+
+(* ------------------------------------------------------------------ *)
+(* The campaign                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let counter name =
+  match Stats.find_counter ~component:"server" name with
+  | Some c -> Stats.value c
+  | None -> 0
+
+let temp_dir prefix =
+  let d =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Fmt.str "%s-%d" prefix (Unix.getpid ()))
+  in
+  (try Sys.mkdir d 0o700 with Sys_error _ -> ());
+  d
+
+(** Run the campaign: boot a daemon in-process, drive it with [cases]
+    frames from [clients] client domains, tear it down, return the
+    tally. [journal] (JSONL) receives every response object the server
+    sends — CI validates it with [otd-json --jsonl --schema=server]. *)
+let run ?(cases = 300) ?(clients = 4) ?journal ?socket ?reproducer_dir () :
+    stats =
+  let t0 = Unix.gettimeofday () in
+  let reproducer_dir =
+    match reproducer_dir with
+    | Some d ->
+      Server.Cell.mkdir_p d;
+      d
+    | None -> temp_dir "otd-server-faults"
+  in
+  let path =
+    match socket with
+    | Some p -> p
+    | None ->
+      Filename.concat (temp_dir "otd-server-faults") "self-test.sock"
+  in
+  let hits0 = counter "cache_hits"
+  and sheds0 = counter "sheds"
+  and contamination0 = counter "contamination"
+  and reproducers0 = counter "reproducers" in
+  let policy =
+    {
+      Server.Engine.default_policy with
+      Server.Engine.p_jobs = 3;
+      p_queue_depth = cases + clients;  (* the drive must never shed *)
+      p_reproducer_dir = Some reproducer_dir;
+      p_backoff_ms = 0;
+    }
+  in
+  let engine = Server.Engine.create ~policy () in
+  let journal_oc = Option.map open_out journal in
+  let jmu = Mutex.create () in
+  let on_response j =
+    match journal_oc with
+    | None -> ()
+    | Some oc ->
+      Mutex.lock jmu;
+      output_string oc (Json.to_line j);
+      output_char oc '\n';
+      Mutex.unlock jmu
+  in
+  let listener =
+    Server.Transport.serve_unix ~on_response engine ~path ~conns:clients
+  in
+  let corpus =
+    Array.init corpus_size (fun k ->
+        Printer.op_to_string (Driver.module_for ~seed:97 ~case:k ()))
+  in
+  let violations = ref [] in
+  let observations =
+    Transform.Treg.with_interceptor interceptor (fun () ->
+        let worker c () =
+          let acc = ref [] in
+          let i = ref c in
+          while !i < cases do
+            (match run_case ~path ~corpus !i with
+            | ob -> acc := ob :: !acc
+            | exception ex ->
+              acc :=
+                {
+                  ob_case = !i;
+                  ob_kind = "client-error";
+                  ob_reply = Closed (Printexc.to_string ex);
+                  ob_extra = None;
+                }
+                :: !acc);
+            i := !i + clients
+          done;
+          List.rev !acc
+        in
+        let domains =
+          List.init clients (fun c -> Domain.spawn (worker c))
+        in
+        List.concat_map Domain.join domains)
+  in
+  (* liveness probe: the daemon must still answer after the whole drive *)
+  (match with_conn path (fun fd -> rpc_raw fd ping_req) with
+  | Body body -> (
+    match status_of body with
+    | Ok ("ok", _) -> ()
+    | Ok (s, _) ->
+      violations := Fmt.str "liveness probe answered %s" s :: !violations
+    | Error e -> violations := Fmt.str "liveness probe: %s" e :: !violations)
+  | Closed why ->
+    violations := Fmt.str "daemon dead after campaign (%s)" why :: !violations
+  | exception ex ->
+    violations :=
+      Fmt.str "daemon unreachable after campaign (%s)" (Printexc.to_string ex)
+      :: !violations);
+  List.iter
+    (fun ob ->
+      if ob.ob_kind = "client-error" then
+        violations :=
+          Fmt.str "case %d: client error %s" ob.ob_case
+            (match ob.ob_reply with Closed w -> w | Body b -> b)
+          :: !violations
+      else check_observation violations ob)
+    observations;
+  (* the contamination invariant, on the wire: every canary response is
+     byte-identical no matter which worker/connection served it *)
+  let canaries =
+    List.filter_map
+      (fun ob ->
+        match (ob.ob_kind, ob.ob_reply) with
+        | "canary", Body b -> Some b
+        | _ -> None)
+      observations
+  in
+  (match canaries with
+  | [] -> violations := "no canary responses observed" :: !violations
+  | first :: rest ->
+    List.iteri
+      (fun k b ->
+        if not (String.equal b first) then
+          violations :=
+            Fmt.str "canary response %d differs from the first (%S vs %S)"
+              (k + 1) b first
+            :: !violations)
+      rest);
+  let sheds = counter "sheds" - sheds0 in
+  if sheds > 0 then
+    violations :=
+      Fmt.str "%d jobs shed despite a drive-sized queue" sheds :: !violations;
+  let contamination = counter "contamination" - contamination0 in
+  if contamination > 0 then
+    violations :=
+      Fmt.str "sentinel drifted on %d jobs" contamination :: !violations;
+  (* tear down: stop acceptors (joins them — a dead acceptor domain
+     re-raises here), drain the engine, stop the workers *)
+  (try
+     Server.Transport.stop_listener listener;
+     Server.Engine.close engine
+   with ex ->
+     violations :=
+       Fmt.str "daemon teardown raised: %s" (Printexc.to_string ex)
+       :: !violations);
+  Option.iter close_out journal_oc;
+  let tally pred =
+    List.length (List.filter pred observations)
+  in
+  let has_status s ob =
+    match ob.ob_reply with
+    | Body b -> (
+      match status_of b with Ok (st, _) -> st = s | Error _ -> false)
+    | Closed _ -> false
+  in
+  {
+    sf_jobs = List.length observations;
+    sf_poisoned = tally (fun ob -> is_poisoned ob.ob_case);
+    sf_ok = tally (has_status "ok");
+    sf_contained = tally (has_status "error");
+    sf_invalid = tally (has_status "invalid");
+    sf_closed =
+      tally (fun ob ->
+          match ob.ob_reply with Closed _ -> true | Body _ -> false);
+    sf_canaries = List.length canaries;
+    sf_cache_hits = counter "cache_hits" - hits0;
+    sf_reproducers = counter "reproducers" - reproducers0;
+    sf_violations = List.rev !violations;
+    sf_seconds = Unix.gettimeofday () -. t0;
+  }

@@ -197,4 +197,13 @@ let attr (a : Attr.t) : t =
   mix_attr c a;
   c.h
 
+(** Fingerprint of a bare string (e.g. a pass-pipeline spec or request
+    text) in the same FNV-1a space, so it composes with {!combine}. *)
+let string (s : string) : t =
+  let h = ref fnv_offset in
+  for i = 0 to String.length s - 1 do
+    h := (!h lxor Char.code (String.unsafe_get s i)) * fnv_prime
+  done;
+  (!h lxor (String.length s lxor 0x5f)) * fnv_prime
+
 let equal (a : t) (b : t) = a = b

@@ -135,6 +135,22 @@ let parallel_for pool n f =
     | None -> ()
   end
 
+(** Submit one detached task to the pool's worker set and return
+    immediately. Unlike {!parallel_for} the caller does not participate
+    and nothing is awaited — completion signalling is the task's own
+    business (see [Server.Engine]'s promises). With a pool of size 1
+    there are no workers, so the task runs synchronously in the caller:
+    a sequential configuration keeps exactly the sequential semantics. *)
+let async pool task =
+  if pool.p_jobs <= 1 then task ()
+  else begin
+    Stats.incr stat_tasks;
+    Mutex.lock pool.p_mu;
+    Queue.push task pool.p_queue;
+    Condition.signal pool.p_cond;
+    Mutex.unlock pool.p_mu
+  end
+
 (* ------------------------------------------------------------------ *)
 (* Process-global pool                                                 *)
 (* ------------------------------------------------------------------ *)

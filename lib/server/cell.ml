@@ -1,0 +1,256 @@
+(** Containment cell: one compilation job, fully isolated.
+
+    Every job the server admits runs through {!run}: a fresh context, a
+    job-local diagnostic capture, a per-job {!Ir.Budget} (the request's
+    limits clamped by server policy), and the existing exception barriers
+    ({!Passes.Pass.run_pipeline} and the transform interpreter already
+    convert raises into structured errors; anything that still escapes is
+    caught here). A failing job produces a structured {!outcome} plus an
+    on-disk crash reproducer replayable with [otd-opt]; the daemon keeps
+    serving.
+
+    The cell never touches shared mutable state except the deliberately
+    shared caches (compiled schedules, results), both content-addressed.
+    Cross-job contamination is policed by the engine's sentinel
+    fingerprint (see [Engine]). *)
+
+open Ir
+
+type job = {
+  jb_payload : string;  (** module text *)
+  jb_script : string option;  (** transform script text *)
+  jb_pipeline : string option;  (** comma-separated pass pipeline *)
+  jb_max_steps : int option;  (** already clamped by policy *)
+  jb_max_rewrites : int option;
+  jb_deadline_ms : int option;
+}
+
+type outcome = {
+  oc_result : (string, Protocol.error_class * string) result;
+      (** printed output module, or (class, message) *)
+  oc_fps : Protocol.fingerprints option;
+      (** available once the payload parsed *)
+  oc_reproducer : string option;
+}
+
+(* global statistics (Ir.Stats) *)
+let stat_jobs = Stats.counter ~component:"server" "jobs_run"
+
+let stat_contained =
+  Stats.counter ~component:"server" "contained_failures"
+    ~desc:"jobs that failed inside a containment cell"
+
+let stat_crashes =
+  Stats.counter ~component:"server" "exceptions_contained"
+    ~desc:"OCaml exceptions converted to error responses by the cell"
+
+let stat_reproducers = Stats.counter ~component:"server" "reproducers"
+let stat_run_ms = Stats.histogram ~component:"server" "job_ms"
+
+(** Key of the whole job: payload/script structure, pipeline text and the
+    effective limits. Everything that can change the response must be in
+    here — the result cache and the reproducer filenames are addressed by
+    it. *)
+let job_fingerprint (j : job) (fps : Protocol.fingerprints) : Fingerprint.t =
+  let opt = function Some n -> n + 1 | None -> 0 in
+  Fingerprint.combine fps.Protocol.fp_payload
+    (Fingerprint.combine
+       (Option.value fps.Protocol.fp_script ~default:17)
+       (Fingerprint.combine
+          (Option.value fps.Protocol.fp_pipeline ~default:19)
+          (Fingerprint.combine (opt j.jb_max_steps)
+             (Fingerprint.combine (opt j.jb_max_rewrites)
+                (opt j.jb_deadline_ms)))))
+
+(* ------------------------------------------------------------------ *)
+(* Crash reproducers                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let oneline s = String.map (function '\n' | '\r' -> ' ' | c -> c) s
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    let parent = Filename.dirname dir in
+    if parent <> dir then mkdir_p parent;
+    try Sys.mkdir dir 0o755 with Sys_error _ -> ()
+  end
+
+(** Content-addressed reproducer: the filename is derived from the job
+    fingerprint, so retries and identical jobs write the same file once
+    and the response stays deterministic. The main file replays under
+    [otd-opt] (the [// configuration:] header carries the pipeline); a
+    script job gets a [-script.mlir] sibling for [--transform]. *)
+let write_reproducer ~dir ~job_fp (j : job) ~cls ~detail =
+  mkdir_p dir;
+  let base = Fmt.str "job-%s" (Fingerprint.to_hex job_fp) in
+  let path = Filename.concat dir (base ^ ".mlir") in
+  let script_path = Filename.concat dir (base ^ "-script.mlir") in
+  let write p content =
+    let oc = open_out p in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () -> output_string oc content)
+  in
+  (try
+     if not (Sys.file_exists path) then begin
+       write path
+         (Fmt.str
+            "// otd-server crash reproducer\n\
+             // job: %s  class: %s\n\
+             // detail: %s\n\
+             %s%s%s\n"
+            (Fingerprint.to_hex job_fp)
+            (Protocol.class_to_string cls)
+            (oneline detail)
+            (match j.jb_pipeline with
+            | Some p -> Fmt.str "// configuration: --pass-pipeline=%s\n" p
+            | None -> "")
+            (match j.jb_script with
+            | Some _ ->
+              Fmt.str "// transform script: %s (pass via --transform)\n"
+                (Filename.basename script_path)
+            | None -> "")
+            j.jb_payload);
+       (match j.jb_script with
+       | Some s ->
+         write script_path
+           (Fmt.str "// otd-server reproducer script for %s\n%s\n" base s)
+       | None -> ());
+       Stats.incr stat_reproducers
+     end;
+     Some path
+   with Sys_error _ -> None)
+
+(* ------------------------------------------------------------------ *)
+(* The cell                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let diag_messages diags =
+  String.concat "; " (List.map Diag.message diags)
+
+(** Exceptions the barrier must never swallow (mirrors [Passes.Pass]). *)
+let fatal_exn = function Sys.Break | Out_of_memory -> true | _ -> false
+
+(** Run one job to completion inside the cell. Total: every exception
+    short of [Sys.Break]/[Out_of_memory] is converted into a structured
+    outcome. *)
+let run ?reproducer_dir (j : job) : outcome =
+  Stats.incr stat_jobs;
+  let t0 = Unix.gettimeofday () in
+  let fps = ref None in
+  let finish result reproducer =
+    Stats.observe stat_run_ms ((Unix.gettimeofday () -. t0) *. 1000.);
+    (match result with Error _ -> Stats.incr stat_contained | Ok _ -> ());
+    { oc_result = result; oc_fps = !fps; oc_reproducer = reproducer }
+  in
+  let fail ?reproducer cls fmt =
+    Fmt.kstr (fun m -> finish (Error (cls, m)) reproducer) fmt
+  in
+  match Parser.parse_module j.jb_payload with
+  | Error e -> fail Protocol.Parse "payload parse error: %s" e
+  | exception ex when not (fatal_exn ex) ->
+    fail Protocol.Parse "payload parse raised: %s" (Printexc.to_string ex)
+  | Ok payload -> (
+    let script_r =
+      match j.jb_script with
+      | None -> Ok None
+      | Some s -> (
+        match Parser.parse_module s with
+        | Ok op -> Ok (Some op)
+        | Error e -> Error e
+        | exception ex when not (fatal_exn ex) ->
+          Error (Printexc.to_string ex))
+    in
+    match script_r with
+    | Error e -> fail Protocol.Parse "script parse error: %s" e
+    | Ok script ->
+      fps :=
+        Some
+          {
+            Protocol.fp_payload = Fingerprint.op payload;
+            fp_script = Option.map Fingerprint.op script;
+            fp_pipeline = Option.map Fingerprint.string j.jb_pipeline;
+          };
+      let job_fp = job_fingerprint j (Option.get !fps) in
+      let reproduce cls detail =
+        match reproducer_dir with
+        | None -> None
+        | Some dir -> write_reproducer ~dir ~job_fp j ~cls ~detail
+      in
+      let contained cls fmt =
+        Fmt.kstr
+          (fun m -> finish (Error (cls, m)) (reproduce cls m))
+          fmt
+      in
+      let ctx = Transform.Register.full_context () in
+      let diags = ref [] in
+      let collect d = diags := d :: !diags in
+      let budget =
+        Budget.create ?max_steps:j.jb_max_steps
+          ?max_rewrites:j.jb_max_rewrites ?deadline_ms:j.jb_deadline_ms ()
+      in
+      (* reclassify any failure as transient once the budget tripped: the
+         retry ladder keys on this *)
+      let classify cls =
+        match Budget.exhausted budget with
+        | Some _ -> Protocol.Budget
+        | None -> cls
+      in
+      let body () =
+        match Verifier.verify ctx payload with
+        | Error ds -> Error (Protocol.Verify, diag_messages ds)
+        | Ok () -> (
+          let pipeline_r =
+            match j.jb_pipeline with
+            | None -> Ok ()
+            | Some str -> (
+              match Passes.Pass.parse_pipeline str with
+              | Error d ->
+                Error (Protocol.Pipeline, Diag.message d)
+              | Ok passes -> (
+                match Passes.Pass.run_pipeline ctx passes payload with
+                | Ok (_ : Passes.Pass.run_result) -> Ok ()
+                | Error d ->
+                  Error (classify Protocol.Pipeline, Diag.message d)))
+          in
+          match pipeline_r with
+          | Error _ as e -> e
+          | Ok () -> (
+            let script_r =
+              match script with
+              | None -> Ok ()
+              | Some script -> (
+                match
+                  Transform.Schedule.run ctx ~script ~payload
+                with
+                | Ok (_ : int) -> Ok ()
+                | Error e ->
+                  Error
+                    ( classify Protocol.Transform,
+                      Transform.Terror.message e ))
+            in
+            match script_r with
+            | Error _ as e -> e
+            | Ok () -> (
+              match Verifier.verify ctx payload with
+              | Error ds ->
+                Error
+                  ( Protocol.Verify,
+                    Fmt.str "output verification failed: %s"
+                      (diag_messages ds) )
+              | Ok () -> Ok (Printer.op_to_string payload))))
+      in
+      let result =
+        Context.with_diag_handler ctx collect (fun () ->
+            Budget.with_budget budget (fun () ->
+                try body ()
+                with ex when not (fatal_exn ex) ->
+                  Stats.incr stat_crashes;
+                  Error
+                    ( classify Protocol.Crash,
+                      Fmt.str "contained exception: %s"
+                        (Printexc.to_string ex) )))
+      in
+      (match result with
+      | Ok output -> finish (Ok output) None
+      | Error (cls, msg) -> contained cls "%s" msg))

@@ -1,0 +1,132 @@
+(** Load generator: [clients] domains each firing [requests_per_client]
+    requests over their own connection, measuring per-request latency and
+    classifying responses. Works against a live socket daemon (via
+    {!Transport.connect}) or an in-process engine (via
+    {!Engine.handle_json}) — the caller supplies a connection factory.
+
+    Used by [bench --section server] (publishes [BENCH_server.json]) and
+    the CI [server-smoke] job. *)
+
+open Ir
+
+type report = {
+  r_requests : int;
+  r_ok : int;
+  r_error : int;
+  r_shed : int;
+  r_invalid : int;
+  r_transport_errors : int;
+  r_elapsed_s : float;
+  r_rps : float;
+  r_p50_ms : float;
+  r_p99_ms : float;
+  r_max_ms : float;
+}
+
+(** A connection: an rpc function plus a close hook. *)
+type conn = {
+  cn_rpc : Json.t -> (Json.t, string) result;
+  cn_close : unit -> unit;
+}
+
+let in_process_conn engine =
+  { cn_rpc = (fun j -> Ok (Engine.handle_json engine j)); cn_close = ignore }
+
+let socket_conn path =
+  let fd = Transport.connect_retry path in
+  {
+    cn_rpc = (fun j -> Transport.rpc fd j);
+    cn_close =
+      (fun () -> try Unix.close fd with Unix.Unix_error _ -> ());
+  }
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then 0.
+  else sorted.(min (n - 1) (int_of_float (ceil (p *. float_of_int n)) - 1))
+
+let status_of (j : Json.t) =
+  match Option.bind (Json.member "status" j) Json.to_string_opt with
+  | Some "ok" -> `Ok
+  | Some "error" -> `Error
+  | Some "shed" -> `Shed
+  | Some "invalid" -> `Invalid
+  | _ -> `Invalid
+
+(** Run the generator. [request ~client ~i] builds the [i]-th request of
+    client [client]; each client runs on its own domain with its own
+    connection. *)
+let run ~clients ~requests_per_client ~(connect : int -> conn)
+    ~(request : client:int -> i:int -> Json.t) : report =
+  let clients = max 1 clients and per = max 1 requests_per_client in
+  let t0 = Unix.gettimeofday () in
+  let worker c () =
+    let conn = connect c in
+    let lat = Array.make per 0. in
+    let ok = ref 0
+    and err = ref 0
+    and shed = ref 0
+    and invalid = ref 0
+    and transport = ref 0 in
+    Fun.protect
+      ~finally:(fun () -> conn.cn_close ())
+      (fun () ->
+        for i = 0 to per - 1 do
+          let s = Unix.gettimeofday () in
+          (match conn.cn_rpc (request ~client:c ~i) with
+          | Ok r -> (
+            match status_of r with
+            | `Ok -> incr ok
+            | `Error -> incr err
+            | `Shed -> incr shed
+            | `Invalid -> incr invalid)
+          | Error _ -> incr transport);
+          lat.(i) <- (Unix.gettimeofday () -. s) *. 1000.
+        done);
+    (lat, !ok, !err, !shed, !invalid, !transport)
+  in
+  let domains = List.init clients (fun c -> Domain.spawn (worker c)) in
+  let results = List.map Domain.join domains in
+  let elapsed = Unix.gettimeofday () -. t0 in
+  let all =
+    Array.concat (List.map (fun (lat, _, _, _, _, _) -> lat) results)
+  in
+  Array.sort compare all;
+  let sum f = List.fold_left (fun acc r -> acc + f r) 0 results in
+  let total = clients * per in
+  {
+    r_requests = total;
+    r_ok = sum (fun (_, ok, _, _, _, _) -> ok);
+    r_error = sum (fun (_, _, e, _, _, _) -> e);
+    r_shed = sum (fun (_, _, _, s, _, _) -> s);
+    r_invalid = sum (fun (_, _, _, _, iv, _) -> iv);
+    r_transport_errors = sum (fun (_, _, _, _, _, t) -> t);
+    r_elapsed_s = elapsed;
+    r_rps = (if elapsed > 0. then float_of_int total /. elapsed else 0.);
+    r_p50_ms = percentile all 0.50;
+    r_p99_ms = percentile all 0.99;
+    r_max_ms = (if Array.length all = 0 then 0. else all.(Array.length all - 1));
+  }
+
+let report_json r =
+  Json.Obj
+    [
+      ("requests", Json.Int r.r_requests);
+      ("ok", Json.Int r.r_ok);
+      ("error", Json.Int r.r_error);
+      ("shed", Json.Int r.r_shed);
+      ("invalid", Json.Int r.r_invalid);
+      ("transport_errors", Json.Int r.r_transport_errors);
+      ("elapsed_s", Json.Float r.r_elapsed_s);
+      ("rps", Json.Float r.r_rps);
+      ("p50_ms", Json.Float r.r_p50_ms);
+      ("p99_ms", Json.Float r.r_p99_ms);
+      ("max_ms", Json.Float r.r_max_ms);
+    ]
+
+let pp_report ppf r =
+  Fmt.pf ppf
+    "%d requests in %.2fs (%.0f req/s): %d ok, %d error, %d shed, %d \
+     invalid, %d transport; p50 %.2fms p99 %.2fms max %.2fms"
+    r.r_requests r.r_elapsed_s r.r_rps r.r_ok r.r_error r.r_shed r.r_invalid
+    r.r_transport_errors r.r_p50_ms r.r_p99_ms r.r_max_ms

@@ -1,0 +1,425 @@
+(** Wire protocol of [otd-server]: length-prefixed JSON frames.
+
+    A frame is a 4-byte big-endian unsigned length [N] followed by [N]
+    bytes of UTF-8 JSON. The framing layer is deliberately paranoid —
+    it is the outermost trust boundary of the daemon, and every malformed
+    input (oversized or negative prefix, truncated body, mid-frame
+    disconnect, invalid UTF-8, unparseable JSON, schema violation) must
+    degrade into a structured error response or a clean connection close,
+    never into a daemon death (see [test_server.ml] and the
+    [--server-faults] campaign).
+
+    Request objects ({!parse_request}) and response objects
+    ({!validate_response_json}) share one schema, also exposed through
+    [otd-json --schema=server] so CI can validate response journals with
+    the repository's own tools.
+
+    Request schema (all requests are JSON objects):
+    {v
+    { "kind": "compile",          -- | "ping" | "stats" | "shutdown"
+      "id": "job-1",              -- optional, echoed verbatim
+      "payload": "<mlir text>",   -- required for compile
+      "pipeline": "canonicalize", -- optional comma-separated pass pipeline
+      "script": "<mlir text>",    -- optional transform script
+      "budget": { "max_steps": N, "max_rewrites": N, "deadline_ms": N },
+      "retry":  { "attempts": N },-- total attempts allowed on budget
+                                  -- exhaustion (escalating tiers)
+      "cache": true }             -- opt out of the result cache with false
+    v}
+
+    Response schema:
+    {v
+    { "id": "job-1",              -- echoed request id (when given)
+      "status": "ok",             -- | "error" | "shed" | "invalid"
+      "attempts": 1,              -- compile attempts consumed
+      "output": "<mlir text>",    -- status=ok only
+      "fingerprints": { "payload": hex, "script": hex, "pipeline": hex },
+      "error": { "class": "budget", "message": "...",
+                 "reproducer": "path" },      -- status=error|invalid
+      "retry_after_ms": 50 }      -- status=shed only
+    v}
+
+    Responses carry no timings and no cache marker: a response is a pure
+    function of the request plus server policy, which is what makes the
+    campaign's byte-identity invariant (identical requests yield identical
+    response bytes under any interleaving) checkable at all. *)
+
+open Ir
+
+(* ------------------------------------------------------------------ *)
+(* Framing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let default_max_frame = 8 * 1024 * 1024
+
+type frame_error =
+  | Closed  (** clean EOF on a frame boundary *)
+  | Truncated of int * int  (** got, wanted: EOF mid-prefix or mid-body *)
+  | Oversized of int  (** declared length exceeds the policy limit *)
+  | Negative of int  (** length prefix with the sign bit set *)
+
+let frame_error_message = function
+  | Closed -> "connection closed"
+  | Truncated (got, want) ->
+    Fmt.str "truncated frame: got %d of %d bytes before EOF" got want
+  | Oversized n -> Fmt.str "oversized frame: %d bytes exceeds the limit" n
+  | Negative n -> Fmt.str "invalid frame length prefix (%d)" n
+
+(* read exactly [len] bytes unless EOF strikes first; returns bytes read *)
+let read_exactly fd buf len =
+  let rec go off =
+    if off >= len then off
+    else
+      match Unix.read fd buf off (len - off) with
+      | 0 -> off
+      | n -> go (off + n)
+  in
+  go 0
+
+(** Read one frame. [Error Closed] is the clean end of the stream;
+    [Error (Truncated _)] is a peer that died mid-frame. Raises only on
+    I/O errors ([Unix.Unix_error]), which transports treat as a close. *)
+let read_frame ?(max_frame = default_max_frame) fd :
+    (string, frame_error) result =
+  let prefix = Bytes.create 4 in
+  match read_exactly fd prefix 4 with
+  | 0 -> Error Closed
+  | n when n < 4 -> Error (Truncated (n, 4))
+  | _ -> (
+    let len = Int32.to_int (Bytes.get_int32_be prefix 0) in
+    if len < 0 then Error (Negative len)
+    else if len > max_frame then Error (Oversized len)
+    else
+      let body = Bytes.create len in
+      match read_exactly fd body len with
+      | n when n < len -> Error (Truncated (n, len))
+      | _ -> Ok (Bytes.unsafe_to_string body))
+
+let write_frame fd (s : string) =
+  let len = String.length s in
+  let buf = Bytes.create (4 + len) in
+  Bytes.set_int32_be buf 0 (Int32.of_int len);
+  Bytes.blit_string s 0 buf 4 len;
+  let rec go off =
+    if off < 4 + len then
+      go (off + Unix.write fd buf off (4 + len - off))
+  in
+  go 0
+
+(** Strict UTF-8 validation of a frame body. The JSON parser operates on
+    bytes and would happily pass ill-formed sequences through into
+    responses and journals; the protocol rejects them at the boundary. *)
+let utf8_valid (s : string) =
+  let n = String.length s in
+  let byte i = Char.code (String.unsafe_get s i) in
+  let cont i = i < n && byte i land 0xC0 = 0x80 in
+  let rec go i =
+    if i >= n then true
+    else
+      let b = byte i in
+      if b < 0x80 then go (i + 1)
+      else if b < 0xC2 then false (* continuation byte or overlong C0/C1 *)
+      else if b < 0xE0 then cont (i + 1) && go (i + 2)
+      else if b < 0xF0 then
+        cont (i + 1)
+        && cont (i + 2)
+        (* reject overlong E0 80.. and surrogates ED A0.. *)
+        && (b <> 0xE0 || byte (i + 1) >= 0xA0)
+        && (b <> 0xED || byte (i + 1) < 0xA0)
+        && go (i + 3)
+      else if b < 0xF5 then
+        cont (i + 1)
+        && cont (i + 2)
+        && cont (i + 3)
+        && (b <> 0xF0 || byte (i + 1) >= 0x90)
+        && (b <> 0xF4 || byte (i + 1) < 0x90)
+        && go (i + 4)
+      else false
+  in
+  go 0
+
+(* ------------------------------------------------------------------ *)
+(* Requests                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type budget_req = {
+  br_max_steps : int option;
+  br_max_rewrites : int option;
+  br_deadline_ms : int option;
+}
+
+let no_budget =
+  { br_max_steps = None; br_max_rewrites = None; br_deadline_ms = None }
+
+type compile = {
+  c_id : string option;
+  c_payload : string;
+  c_script : string option;
+  c_pipeline : string option;
+  c_budget : budget_req;
+  c_attempts : int;  (** total attempts the client allows (>= 1) *)
+  c_cache : bool;
+}
+
+type request = Compile of compile | Ping of string option | Stats | Shutdown
+
+let ( let* ) = Result.bind
+
+let field_opt conv name j =
+  match Json.member name j with
+  | None | Some Json.Null -> Ok None
+  | Some v -> (
+    match conv v with
+    | Some x -> Ok (Some x)
+    | None -> Error (Fmt.str "field %S has the wrong type" name))
+
+let string_opt = field_opt Json.to_string_opt
+let int_opt = field_opt Json.to_int_opt
+let bool_opt = field_opt Json.to_bool_opt
+
+let nonneg name = function
+  | Some n when n < 0 -> Error (Fmt.str "field %S must be >= 0" name)
+  | v -> Ok v
+
+let parse_budget j =
+  match Json.member "budget" j with
+  | None | Some Json.Null -> Ok no_budget
+  | Some (Json.Obj _ as b) ->
+    let* max_steps = int_opt "max_steps" b in
+    let* max_steps = nonneg "max_steps" max_steps in
+    let* max_rewrites = int_opt "max_rewrites" b in
+    let* max_rewrites = nonneg "max_rewrites" max_rewrites in
+    let* deadline_ms = int_opt "deadline_ms" b in
+    let* deadline_ms = nonneg "deadline_ms" deadline_ms in
+    Ok
+      {
+        br_max_steps = max_steps;
+        br_max_rewrites = max_rewrites;
+        br_deadline_ms = deadline_ms;
+      }
+  | Some _ -> Error "field \"budget\" must be an object"
+
+let parse_retry j =
+  match Json.member "retry" j with
+  | None | Some Json.Null -> Ok 1
+  | Some (Json.Obj _ as r) -> (
+    let* attempts = int_opt "attempts" r in
+    match attempts with
+    | None -> Ok 1
+    | Some n when n >= 1 -> Ok n
+    | Some n -> Error (Fmt.str "field \"attempts\" must be >= 1 (got %d)" n))
+  | Some _ -> Error "field \"retry\" must be an object"
+
+(** Parse and schema-check one request object. *)
+let parse_request (j : Json.t) : (request, string) result =
+  match j with
+  | Json.Obj _ -> (
+    let* id = string_opt "id" j in
+    let* kind = string_opt "kind" j in
+    match kind with
+    | None -> Error "missing request field \"kind\""
+    | Some "ping" -> Ok (Ping id)
+    | Some "stats" -> Ok Stats
+    | Some "shutdown" -> Ok Shutdown
+    | Some "compile" -> (
+      let* payload = string_opt "payload" j in
+      match payload with
+      | None -> Error "compile request missing field \"payload\""
+      | Some payload ->
+        let* script = string_opt "script" j in
+        let* pipeline = string_opt "pipeline" j in
+        let* budget = parse_budget j in
+        let* attempts = parse_retry j in
+        let* cache = bool_opt "cache" j in
+        Ok
+          (Compile
+             {
+               c_id = id;
+               c_payload = payload;
+               c_script = script;
+               c_pipeline = pipeline;
+               c_budget = budget;
+               c_attempts = attempts;
+               c_cache = Option.value cache ~default:true;
+             }))
+    | Some k -> Error (Fmt.str "unknown request kind %S" k))
+  | _ -> Error "request must be a JSON object"
+
+(* ------------------------------------------------------------------ *)
+(* Responses                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(** Failure classes carried in [error.class]. [`Budget] is the transient
+    class — the only one the retry ladder re-attempts. *)
+type error_class =
+  | Protocol  (** malformed frame / JSON / schema violation *)
+  | Parse  (** payload or script text does not parse *)
+  | Verify  (** payload fails IR verification *)
+  | Pipeline  (** unknown pass, or a pass failed *)
+  | Transform  (** transform script failed (definite or silenceable) *)
+  | Budget  (** step/rewrite/deadline budget exhausted — retryable *)
+  | Crash  (** contained OCaml exception *)
+  | Internal  (** server-side invariant violation (e.g. contamination) *)
+  | Draining  (** server is shutting down; job rejected *)
+
+let class_to_string = function
+  | Protocol -> "protocol"
+  | Parse -> "parse"
+  | Verify -> "verify"
+  | Pipeline -> "pipeline"
+  | Transform -> "transform"
+  | Budget -> "budget"
+  | Crash -> "crash"
+  | Internal -> "internal"
+  | Draining -> "draining"
+
+let class_of_string = function
+  | "protocol" -> Some Protocol
+  | "parse" -> Some Parse
+  | "verify" -> Some Verify
+  | "pipeline" -> Some Pipeline
+  | "transform" -> Some Transform
+  | "budget" -> Some Budget
+  | "crash" -> Some Crash
+  | "internal" -> Some Internal
+  | "draining" -> Some Draining
+  | _ -> None
+
+type fingerprints = {
+  fp_payload : Fingerprint.t;
+  fp_script : Fingerprint.t option;
+  fp_pipeline : Fingerprint.t option;
+}
+
+let fingerprints_json fps =
+  Json.Obj
+    ([ ("payload", Json.String (Fingerprint.to_hex fps.fp_payload)) ]
+    @ (match fps.fp_script with
+      | Some fp -> [ ("script", Json.String (Fingerprint.to_hex fp)) ]
+      | None -> [])
+    @
+    match fps.fp_pipeline with
+    | Some fp -> [ ("pipeline", Json.String (Fingerprint.to_hex fp)) ]
+    | None -> [])
+
+(* the id member leads so identical jobs render byte-identically with the
+   id in a predictable position; cores are cached id-less and re-wrapped *)
+let with_id id core =
+  match (id, core) with
+  | None, _ -> core
+  | Some id, Json.Obj kvs -> Json.Obj (("id", Json.String id) :: kvs)
+  | Some _, j -> j
+
+(** Response cores (id-less): the cacheable, deterministic part. *)
+
+let ok_core ?(attempts = 1) ~fps ~output () =
+  Json.Obj
+    [
+      ("status", Json.String "ok");
+      ("attempts", Json.Int attempts);
+      ("fingerprints", fingerprints_json fps);
+      ("output", Json.String output);
+    ]
+
+let error_core ?(attempts = 1) ?fps ?reproducer ~cls message =
+  Json.Obj
+    ([
+       ("status", Json.String "error");
+       ("attempts", Json.Int attempts);
+     ]
+    @ (match fps with
+      | Some fps -> [ ("fingerprints", fingerprints_json fps) ]
+      | None -> [])
+    @ [
+        ( "error",
+          Json.Obj
+            ([
+               ("class", Json.String (class_to_string cls));
+               ("message", Json.String message);
+             ]
+            @
+            match reproducer with
+            | Some path -> [ ("reproducer", Json.String path) ]
+            | None -> []) );
+      ])
+
+let shed_core ~retry_after_ms =
+  Json.Obj
+    [
+      ("status", Json.String "shed");
+      ("retry_after_ms", Json.Int retry_after_ms);
+    ]
+
+let invalid_response ?id message =
+  with_id id
+    (Json.Obj
+       [
+         ("status", Json.String "invalid");
+         ( "error",
+           Json.Obj
+             [
+               ("class", Json.String (class_to_string Protocol));
+               ("message", Json.String message);
+             ] );
+       ])
+
+let pong_response ?id () =
+  with_id id
+    (Json.Obj [ ("status", Json.String "ok"); ("kind", Json.String "pong") ])
+
+(* ------------------------------------------------------------------ *)
+(* Schema validation (otd-json --schema=server)                        *)
+(* ------------------------------------------------------------------ *)
+
+let validate_request_json j =
+  match parse_request j with
+  | Ok _ -> Ok ()
+  | Error e -> Error e
+
+let validate_response_json j =
+  match j with
+  | Json.Obj _ -> (
+    let str name = Option.bind (Json.member name j) Json.to_string_opt in
+    match str "status" with
+    | None -> Error "missing response field \"status\""
+    | Some "ok" ->
+      if
+        Json.member "output" j <> None
+        || str "kind" = Some "pong"
+        || str "kind" = Some "shutdown"
+        || Json.member "stats" j <> None
+      then Ok ()
+      else Error "ok response carries neither output, pong nor stats"
+    | Some ("error" | "invalid") -> (
+      match Json.member "error" j with
+      | None -> Error "error response missing \"error\" object"
+      | Some err -> (
+        let cls = Option.bind (Json.member "class" err) Json.to_string_opt in
+        match cls with
+        | None -> Error "error object missing \"class\""
+        | Some c -> (
+          match class_of_string c with
+          | Some _ ->
+            if Json.member "message" err = None then
+              Error "error object missing \"message\""
+            else Ok ()
+          | None -> Error (Fmt.str "unknown error class %S" c))))
+    | Some "shed" -> (
+      match
+        Option.bind (Json.member "retry_after_ms" j) Json.to_int_opt
+      with
+      | Some _ -> Ok ()
+      | None -> Error "shed response missing integer \"retry_after_ms\"")
+    | Some s -> Error (Fmt.str "unknown response status %S" s))
+  | _ -> Error "response must be a JSON object"
+
+(** Validate either side of the protocol: objects with a [kind] member are
+    requests, objects with a [status] member are responses. *)
+let validate_json j =
+  match j with
+  | Json.Obj _ ->
+    if Json.member "kind" j <> None && Json.member "status" j = None then
+      validate_request_json j
+    else if Json.member "status" j <> None then validate_response_json j
+    else Error "object is neither a request (kind) nor a response (status)"
+  | _ -> Error "server protocol values are JSON objects"

@@ -1,0 +1,97 @@
+(** Content-addressed result cache with single-flight deduplication.
+
+    Keys are job fingerprints (payload structure × script structure ×
+    pipeline text × effective limits, see {!Cell.job_fingerprint});
+    values are the deterministic, id-less response cores the engine
+    builds. Concurrent identical requests cost one compile: the first
+    requester takes a {e lease} and runs the job, everyone else blocks on
+    the in-flight entry and receives the leader's response core when it
+    lands. A leader that cannot complete (job shed at admission, or an
+    escaped error) {e abandons} the lease, waking the waiters so one of
+    them can lead instead — an abandoned lease never wedges the key.
+
+    Capacity is bounded: landing a value into a full cache evicts the
+    completed entries wholesale (in-flight leases survive), mirroring the
+    compiled-schedule cache's pressure valve. *)
+
+open Ir
+
+type entry = Done of Json.t | Inflight
+
+type t = {
+  mu : Mutex.t;
+  cond : Condition.t;
+  tbl : (Fingerprint.t, entry) Hashtbl.t;
+  capacity : int;
+}
+
+(* global statistics (Ir.Stats) *)
+let stat_hits = Stats.counter ~component:"server" "cache_hits"
+let stat_misses = Stats.counter ~component:"server" "cache_misses"
+
+let stat_joins =
+  Stats.counter ~component:"server" "singleflight_joins"
+    ~desc:"requests that waited on an identical in-flight job"
+
+let stat_evictions = Stats.counter ~component:"server" "cache_evictions"
+
+let create ?(capacity = 1024) () =
+  {
+    mu = Mutex.create ();
+    cond = Condition.create ();
+    tbl = Hashtbl.create 64;
+    capacity = max 1 capacity;
+  }
+
+let size t =
+  Mutex.lock t.mu;
+  let n = Hashtbl.length t.tbl in
+  Mutex.unlock t.mu;
+  n
+
+(** Look [key] up; [`Hit core] on a completed entry, [`Lease] when the
+    caller is now the leader and must eventually {!fulfill} or
+    {!abandon}. Blocks while another leader is in flight. *)
+let find_or_lease t key =
+  Mutex.lock t.mu;
+  let rec go ~joined =
+    match Hashtbl.find_opt t.tbl key with
+    | Some (Done v) ->
+      Stats.incr stat_hits;
+      Mutex.unlock t.mu;
+      `Hit v
+    | Some Inflight ->
+      if not joined then Stats.incr stat_joins;
+      Condition.wait t.cond t.mu;
+      go ~joined:true
+    | None ->
+      Stats.incr stat_misses;
+      Hashtbl.replace t.tbl key Inflight;
+      Mutex.unlock t.mu;
+      `Lease
+  in
+  go ~joined:false
+
+let fulfill t key core =
+  Mutex.lock t.mu;
+  (* pressure valve: evict completed entries, keep other leaders' leases *)
+  if Hashtbl.length t.tbl >= t.capacity then begin
+    let doomed =
+      Hashtbl.fold
+        (fun k e acc -> match e with Done _ -> k :: acc | Inflight -> acc)
+        t.tbl []
+    in
+    List.iter (Hashtbl.remove t.tbl) doomed;
+    Stats.add stat_evictions (List.length doomed)
+  end;
+  Hashtbl.replace t.tbl key (Done core);
+  Condition.broadcast t.cond;
+  Mutex.unlock t.mu
+
+let abandon t key =
+  Mutex.lock t.mu;
+  (match Hashtbl.find_opt t.tbl key with
+  | Some Inflight -> Hashtbl.remove t.tbl key
+  | _ -> ());
+  Condition.broadcast t.cond;
+  Mutex.unlock t.mu
